@@ -1,0 +1,34 @@
+//! Criterion bench: generating the 1490-feature tensor (Section 3.1's
+//! transformation T) over the 11-point logical grid — the feature
+//! engineering cost the Status Query machinery exists to keep low.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domd_data::{generate, AvailId, GeneratorConfig};
+use domd_features::FeatureEngine;
+use std::hint::black_box;
+
+fn bench_feature_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_generation");
+    group.sample_size(10);
+    for n_avails in [50usize, 200] {
+        let ds = generate(&GeneratorConfig {
+            n_avails,
+            target_rccs: n_avails * 265,
+            scale: 1,
+            seed: 1,
+        });
+        let ids: Vec<AvailId> = ds.avails().iter().map(|a| a.id).collect();
+        let grid: Vec<f64> = (0..=10).map(|i| f64::from(i) * 10.0).collect();
+        let engine = FeatureEngine::default();
+        group.bench_with_input(BenchmarkId::new("tensor", n_avails), &(), |b, ()| {
+            b.iter(|| black_box(engine.generate_tensor(&ds, &ids, &grid)))
+        });
+        group.bench_with_input(BenchmarkId::new("online-single-avail", n_avails), &(), |b, ()| {
+            b.iter(|| black_box(engine.features_for_avail_at(&ds, ids[0], 50.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feature_generation);
+criterion_main!(benches);

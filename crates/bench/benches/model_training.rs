@@ -1,0 +1,53 @@
+//! Criterion bench: base model training cost — one GBT fit and one
+//! elastic-net fit at the pipeline's working shape (~150 rows x 68 cols),
+//! plus the TPE suggestion loop. These dominate the wall-clock of the
+//! greedy pipeline optimization (Tasks 2-6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use domd_ml::{
+    tpe_minimize, DenseMatrix, ElasticNetModel, ElasticNetParams, GbtModel, GbtParams, Loss,
+    ParamDomain, ParamSpec, TpeConfig,
+};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn training_data() -> (DenseMatrix, Vec<f64>) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let n = 150;
+    let p = 68;
+    let rows: Vec<Vec<f64>> =
+        (0..n).map(|_| (0..p).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect();
+    let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + r[1] * r[2] + r[3].powi(2)).collect();
+    (DenseMatrix::from_vec_of_rows(&rows), y)
+}
+
+fn bench_model_training(c: &mut Criterion) {
+    let (x, y) = training_data();
+    let mut group = c.benchmark_group("model_training");
+    group.sample_size(10);
+    group.bench_function("gbt_200_trees", |b| {
+        let params = GbtParams { loss: Loss::PseudoHuber(18.0), ..Default::default() };
+        b.iter(|| black_box(GbtModel::fit(&x, &y, &params)))
+    });
+    group.bench_function("elastic_net", |b| {
+        let params = ElasticNetParams::default();
+        b.iter(|| black_box(ElasticNetModel::fit(&x, &y, &params)))
+    });
+    group.bench_function("tpe_30_trials_cheap_objective", |b| {
+        let specs = vec![
+            ParamSpec { name: "a", domain: ParamDomain::Float { lo: -5.0, hi: 5.0, log: false } },
+            ParamSpec { name: "b", domain: ParamDomain::Int { lo: 1, hi: 100 } },
+        ];
+        b.iter(|| {
+            black_box(tpe_minimize(
+                &specs,
+                &TpeConfig { n_trials: 30, seed: 3, ..Default::default() },
+                |p| (p[0] - 1.0).powi(2) + (p[1] - 42.0).abs(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_training);
+criterion_main!(benches);

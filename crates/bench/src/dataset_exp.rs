@@ -1,0 +1,102 @@
+//! Dataset-description experiments: Figure 1 (SWLIN hierarchy), Figure 2
+//! (delay distribution), and Table 5 (dataset statistics).
+
+use crate::util::{bar, standard_dataset};
+use domd_index::SwlinTree;
+
+/// Table 5: statistics of the (synthetic) dataset vs. the paper's values.
+pub fn table5() -> String {
+    let ds = standard_dataset();
+    let st = ds.stats();
+    let mut out = String::new();
+    out.push_str("Table 5 — dataset statistics (synthetic NMD vs paper)\n");
+    out.push_str("table                      | this run | paper\n");
+    out.push_str("---------------------------+----------+-------\n");
+    out.push_str(&format!("avail rows                 | {:>8} | 200\n", st.n_avails));
+    out.push_str(&format!("avail attributes           | {:>8} | 73\n", st.n_avail_attrs));
+    out.push_str(&format!("RCC rows                   | {:>8} | 52,959\n", st.n_rccs));
+    out.push_str(&format!("RCC attributes             | {:>8} | 187\n", st.n_rcc_attrs));
+    out
+}
+
+/// Figure 2: histogram of delays over all (closed) availabilities.
+pub fn fig2() -> String {
+    let ds = standard_dataset();
+    let hist = ds.delay_histogram(30);
+    let max = hist.iter().map(|(_, c)| *c).max().unwrap_or(1) as f64;
+    let mut out = String::new();
+    out.push_str("Figure 2 — delay distribution for all availabilities (bin = 30 days)\n");
+    out.push_str("delay bin (days) | count\n");
+    out.push_str("-----------------+------------------------------------------\n");
+    for (lo, c) in &hist {
+        if *c == 0 {
+            continue;
+        }
+        out.push_str(&format!("{:>7}..{:<6} | {:>3} {}\n", lo, lo + 29, c, bar(*c as f64, max, 40)));
+    }
+    let delays: Vec<i32> = ds.closed_avails().filter_map(|a| a.delay()).collect();
+    out.push_str(&format!(
+        "range {}..{} days; {} on-time, {} early, {} tardy (paper: 0 to multiple years,\nmajority within a few months of projected end)\n",
+        delays.iter().min().unwrap(),
+        delays.iter().max().unwrap(),
+        delays.iter().filter(|d| **d == 0).count(),
+        delays.iter().filter(|d| **d < 0).count(),
+        delays.iter().filter(|d| **d > 0).count(),
+    ));
+    out
+}
+
+/// Figure 1: a walk of the SWLIN hierarchy present in the data.
+pub fn swlin_hierarchy() -> String {
+    let ds = standard_dataset();
+    let tree = SwlinTree::build(
+        ds.rccs().iter().enumerate().map(|(i, r)| (r.swlin, i as u32)),
+    );
+    let mut out = String::new();
+    out.push_str("Figure 1 — SWLIN 8-digit hierarchy (first digit = general subsystem)\n");
+    for d1 in tree.child_prefixes(0, 0) {
+        let n1 = tree.ids_for_prefix(d1, 1).len();
+        out.push_str(&format!("subsystem {d1}: {n1} RCCs\n"));
+        // Show the three largest second-level modules under this subsystem.
+        let mut children: Vec<(u32, usize)> = tree
+            .child_prefixes(d1, 1)
+            .into_iter()
+            .map(|p| (p, tree.ids_for_prefix(p, 2).len()))
+            .collect();
+        children.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        for (p, n) in children.into_iter().take(3) {
+            out.push_str(&format!("  module {:02}x: {n} RCCs\n", p % 10));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_mentions_counts() {
+        let s = table5();
+        assert!(s.contains("200"));
+        assert!(s.contains("52,959"));
+        assert!(s.contains("avail rows"));
+    }
+
+    #[test]
+    fn fig2_has_bins_and_summary() {
+        let s = fig2();
+        assert!(s.contains("delay bin"));
+        assert!(s.contains("tardy"));
+        assert!(s.lines().count() > 10, "histogram should have many bins");
+    }
+
+    #[test]
+    fn swlin_walk_lists_subsystems() {
+        let s = swlin_hierarchy();
+        // Generated data uses first digits 1..=9.
+        for d in 1..=9 {
+            assert!(s.contains(&format!("subsystem {d}:")), "missing subsystem {d}");
+        }
+    }
+}

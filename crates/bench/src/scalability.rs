@@ -1,0 +1,201 @@
+//! Scalability experiments of Section 5.1: index creation cost (Figure 5a,
+//! Table 6), query processing cost (Figure 5b), and total cost (Figure 5c)
+//! across RCC scaling factors.
+//!
+//! The workload per scale is the pipeline's own access pattern: advance the
+//! logical timeline 0%..100% in 10% windows maintaining per-(RCC type ×
+//! SWLIN first digit) aggregates of active / settled / created RCCs — the
+//! Status Queries Algorithm StatusQ answers. The naive and interval-tree
+//! arms recompute each grid point from scratch; the AVL arm runs the
+//! incremental `StatStructure` computation of Section 4.3.
+
+use crate::util::{mb, mean_time_ms, scaled_dataset, time_ms};
+use domd_data::Dataset;
+use domd_index::{
+    project_dataset, sweep_from_scratch, sweep_incremental, AvlIndex, HeapSize,
+    IntervalTreeIndex, LogicalTimeIndex, NaiveJoinIndex, RowColumns, SortedArrayIndex,
+};
+
+/// The scaling factors of Table 6 / Figure 5.
+pub const SCALES: [u32; 5] = [1, 5, 10, 15, 20];
+
+/// Number of timed repetitions (the paper averages 3 runs).
+pub const RUNS: usize = 3;
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Scaling factor.
+    pub scale: u32,
+    /// RCC count at this scale.
+    pub n_rccs: usize,
+    /// Per-index `(name, creation ms, memory MB, query ms)`.
+    pub arms: Vec<(String, f64, f64, f64)>,
+}
+
+/// Workload columns shared by all arms at one scale.
+struct Workload {
+    projected: Vec<domd_index::LogicalRcc>,
+    amounts: Vec<f64>,
+    durations: Vec<f64>,
+    groups: Vec<usize>,
+    grid: Vec<f64>,
+}
+
+impl Workload {
+    fn build(ds: &Dataset) -> Self {
+        let projected = project_dataset(ds);
+        let rccs = ds.rccs();
+        Workload {
+            projected,
+            amounts: rccs.iter().map(|r| r.amount).collect(),
+            durations: rccs.iter().map(|r| f64::from(r.duration_days())).collect(),
+            groups: rccs
+                .iter()
+                .map(|r| r.rcc_type.index() * 10 + r.swlin.digit(1) as usize)
+                .collect(),
+            grid: (0..=10).map(|i| f64::from(i) * 10.0).collect(),
+        }
+    }
+
+    fn cols(&self) -> RowColumns<'_> {
+        RowColumns { amounts: &self.amounts, durations: &self.durations, groups: &self.groups }
+    }
+}
+
+/// Measures all three index designs at every scale in `scales`.
+pub fn measure(scales: &[u32]) -> Vec<ScaleRow> {
+    scales
+        .iter()
+        .map(|&scale| {
+            let ds = scaled_dataset(scale);
+            let w = Workload::build(&ds);
+            let mut arms = Vec::new();
+
+            // Naive materialized join (Pandas-merge baseline): creation is
+            // the join itself; queries rescan per grid point.
+            let (naive, _) = time_ms(|| NaiveJoinIndex::build_from_dataset(&ds, &w.projected));
+            let naive_build =
+                mean_time_ms(RUNS, || NaiveJoinIndex::build_from_dataset(&ds, &w.projected));
+            let naive_query = mean_time_ms(RUNS, || {
+                sweep_from_scratch(&naive, w.cols(), 30, &w.grid, |_, _, _| {})
+            });
+            arms.push(("naive-join".to_string(), naive_build, mb(naive.heap_bytes()), naive_query));
+
+            // Centered interval tree: from-scratch queries.
+            let (itree, _) = time_ms(|| IntervalTreeIndex::build(&w.projected));
+            let itree_build = mean_time_ms(RUNS, || IntervalTreeIndex::build(&w.projected));
+            let itree_query = mean_time_ms(RUNS, || {
+                sweep_from_scratch(&itree, w.cols(), 30, &w.grid, |_, _, _| {})
+            });
+            arms.push((
+                "interval-tree".to_string(),
+                itree_build,
+                mb(itree.heap_bytes()),
+                itree_query,
+            ));
+
+            // Sorted event arrays (extension arm: the static-workload
+            // optimum the trees trade against dynamic maintenance).
+            let (sa, _) = time_ms(|| SortedArrayIndex::build(&w.projected));
+            let sa_build = mean_time_ms(RUNS, || SortedArrayIndex::build(&w.projected));
+            let sa_query = mean_time_ms(RUNS, || {
+                sweep_from_scratch(&sa, w.cols(), 30, &w.grid, |_, _, _| {})
+            });
+            arms.push(("sorted-array".to_string(), sa_build, mb(sa.heap_bytes()), sa_query));
+
+            // Dual AVL + incremental computation (the paper's winner).
+            let (avl, _) = time_ms(|| AvlIndex::build(&w.projected));
+            let avl_build = mean_time_ms(RUNS, || AvlIndex::build(&w.projected));
+            let avl_query = mean_time_ms(RUNS, || {
+                sweep_incremental(&avl, w.cols(), 30, &w.grid, |_, _, _| {})
+            });
+            arms.push(("avl+incremental".to_string(), avl_build, mb(avl.heap_bytes()), avl_query));
+
+            ScaleRow { scale, n_rccs: w.projected.len(), arms }
+        })
+        .collect()
+}
+
+fn render(rows: &[ScaleRow], col: impl Fn(&(String, f64, f64, f64)) -> f64, unit: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>6} | {:>9}", "scale", "rccs"));
+    for (name, ..) in &rows[0].arms {
+        out.push_str(&format!(" | {name:>15}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(19 + 18 * rows[0].arms.len()));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:>5}x | {:>9}", r.scale, r.n_rccs));
+        for arm in &r.arms {
+            out.push_str(&format!(" | {:>13.1}{unit}", col(arm)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 6: index construction memory.
+pub fn table6(rows: &[ScaleRow]) -> String {
+    format!(
+        "Table 6 — index construction cost, space (paper @20x: naive 1090 MB, AVL 556, interval 579)\n{}",
+        render(rows, |a| a.2, "MB")
+    )
+}
+
+/// Figure 5a: index creation time.
+pub fn fig5a(rows: &[ScaleRow]) -> String {
+    format!("Figure 5a — index creation time\n{}", render(rows, |a| a.1, "ms"))
+}
+
+/// Figure 5b: query processing time over the 11-step timeline workload.
+pub fn fig5b(rows: &[ScaleRow]) -> String {
+    let mut out = format!("Figure 5b — query processing time\n{}", render(rows, |a| a.3, "ms"));
+    if let Some(last) = rows.last() {
+        let avl = last.arms.iter().position(|a| a.0.starts_with("avl")).expect("avl arm");
+        let speedup = last.arms[0].3 / last.arms[avl].3;
+        out.push_str(&format!(
+            "speedup of avl+incremental over naive rescan at {}x: {:.1}x (paper reports ~5x)\n",
+            last.scale, speedup
+        ));
+    }
+    out
+}
+
+/// Figure 5c: creation + query total time.
+pub fn fig5c(rows: &[ScaleRow]) -> String {
+    format!("Figure 5c — index creation + query processing total\n{}", render(rows, |a| a.1 + a.3, "ms"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_have_expected_shape() {
+        let rows = measure(&[1]);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.arms.len(), 4);
+        // Memory ordering of Table 6: both trees well under the join.
+        let naive_mb = r.arms[0].2;
+        let itree_mb = r.arms[1].2;
+        let avl_mb = r.arms[3].2;
+        assert!(avl_mb < naive_mb * 0.7, "AVL {avl_mb} vs naive {naive_mb}");
+        assert!(itree_mb < naive_mb * 0.7, "interval {itree_mb} vs naive {naive_mb}");
+        // The extension arm is the most compact of all.
+        assert!(r.arms[2].2 < avl_mb, "sorted array must be smallest");
+        // Incremental queries beat per-step rescans.
+        assert!(r.arms[3].3 < r.arms[0].3, "incremental must beat naive rescan");
+    }
+
+    #[test]
+    fn renderers_include_labels() {
+        let rows = measure(&[1]);
+        assert!(table6(&rows).contains("Table 6"));
+        assert!(fig5a(&rows).contains("creation"));
+        assert!(fig5b(&rows).contains("speedup"));
+        assert!(fig5c(&rows).contains("total"));
+    }
+}

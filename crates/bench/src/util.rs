@@ -1,0 +1,77 @@
+//! Shared helpers for the experiment harness: timing, table formatting,
+//! and the standard dataset/workload constructions every experiment uses.
+
+use domd_data::{generate, Dataset, GeneratorConfig};
+use std::time::Instant;
+
+/// Seed used by every experiment unless overridden — one dataset, every
+/// figure, exactly as the paper evaluates one NMD snapshot.
+pub const EXPERIMENT_SEED: u64 = 0xD0_4D;
+
+/// The default synthetic NMD (paper cardinalities).
+pub fn standard_dataset() -> Dataset {
+    generate(&GeneratorConfig::default())
+}
+
+/// The scaled RCC dataset of Section 5.1.
+pub fn scaled_dataset(scale: u32) -> Dataset {
+    generate(&GeneratorConfig { scale, ..GeneratorConfig::default() })
+}
+
+/// Milliseconds spent running `f`, with the result.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Mean of `runs` timed repetitions (the paper averages 3 runs).
+pub fn mean_time_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(runs > 0);
+    let mut total = 0.0;
+    for _ in 0..runs {
+        let (_, ms) = time_ms(&mut f);
+        total += ms;
+    }
+    total / runs as f64
+}
+
+/// Bytes rendered as MB with one decimal.
+pub fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Renders a simple ASCII bar of proportional width.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive() {
+        let (v, ms) = time_ms(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(ms >= 0.0);
+        assert!(mean_time_ms(2, || 1 + 1) >= 0.0);
+    }
+
+    #[test]
+    fn mb_conversion() {
+        assert_eq!(mb(1024 * 1024), 1.0);
+        assert_eq!(mb(0), 0.0);
+    }
+
+    #[test]
+    fn bar_shapes() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########"); // clamped
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

@@ -1,0 +1,240 @@
+//! Pipeline configuration: the parameter vector `x = (s, m, l, p, f)` of
+//! Problem 2, plus the model-gap interval of Problem 1.
+
+use domd_ml::{ElasticNetParams, GbtParams, Loss, SelectionMethod};
+
+/// Base model family (Section 5.2.2 compares these two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFamily {
+    /// Gradient-boosted trees (the XGBoost stand-in).
+    Gbt,
+    /// Elastic-net linear regression.
+    ElasticNet,
+}
+
+impl ModelFamily {
+    /// Display name for experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelFamily::Gbt => "xgboost",
+            ModelFamily::ElasticNet => "linear-regression",
+        }
+    }
+}
+
+/// Prediction fusion across the logical timeline (Task 6).
+///
+/// `None`, `Min`, and `Average` are the paper's candidates; `Median` and
+/// `RecencyWeighted` implement the "other possible ensembling methods" the
+/// paper leaves as future work (evaluated in the `fusion-ablation`
+/// experiment of `domd-bench`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fusion {
+    /// Use only the latest model's prediction.
+    None,
+    /// Minimum of all predictions so far.
+    Min,
+    /// Mean of all predictions so far.
+    Average,
+    /// Median of all predictions so far (extension: robust to one bad
+    /// timeline model).
+    Median,
+    /// Exponentially recency-weighted mean with decay `gamma` in (0, 1]:
+    /// weight of the prediction `j` steps back is `gamma^j` (extension:
+    /// trusts later, better-informed models more).
+    RecencyWeighted(f64),
+}
+
+impl Fusion {
+    /// The three candidates of Section 5.2.2.
+    pub const ALL: [Fusion; 3] = [Fusion::None, Fusion::Min, Fusion::Average];
+
+    /// Paper candidates plus the future-work extensions.
+    pub const EXTENDED: [Fusion; 5] = [
+        Fusion::None,
+        Fusion::Min,
+        Fusion::Average,
+        Fusion::Median,
+        Fusion::RecencyWeighted(0.7),
+    ];
+
+    /// Display name for experiment tables.
+    pub fn name(self) -> String {
+        match self {
+            Fusion::None => "none".into(),
+            Fusion::Min => "min".into(),
+            Fusion::Average => "average".into(),
+            Fusion::Median => "median".into(),
+            Fusion::RecencyWeighted(g) => format!("recency({g})"),
+        }
+    }
+
+    /// Fuses the per-step predictions `preds[0..=s]` into one estimate.
+    pub fn fuse(self, preds: &[f64]) -> f64 {
+        assert!(!preds.is_empty(), "fusion needs at least one prediction");
+        match self {
+            Fusion::None => *preds.last().expect("non-empty"),
+            Fusion::Min => preds.iter().copied().fold(f64::INFINITY, f64::min),
+            Fusion::Average => preds.iter().sum::<f64>() / preds.len() as f64,
+            Fusion::Median => {
+                let mut v = preds.to_vec();
+                v.sort_by(f64::total_cmp);
+                let n = v.len();
+                if n % 2 == 1 {
+                    v[n / 2]
+                } else {
+                    0.5 * (v[n / 2 - 1] + v[n / 2])
+                }
+            }
+            Fusion::RecencyWeighted(gamma) => {
+                assert!(gamma > 0.0 && gamma <= 1.0, "decay must be in (0, 1]");
+                let mut num = 0.0;
+                let mut den = 0.0;
+                let mut w = 1.0;
+                for p in preds.iter().rev() {
+                    num += w * p;
+                    den += w;
+                    w *= gamma;
+                }
+                num / den
+            }
+        }
+    }
+}
+
+/// The full modeling-pipeline configuration `M(x)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Feature selection method `s` (applied to generated features only;
+    /// statics are always kept).
+    pub selection: SelectionMethod,
+    /// Feature set size `k`.
+    pub k: usize,
+    /// Base model family `m`.
+    pub family: ModelFamily,
+    /// Stacked (static base model feeding timeline models) vs non-stacked.
+    pub stacked: bool,
+    /// Training loss `l` (applies to the GBT family).
+    pub loss: Loss,
+    /// Fusion technique `f`.
+    pub fusion: Fusion,
+    /// Model gap interval `x` in percent (Problem 1).
+    pub grid_step: f64,
+    /// GBT hyperparameters `H` (the AutoHPT output; `loss` overrides the
+    /// loss recorded here).
+    pub gbt: GbtParams,
+    /// Elastic-net hyperparameters when `family == ElasticNet`.
+    pub enet: ElasticNetParams,
+    /// Seed for every stochastic component (selection, subsampling, HPT).
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// The *default* configuration the greedy optimizer starts from: the
+    /// paper's `m^0` (default XGBoost), `l^0` (ℓ2), `H^0` (defaults), no
+    /// fusion. Selection and `k` are the first parameters Task 2 decides,
+    /// so their starting values are placeholders.
+    pub fn default0() -> Self {
+        PipelineConfig {
+            selection: SelectionMethod::Pearson,
+            k: 60,
+            family: ModelFamily::Gbt,
+            stacked: false,
+            loss: Loss::Squared,
+            fusion: Fusion::None,
+            grid_step: 10.0,
+            gbt: GbtParams::default(),
+            enet: ElasticNetParams::default(),
+            seed: 7,
+        }
+    }
+
+    /// The configuration the paper's experiments converge to
+    /// (Section 5.2.2): Pearson k=60, XGBoost, non-stacked, pseudo-Huber
+    /// δ=18, 30 HPT trials (hyperparameters then fixed), average fusion.
+    pub fn paper_final() -> Self {
+        PipelineConfig {
+            selection: SelectionMethod::Pearson,
+            k: 60,
+            family: ModelFamily::Gbt,
+            stacked: false,
+            loss: Loss::PseudoHuber(18.0),
+            fusion: Fusion::Average,
+            ..PipelineConfig::default0()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fusion_semantics() {
+        let p = [5.0, 3.0, 7.0];
+        assert_eq!(Fusion::None.fuse(&p), 7.0);
+        assert_eq!(Fusion::Min.fuse(&p), 3.0);
+        assert_eq!(Fusion::Average.fuse(&p), 5.0);
+        assert_eq!(Fusion::Average.fuse(&[4.0]), 4.0);
+    }
+
+    #[test]
+    fn fusion_bounds_invariant() {
+        let p = [2.0, -1.0, 9.0, 4.0];
+        let mn = Fusion::Min.fuse(&p);
+        let avg = Fusion::Average.fuse(&p);
+        let mx = p.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(mn <= avg && avg <= mx);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prediction")]
+    fn fusion_rejects_empty() {
+        Fusion::Average.fuse(&[]);
+    }
+
+    #[test]
+    fn paper_final_matches_section_522() {
+        let c = PipelineConfig::paper_final();
+        assert_eq!(c.selection, SelectionMethod::Pearson);
+        assert_eq!(c.k, 60);
+        assert_eq!(c.family, ModelFamily::Gbt);
+        assert!(!c.stacked);
+        assert_eq!(c.loss, Loss::PseudoHuber(18.0));
+        assert_eq!(c.fusion, Fusion::Average);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ModelFamily::Gbt.name(), "xgboost");
+        assert_eq!(Fusion::Average.name(), "average");
+        assert_eq!(Fusion::Median.name(), "median");
+        assert_eq!(Fusion::RecencyWeighted(0.7).name(), "recency(0.7)");
+    }
+
+    #[test]
+    fn median_fusion() {
+        assert_eq!(Fusion::Median.fuse(&[9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(Fusion::Median.fuse(&[1.0, 9.0]), 5.0);
+        assert_eq!(Fusion::Median.fuse(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn recency_weighted_fusion() {
+        // gamma = 1 degenerates to the plain average.
+        let p = [2.0, 4.0, 9.0];
+        assert!((Fusion::RecencyWeighted(1.0).fuse(&p) - 5.0).abs() < 1e-12);
+        // Small gamma approaches the latest prediction.
+        assert!((Fusion::RecencyWeighted(1e-9).fuse(&p) - 9.0).abs() < 1e-6);
+        // Manual check for gamma = 0.5: (9*1 + 4*0.5 + 2*0.25) / 1.75.
+        let want = (9.0 + 2.0 + 0.5) / 1.75;
+        assert!((Fusion::RecencyWeighted(0.5).fuse(&p) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extended_set_contains_paper_set() {
+        for f in Fusion::ALL {
+            assert!(Fusion::EXTENDED.iter().any(|e| e.name() == f.name()));
+        }
+    }
+}

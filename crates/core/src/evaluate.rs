@@ -1,0 +1,149 @@
+//! Test-set evaluation (Section 5.2.3): the Table 7 grid of MAE
+//! percentiles, MSE, RMSE, and R² at every logical time, plus the average
+//! row.
+
+use crate::timeline::{PipelineInputs, TrainedPipeline};
+use domd_data::AvailId;
+use domd_ml::QualityReport;
+
+/// One Table 7 row.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalRow {
+    /// Logical time of the row.
+    pub t_star: f64,
+    /// The six quality measures.
+    pub quality: QualityReport,
+}
+
+/// The full Table 7: per-step rows plus the column-wise average.
+#[derive(Debug, Clone)]
+pub struct EvalTable {
+    /// One row per grid point.
+    pub rows: Vec<EvalRow>,
+    /// Column-wise mean over the rows (the paper's "Average" row).
+    pub average: QualityReport,
+}
+
+impl EvalTable {
+    /// Evaluates fused predictions of `pipeline` on the given avails at
+    /// every grid point.
+    pub fn compute(
+        pipeline: &TrainedPipeline,
+        inputs: &PipelineInputs,
+        ids: &[AvailId],
+    ) -> EvalTable {
+        assert!(!ids.is_empty(), "evaluation needs at least one avail");
+        let rows_idx = inputs.rows_for(ids);
+        let truth = inputs.targets_of(&rows_idx);
+        let step_preds = pipeline.predict_steps(inputs, ids);
+        let rows: Vec<EvalRow> = (0..pipeline.steps.len())
+            .map(|s| {
+                let fused = pipeline.fuse_matrix(&step_preds, s);
+                EvalRow {
+                    t_star: pipeline.steps[s].t_star,
+                    quality: QualityReport::compute(&truth, &fused),
+                }
+            })
+            .collect();
+        let n = rows.len() as f64;
+        let avg = QualityReport {
+            mae_80: rows.iter().map(|r| r.quality.mae_80).sum::<f64>() / n,
+            mae_90: rows.iter().map(|r| r.quality.mae_90).sum::<f64>() / n,
+            mae_100: rows.iter().map(|r| r.quality.mae_100).sum::<f64>() / n,
+            mse: rows.iter().map(|r| r.quality.mse).sum::<f64>() / n,
+            rmse: rows.iter().map(|r| r.quality.rmse).sum::<f64>() / n,
+            r2: rows.iter().map(|r| r.quality.r2).sum::<f64>() / n,
+        };
+        EvalTable { rows, average: avg }
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "Logical Time (%) | MAE 80th | MAE 90th | MAE 100th |      MSE |   RMSE |    R2\n",
+        );
+        out.push_str(
+            "-----------------+----------+----------+-----------+----------+--------+------\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>16} | {:>8.2} | {:>8.2} | {:>9.2} | {:>8.2} | {:>6.2} | {:>5.2}\n",
+                format!("{:.0}", r.t_star),
+                r.quality.mae_80,
+                r.quality.mae_90,
+                r.quality.mae_100,
+                r.quality.mse,
+                r.quality.rmse,
+                r.quality.r2,
+            ));
+        }
+        let a = &self.average;
+        out.push_str(&format!(
+            "{:>16} | {:>8.2} | {:>8.2} | {:>9.2} | {:>8.2} | {:>6.2} | {:>5.2}\n",
+            "Average", a.mae_80, a.mae_90, a.mae_100, a.mse, a.rmse, a.r2,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use domd_data::{generate, GeneratorConfig};
+
+    fn setup() -> (PipelineInputs, domd_data::Split, TrainedPipeline) {
+        let ds = generate(&GeneratorConfig { n_avails: 80, target_rccs: 7000, scale: 1, seed: 9 });
+        let inputs = PipelineInputs::build(&ds, 25.0);
+        let split = ds.split(4);
+        let mut cfg = PipelineConfig::paper_final();
+        cfg.gbt.n_estimators = 150;
+        cfg.k = 15;
+        cfg.grid_step = 25.0;
+        let p = TrainedPipeline::fit(&inputs, &split.train, &cfg);
+        (inputs, split, p)
+    }
+
+    #[test]
+    fn table_shape_and_invariants() {
+        let (inputs, split, p) = setup();
+        let t = EvalTable::compute(&p, &inputs, &split.test);
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            assert!(r.quality.mae_80 <= r.quality.mae_90 + 1e-12);
+            assert!(r.quality.mae_90 <= r.quality.mae_100 + 1e-12);
+            assert!((r.quality.rmse.powi(2) - r.quality.mse).abs() < 1e-6);
+        }
+        // Average equals the column means.
+        let m100: f64 =
+            t.rows.iter().map(|r| r.quality.mae_100).sum::<f64>() / t.rows.len() as f64;
+        assert!((t.average.mae_100 - m100).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let (inputs, split, p) = setup();
+        let t = EvalTable::compute(&p, &inputs, &split.test);
+        let s = t.render();
+        assert!(s.contains("Average"));
+        assert!(s.contains("MAE 80th"));
+        assert_eq!(s.lines().count(), 2 + 5 + 1);
+    }
+
+    #[test]
+    fn model_beats_mean_baseline_on_test() {
+        let (inputs, split, p) = setup();
+        let t = EvalTable::compute(&p, &inputs, &split.test);
+        let rows_idx = inputs.rows_for(&split.test);
+        let truth = inputs.targets_of(&rows_idx);
+        let mean = domd_ml::stats::mean(&truth);
+        let baseline = domd_ml::mae(&truth, &vec![mean; truth.len()]);
+        assert!(
+            t.average.mae_100 < baseline,
+            "pipeline MAE {} must beat mean baseline {}",
+            t.average.mae_100,
+            baseline
+        );
+    }
+}

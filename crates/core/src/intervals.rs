@@ -1,0 +1,166 @@
+//! DoMD prediction intervals (extension).
+//!
+//! The paper estimates a point DoMD; fleet planners also need the risk
+//! band — "this avail will most likely slip 40 days, and with 90%
+//! confidence no more than 120". Training two additional timeline
+//! pipelines under the pinball loss at `alpha/2` and `1 - alpha/2` yields
+//! conditional-quantile estimates; together with the point pipeline they
+//! form a per-avail interval at every logical time.
+
+use crate::config::{ModelFamily, PipelineConfig};
+use crate::timeline::{PipelineInputs, TrainedPipeline};
+use domd_data::AvailId;
+use domd_ml::Loss;
+
+/// A lower / point / upper estimate triple (days of delay).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayBand {
+    /// Lower quantile estimate.
+    pub lo: f64,
+    /// Point estimate (the paper's DoMD).
+    pub point: f64,
+    /// Upper quantile estimate.
+    pub hi: f64,
+}
+
+/// A point pipeline plus two quantile pipelines forming prediction bands.
+#[derive(Debug, Clone)]
+pub struct IntervalPipeline {
+    point: TrainedPipeline,
+    lower: TrainedPipeline,
+    upper: TrainedPipeline,
+    /// Nominal two-sided coverage (e.g. 0.8 → P10..P90 band).
+    pub coverage: f64,
+}
+
+impl IntervalPipeline {
+    /// Trains point + quantile pipelines. Quantile training requires the
+    /// GBT family (the pinball loss is a boosting loss); panics otherwise.
+    pub fn fit(
+        inputs: &PipelineInputs,
+        train_ids: &[AvailId],
+        config: &PipelineConfig,
+        coverage: f64,
+    ) -> Self {
+        assert!(
+            config.family == ModelFamily::Gbt,
+            "prediction intervals require the GBT family"
+        );
+        assert!((0.0..1.0).contains(&coverage) && coverage > 0.0, "coverage in (0, 1)");
+        let alpha = 1.0 - coverage;
+        let point = TrainedPipeline::fit(inputs, train_ids, config);
+        let lower = TrainedPipeline::fit(
+            inputs,
+            train_ids,
+            &PipelineConfig { loss: Loss::Quantile(alpha / 2.0), ..config.clone() },
+        );
+        let upper = TrainedPipeline::fit(
+            inputs,
+            train_ids,
+            &PipelineConfig { loss: Loss::Quantile(1.0 - alpha / 2.0), ..config.clone() },
+        );
+        IntervalPipeline { point, lower, upper, coverage }
+    }
+
+    /// The point pipeline (for plain DoMD queries / evaluation).
+    pub fn point(&self) -> &TrainedPipeline {
+        &self.point
+    }
+
+    /// Fused bands for `ids` at grid index `upto_step`. The triple is
+    /// re-sorted so `lo <= point <= hi` even when the independently trained
+    /// quantile models cross.
+    pub fn predict_bands(
+        &self,
+        inputs: &PipelineInputs,
+        ids: &[AvailId],
+        upto_step: usize,
+    ) -> Vec<DelayBand> {
+        let lo = self.lower.predict_fused(inputs, ids, upto_step);
+        let mid = self.point.predict_fused(inputs, ids, upto_step);
+        let hi = self.upper.predict_fused(inputs, ids, upto_step);
+        lo.into_iter()
+            .zip(mid)
+            .zip(hi)
+            .map(|((l, m), h)| {
+                let mut v = [l, m, h];
+                v.sort_by(f64::total_cmp);
+                DelayBand { lo: v[0], point: v[1], hi: v[2] }
+            })
+            .collect()
+    }
+
+    /// Empirical coverage of the band on the given avails at one step:
+    /// the fraction of true delays inside `[lo, hi]`.
+    pub fn empirical_coverage(
+        &self,
+        inputs: &PipelineInputs,
+        ids: &[AvailId],
+        upto_step: usize,
+    ) -> f64 {
+        let bands = self.predict_bands(inputs, ids, upto_step);
+        let rows = inputs.rows_for(ids);
+        let truth = inputs.targets_of(&rows);
+        let inside = bands
+            .iter()
+            .zip(&truth)
+            .filter(|(b, t)| b.lo <= **t && **t <= b.hi)
+            .count();
+        inside as f64 / ids.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domd_data::{generate, GeneratorConfig};
+
+    fn setup() -> (PipelineInputs, domd_data::Split) {
+        let ds = generate(&GeneratorConfig { n_avails: 80, target_rccs: 7000, scale: 1, seed: 14 });
+        (PipelineInputs::build(&ds, 25.0), ds.split(2))
+    }
+
+    fn cfg() -> PipelineConfig {
+        let mut c = PipelineConfig::paper_final();
+        c.gbt.n_estimators = 80;
+        c.k = 12;
+        c.grid_step = 25.0;
+        c
+    }
+
+    #[test]
+    fn bands_are_ordered_and_cover_most_truths() {
+        let (inputs, split) = setup();
+        let ip = IntervalPipeline::fit(&inputs, &split.train, &cfg(), 0.8);
+        let bands = ip.predict_bands(&inputs, &split.test, 4);
+        assert_eq!(bands.len(), split.test.len());
+        for b in &bands {
+            assert!(b.lo <= b.point && b.point <= b.hi);
+            assert!(b.lo.is_finite() && b.hi.is_finite());
+        }
+        let cov = ip.empirical_coverage(&inputs, &split.test, 4);
+        // Small-n: allow slack around the nominal 0.8.
+        assert!(cov > 0.5, "coverage {cov} too low");
+    }
+
+    #[test]
+    fn wider_nominal_coverage_widens_bands() {
+        let (inputs, split) = setup();
+        let narrow = IntervalPipeline::fit(&inputs, &split.train, &cfg(), 0.5);
+        let wide = IntervalPipeline::fit(&inputs, &split.train, &cfg(), 0.9);
+        let bn = narrow.predict_bands(&inputs, &split.test, 4);
+        let bw = wide.predict_bands(&inputs, &split.test, 4);
+        let wn: f64 = bn.iter().map(|b| b.hi - b.lo).sum::<f64>() / bn.len() as f64;
+        let ww: f64 = bw.iter().map(|b| b.hi - b.lo).sum::<f64>() / bw.len() as f64;
+        assert!(ww > wn, "90% band ({ww}) must be wider than 50% band ({wn})");
+    }
+
+    #[test]
+    #[should_panic(expected = "GBT family")]
+    fn rejects_linear_family() {
+        let (inputs, split) = setup();
+        let mut c = cfg();
+        c.family = ModelFamily::ElasticNet;
+        IntervalPipeline::fit(&inputs, &split.train, &c, 0.8);
+    }
+}

@@ -1,0 +1,59 @@
+//! # domd-core
+//!
+//! The DoMD estimation pipeline — the primary contribution of the EDBT
+//! 2025 paper *"A Computational Framework for Estimating Days of
+//! Maintenance Delay of Naval Ships"*.
+//!
+//! * [`config`] — the pipeline parameter vector `x = (s, m, l, p, f)` of
+//!   Problem 2 and the fusion operators;
+//! * [`timeline`] — the `1 + ceil(100/x)` timeline models of Problem 1,
+//!   the stacked / non-stacked architectures, and fused prediction;
+//! * [`optimizer`] — the greedy sequential optimization (Tasks 2–6) with
+//!   full measurement tables for Figures 6a–6f;
+//! * [`evaluate`] — Table 7 test-set evaluation;
+//! * [`query`] — the DoMD query engine answering Problem 1 for ongoing
+//!   avails;
+//! * [`explain`] — top-k contributing features per availability for SME
+//!   review.
+//!
+//! ```no_run
+//! use domd_core::{optimize, EvalTable, OptimizerSettings, PipelineConfig,
+//!                 PipelineInputs, TrainedPipeline};
+//!
+//! let dataset = domd_data::generate(&domd_data::GeneratorConfig::default());
+//! let split = dataset.split(7);
+//! let inputs = PipelineInputs::build(&dataset, 10.0);
+//! let report = optimize(&inputs, std::slice::from_ref(&split),
+//!                       &OptimizerSettings::default(), &PipelineConfig::default0());
+//! let pipeline = TrainedPipeline::fit(&inputs, &split.train, &report.final_config);
+//! let table7 = EvalTable::compute(&pipeline, &inputs, &split.test);
+//! println!("{}", table7.render());
+//! ```
+
+pub mod backtest;
+pub mod config;
+pub mod drift;
+pub mod evaluate;
+pub mod explain;
+pub mod intervals;
+pub mod optimizer;
+pub mod persist;
+pub mod query;
+pub mod timeline;
+
+pub use backtest::{backtest, BacktestConfig, BacktestPoint};
+pub use config::{Fusion, ModelFamily, PipelineConfig};
+pub use drift::{psi, DriftMonitor, DriftReport};
+pub use intervals::{DelayBand, IntervalPipeline};
+pub use persist::{load_pipeline, save_pipeline};
+pub use evaluate::{EvalRow, EvalTable};
+pub use explain::{explain, Contribution, Explanation};
+pub use optimizer::{
+    gbt_search_space, optimize, task2_feature_selection, task3_base_model, task3_stacking,
+    task4_loss, task5_hyperparameters, task6_fusion, validation_mean_mae, LabelledSeries,
+    OptimizationReport, OptimizerSettings, Task2Result, Task5Result,
+};
+pub use query::{DomdAnswer, DomdEstimate, DomdQueryEngine};
+pub use timeline::{
+    timeline_mae_series, timeline_validation_mae, PipelineInputs, StepModel, TrainedPipeline,
+};

@@ -1,0 +1,281 @@
+//! Persistence of the full trained pipeline — the deployable artifact.
+//!
+//! `save` writes the configuration, the optional static base model, every
+//! per-step model with its selected feature columns, and the feature-name
+//! table; `load` reconstructs a [`TrainedPipeline`] that predicts
+//! bit-identically. The artifact is the thing shipped into the Navy
+//! environment; retraining there regenerates it without human
+//! intervention (Abstract).
+
+use crate::config::{Fusion, ModelFamily, PipelineConfig};
+use crate::timeline::{StepModel, TrainedPipeline};
+use domd_ml::persist::{fmt_f64, put_line, PersistError, Reader};
+use domd_ml::{ElasticNetParams, GbtParams, Loss, SelectionMethod, TrainedModel};
+
+/// Artifact format version (bumped on layout changes).
+pub const FORMAT_VERSION: u32 = 1;
+
+fn selection_token(s: SelectionMethod) -> &'static str {
+    s.name()
+}
+
+fn selection_from(tok: &str) -> Result<SelectionMethod, String> {
+    SelectionMethod::ALL
+        .into_iter()
+        .find(|m| m.name() == tok)
+        .ok_or_else(|| format!("unknown selection method {tok:?}"))
+}
+
+fn fusion_tokens(f: Fusion) -> Vec<String> {
+    match f {
+        Fusion::None => vec!["none".into()],
+        Fusion::Min => vec!["min".into()],
+        Fusion::Average => vec!["average".into()],
+        Fusion::Median => vec!["median".into()],
+        Fusion::RecencyWeighted(g) => vec!["recency".into(), fmt_f64(g)],
+    }
+}
+
+fn fusion_from(toks: &[&str]) -> Result<Fusion, String> {
+    match toks.first() {
+        Some(&"none") => Ok(Fusion::None),
+        Some(&"min") => Ok(Fusion::Min),
+        Some(&"average") => Ok(Fusion::Average),
+        Some(&"median") => Ok(Fusion::Median),
+        Some(&"recency") => {
+            let g: f64 = toks
+                .get(1)
+                .ok_or("missing recency decay")?
+                .parse()
+                .map_err(|e| format!("bad recency decay: {e}"))?;
+            if !(g > 0.0 && g <= 1.0) {
+                return Err(format!("recency decay {g} outside (0, 1]"));
+            }
+            Ok(Fusion::RecencyWeighted(g))
+        }
+        other => Err(format!("unknown fusion {other:?}")),
+    }
+}
+
+/// Serializes a pipeline configuration.
+pub fn write_config(c: &PipelineConfig, out: &mut String) {
+    put_line(
+        out,
+        "config",
+        &[
+            selection_token(c.selection).to_string(),
+            c.k.to_string(),
+            match c.family {
+                ModelFamily::Gbt => "gbt".to_string(),
+                ModelFamily::ElasticNet => "enet".to_string(),
+            },
+            c.stacked.to_string(),
+            fmt_f64(c.grid_step),
+            c.seed.to_string(),
+        ],
+    );
+    put_line(out, "loss", &c.loss.to_tokens());
+    put_line(out, "fusion", &fusion_tokens(c.fusion));
+    put_line(
+        out,
+        "gbt-params",
+        &[
+            c.gbt.n_estimators.to_string(),
+            fmt_f64(c.gbt.learning_rate),
+            c.gbt.max_depth.to_string(),
+            fmt_f64(c.gbt.min_child_weight),
+            fmt_f64(c.gbt.lambda),
+            fmt_f64(c.gbt.gamma),
+            fmt_f64(c.gbt.subsample),
+            fmt_f64(c.gbt.colsample_bytree),
+            c.gbt.seed.to_string(),
+        ],
+    );
+    put_line(
+        out,
+        "enet-params",
+        &[
+            fmt_f64(c.enet.alpha),
+            fmt_f64(c.enet.l1_ratio),
+            c.enet.max_iter.to_string(),
+            fmt_f64(c.enet.tol),
+        ],
+    );
+}
+
+/// Parses a configuration written by [`write_config`].
+pub fn read_config(r: &mut Reader<'_>) -> Result<PipelineConfig, PersistError> {
+    let toks = r.tagged("config")?;
+    let toks2 = r.exactly(&toks, 6)?;
+    let selection = selection_from(toks2[0]).map_err(|e| r.err(e))?;
+    let k: usize = r.parse(toks2[1], "k")?;
+    let family = match toks2[2] {
+        "gbt" => ModelFamily::Gbt,
+        "enet" => ModelFamily::ElasticNet,
+        other => return Err(r.err(format!("unknown family {other:?}"))),
+    };
+    let stacked: bool = r.parse(toks2[3], "stacked")?;
+    let grid_step: f64 = r.parse(toks2[4], "grid step")?;
+    let seed: u64 = r.parse(toks2[5], "seed")?;
+
+    let loss_toks = r.tagged("loss")?;
+    let loss = Loss::from_tokens(&loss_toks).map_err(|e| r.err(e))?;
+    let fusion_toks = r.tagged("fusion")?;
+    let fusion = fusion_from(&fusion_toks).map_err(|e| r.err(e))?;
+
+    let g = r.tagged("gbt-params")?;
+    let g = r.exactly(&g, 9)?;
+    let gbt = GbtParams {
+        n_estimators: r.parse(g[0], "n_estimators")?,
+        learning_rate: r.parse(g[1], "learning_rate")?,
+        max_depth: r.parse(g[2], "max_depth")?,
+        min_child_weight: r.parse(g[3], "min_child_weight")?,
+        lambda: r.parse(g[4], "lambda")?,
+        gamma: r.parse(g[5], "gamma")?,
+        subsample: r.parse(g[6], "subsample")?,
+        colsample_bytree: r.parse(g[7], "colsample")?,
+        loss,
+        seed: r.parse(g[8], "gbt seed")?,
+    };
+    let e = r.tagged("enet-params")?;
+    let e = r.exactly(&e, 4)?;
+    let enet = ElasticNetParams {
+        alpha: r.parse(e[0], "alpha")?,
+        l1_ratio: r.parse(e[1], "l1_ratio")?,
+        max_iter: r.parse(e[2], "max_iter")?,
+        tol: r.parse(e[3], "tol")?,
+    };
+
+    Ok(PipelineConfig { selection, k, family, stacked, loss, fusion, grid_step, gbt, enet, seed })
+}
+
+/// Serializes a trained pipeline to its artifact text.
+pub fn save_pipeline(p: &TrainedPipeline) -> String {
+    let mut out = String::new();
+    put_line(&mut out, "domd-pipeline", &[FORMAT_VERSION.to_string()]);
+    write_config(&p.config, &mut out);
+    put_line(
+        &mut out,
+        "static-model",
+        &[if p.static_model.is_some() { "present" } else { "absent" }.to_string()],
+    );
+    if let Some(m) = &p.static_model {
+        m.write_text(&mut out);
+    }
+    put_line(&mut out, "steps", &[p.steps.len().to_string()]);
+    for s in &p.steps {
+        put_line(&mut out, "step", &[fmt_f64(s.t_star)]);
+        put_line(&mut out, "selected", &s.selected.iter().map(usize::to_string).collect::<Vec<_>>());
+        s.model.write_text(&mut out);
+    }
+    put_line(&mut out, "feature-names", &[p.feature_names.len().to_string()]);
+    for n in &p.feature_names {
+        out.push_str(n);
+        out.push('\n');
+    }
+    out
+}
+
+/// Reconstructs a pipeline from artifact text.
+pub fn load_pipeline(text: &str) -> Result<TrainedPipeline, PersistError> {
+    let mut r = Reader::new(text);
+    let v = r.tagged("domd-pipeline")?;
+    let v = r.exactly(&v, 1)?;
+    let version: u32 = r.parse(v[0], "format version")?;
+    if version != FORMAT_VERSION {
+        return Err(r.err(format!("unsupported format version {version}")));
+    }
+    let config = read_config(&mut r)?;
+    let sm = r.tagged("static-model")?;
+    let static_model = match sm.first() {
+        Some(&"present") => Some(TrainedModel::read_text(&mut r)?),
+        Some(&"absent") => None,
+        other => return Err(r.err(format!("bad static-model flag {other:?}"))),
+    };
+    let st = r.tagged("steps")?;
+    let st = r.exactly(&st, 1)?;
+    let n_steps: usize = r.parse(st[0], "step count")?;
+    let mut steps = Vec::with_capacity(n_steps);
+    for _ in 0..n_steps {
+        let t = r.tagged("step")?;
+        let t = r.exactly(&t, 1)?;
+        let t_star: f64 = r.parse(t[0], "t*")?;
+        let sel = r.tagged("selected")?;
+        let selected: Vec<usize> = r.parse_all(&sel, "selected column")?;
+        let model = TrainedModel::read_text(&mut r)?;
+        steps.push(StepModel { t_star, selected, model });
+    }
+    let fn_head = r.tagged("feature-names")?;
+    let fn_head = r.exactly(&fn_head, 1)?;
+    let n_names: usize = r.parse(fn_head[0], "name count")?;
+    let mut feature_names = Vec::with_capacity(n_names);
+    for _ in 0..n_names {
+        feature_names.push(r.line()?.to_string());
+    }
+    Ok(TrainedPipeline { config, static_model, steps, feature_names })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::PipelineInputs;
+    use domd_data::{generate, GeneratorConfig};
+
+    fn trained(stacked: bool) -> (PipelineInputs, domd_data::Split, TrainedPipeline) {
+        let ds = generate(&GeneratorConfig { n_avails: 30, target_rccs: 2500, scale: 1, seed: 23 });
+        let inputs = PipelineInputs::build(&ds, 50.0);
+        let split = ds.split(1);
+        let mut cfg = PipelineConfig::paper_final();
+        cfg.gbt.n_estimators = 30;
+        cfg.k = 8;
+        cfg.grid_step = 50.0;
+        cfg.stacked = stacked;
+        let p = TrainedPipeline::fit(&inputs, &split.train, &cfg);
+        (inputs, split, p)
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let mut c = PipelineConfig::paper_final();
+        c.fusion = Fusion::RecencyWeighted(0.7);
+        c.loss = Loss::Quantile(0.9);
+        // The artifact stores one loss (config.loss always overrides the
+        // one recorded inside gbt params at training time).
+        c.gbt.loss = c.loss;
+        c.stacked = true;
+        let mut text = String::new();
+        write_config(&c, &mut text);
+        let back = read_config(&mut Reader::new(&text)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn pipeline_roundtrip_bit_exact_predictions() {
+        for stacked in [false, true] {
+            let (inputs, split, p) = trained(stacked);
+            let text = save_pipeline(&p);
+            let back = load_pipeline(&text).unwrap();
+            let a = p.predict_steps(&inputs, &split.test);
+            let b = back.predict_steps(&inputs, &split.test);
+            assert_eq!(a.as_slice(), b.as_slice(), "stacked={stacked}");
+            assert_eq!(p.feature_names, back.feature_names);
+            assert_eq!(p.steps.len(), back.steps.len());
+        }
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let (_, _, p) = trained(false);
+        let text = save_pipeline(&p).replacen("domd-pipeline 1", "domd-pipeline 9", 1);
+        let err = load_pipeline(&text).unwrap_err();
+        assert!(err.message.contains("format version"));
+    }
+
+    #[test]
+    fn truncated_artifact_rejected() {
+        let (_, _, p) = trained(false);
+        let text = save_pipeline(&p);
+        let cut = &text[..text.len() / 2];
+        assert!(load_pipeline(cut).is_err());
+    }
+}

@@ -1,0 +1,450 @@
+//! Timeline model training: the `1 + ceil(100/x)` supervised models of
+//! Problem 1, one per logical-time grid point, each trained on the tensor
+//! slice at its anchor plus the static features.
+//!
+//! Two architectures (Section 3.2.2, Figure 4):
+//! * **non-stacked** — statics and selected RCC features enter one model;
+//! * **stacked** — a static-only base model produces a "base prediction",
+//!   which the per-step timeline models consume alongside the selected RCC
+//!   features.
+
+use crate::config::{ModelFamily, PipelineConfig};
+use domd_data::dataset::Dataset;
+use domd_data::logical_time::TimeGrid;
+use domd_data::AvailId;
+use domd_features::{static_matrix, FeatureEngine, FeatureTensor, STATIC_FEATURE_NAMES};
+use domd_ml::{DenseMatrix, GbtParams, ModelSpec, TrainedModel};
+
+/// Everything the pipeline needs to train and evaluate: the feature tensor,
+/// the static matrix, and the delay targets for a fixed avail ordering.
+#[derive(Debug, Clone)]
+pub struct PipelineInputs {
+    /// RCC-feature tensor (rows follow `avail_ids`).
+    pub tensor: FeatureTensor,
+    /// Static feature matrix (same row order).
+    pub statics: DenseMatrix,
+    /// True delays in days (same row order).
+    pub delays: Vec<f64>,
+}
+
+impl PipelineInputs {
+    /// Materializes inputs for all *closed* avails of `dataset` over the
+    /// grid implied by `grid_step`.
+    pub fn build(dataset: &Dataset, grid_step: f64) -> Self {
+        let ids: Vec<AvailId> = dataset.closed_avails().map(|a| a.id).collect();
+        PipelineInputs::build_for(dataset, &ids, grid_step)
+    }
+
+    /// Materializes inputs for a chosen set of closed avails (the rolling
+    /// backtest trains on growing historical prefixes).
+    pub fn build_for(dataset: &Dataset, ids: &[AvailId], grid_step: f64) -> Self {
+        let grid = TimeGrid::new(grid_step);
+        let engine = FeatureEngine::default();
+        let tensor = engine.generate_tensor(dataset, ids, grid.points());
+        let statics = static_matrix(dataset, ids);
+        let delays = ids
+            .iter()
+            .map(|id| f64::from(dataset.avail(*id).unwrap().delay().expect("closed")))
+            .collect();
+        PipelineInputs { tensor, statics, delays }
+    }
+
+    /// The avail ordering of the rows.
+    pub fn avail_ids(&self) -> &[AvailId] {
+        self.tensor.avail_ids()
+    }
+
+    /// Row indices of the given avails (panics when one is missing).
+    pub fn rows_for(&self, ids: &[AvailId]) -> Vec<usize> {
+        ids.iter()
+            .map(|id| {
+                self.tensor.row_of(*id).unwrap_or_else(|| panic!("avail {id} not in inputs"))
+            })
+            .collect()
+    }
+
+    /// Targets of the given rows.
+    pub fn targets_of(&self, rows: &[usize]) -> Vec<f64> {
+        rows.iter().map(|&r| self.delays[r]).collect()
+    }
+
+    /// The logical grid.
+    pub fn grid(&self) -> &[f64] {
+        self.tensor.grid()
+    }
+}
+
+/// The artifacts of one per-step model.
+#[derive(Debug, Clone)]
+pub struct StepModel {
+    /// Anchor logical time of this model.
+    pub t_star: f64,
+    /// Selected RCC-feature column indices (into the tensor), ascending.
+    pub selected: Vec<usize>,
+    /// The fitted model.
+    pub model: TrainedModel,
+}
+
+/// A fully trained timeline pipeline.
+#[derive(Debug, Clone)]
+pub struct TrainedPipeline {
+    /// The configuration used.
+    pub config: PipelineConfig,
+    /// The static-only base model (stacked architecture only).
+    pub static_model: Option<TrainedModel>,
+    /// One model per grid point.
+    pub steps: Vec<StepModel>,
+    /// Feature names of the tensor columns (for explanations).
+    pub feature_names: Vec<String>,
+}
+
+fn model_spec(config: &PipelineConfig, step_seed: u64) -> ModelSpec {
+    match config.family {
+        ModelFamily::Gbt => ModelSpec::Gbt(GbtParams {
+            loss: config.loss,
+            seed: config.seed ^ step_seed,
+            ..config.gbt
+        }),
+        ModelFamily::ElasticNet => ModelSpec::ElasticNet(config.enet),
+    }
+}
+
+impl TrainedPipeline {
+    /// Trains the pipeline on the `train_ids` rows of `inputs`.
+    ///
+    /// Feature selection runs per step on the training rows only (no
+    /// leakage); statics are always included, bypassing selection. The
+    /// per-step models are independent given the (sequentially trained)
+    /// static base model, so they train on parallel threads; per-step
+    /// seeding keeps the result identical to the sequential order.
+    pub fn fit(inputs: &PipelineInputs, train_ids: &[AvailId], config: &PipelineConfig) -> Self {
+        let rows = inputs.rows_for(train_ids);
+        let y = inputs.targets_of(&rows);
+        let statics_train = inputs.statics.select_rows(&rows);
+
+        let static_model = if config.stacked {
+            Some(model_spec(config, 0xBA5E).fit(&statics_train, &y))
+        } else {
+            None
+        };
+        let static_preds: Option<Vec<f64>> =
+            static_model.as_ref().map(|m| m.predict(&statics_train));
+
+        let fit_step = |s: usize, t_star: f64| -> StepModel {
+            let slice_train = inputs.tensor.slice(s).select_rows(&rows);
+            let selected =
+                config.selection.select(&slice_train, &y, config.k, config.seed ^ (s as u64));
+            let rcc_train = slice_train.select_cols(&selected);
+            let x = assemble(
+                &statics_train,
+                static_preds.as_deref(),
+                &rcc_train,
+                config.stacked,
+            );
+            let model = model_spec(config, s as u64).fit(&x, &y);
+            StepModel { t_star, selected, model }
+        };
+
+        let grid = inputs.grid();
+        let steps: Vec<StepModel> = std::thread::scope(|scope| {
+            let handles: Vec<_> = grid
+                .iter()
+                .enumerate()
+                .map(|(s, &t_star)| scope.spawn(move || fit_step(s, t_star)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("step training panicked")).collect()
+        });
+
+        TrainedPipeline {
+            config: config.clone(),
+            static_model,
+            steps,
+            feature_names: inputs.tensor.names().to_vec(),
+        }
+    }
+
+    /// Raw per-step predictions for the given avails: a matrix with one row
+    /// per avail and one column per grid point.
+    pub fn predict_steps(&self, inputs: &PipelineInputs, ids: &[AvailId]) -> DenseMatrix {
+        let rows = inputs.rows_for(ids);
+        let statics = inputs.statics.select_rows(&rows);
+        let static_preds: Option<Vec<f64>> =
+            self.static_model.as_ref().map(|m| m.predict(&statics));
+        let mut out = DenseMatrix::zeros(ids.len(), self.steps.len());
+        for (s, step) in self.steps.iter().enumerate() {
+            let rcc = inputs.tensor.slice(s).select_rows(&rows).select_cols(&step.selected);
+            let x = assemble(&statics, static_preds.as_deref(), &rcc, self.config.stacked);
+            for i in 0..ids.len() {
+                out.set(i, s, step.model.predict_row(x.row(i)));
+            }
+        }
+        out
+    }
+
+    /// Fused predictions at grid index `upto_step` (inclusive) using the
+    /// configured fusion — the estimate a DoMD query reports at that point
+    /// of the timeline.
+    pub fn predict_fused(
+        &self,
+        inputs: &PipelineInputs,
+        ids: &[AvailId],
+        upto_step: usize,
+    ) -> Vec<f64> {
+        self.fuse_matrix(&self.predict_steps(inputs, ids), upto_step)
+    }
+
+    /// Applies the configured fusion to precomputed per-step predictions.
+    pub fn fuse_matrix(&self, step_preds: &DenseMatrix, upto_step: usize) -> Vec<f64> {
+        assert!(upto_step < self.steps.len());
+        (0..step_preds.n_rows())
+            .map(|i| self.config.fusion.fuse(&step_preds.row(i)[..=upto_step]))
+            .collect()
+    }
+
+    /// Predicts for one (possibly ongoing) avail directly from the dataset
+    /// at an arbitrary logical time, fusing across the reached grid points.
+    /// Returns `(grid point, fused estimate)` pairs per Problem 1.
+    pub fn predict_online(
+        &self,
+        dataset: &Dataset,
+        engine: &FeatureEngine,
+        avail: AvailId,
+        t_star: f64,
+    ) -> Vec<(f64, f64)> {
+        let a = dataset.avail(avail).expect("avail exists");
+        let static_row: Vec<f64> = domd_features::static_row(a).to_vec();
+        let statics = DenseMatrix::from_vec_of_rows(std::slice::from_ref(&static_row));
+        let static_pred = self.static_model.as_ref().map(|m| m.predict(&statics)[0]);
+
+        let mut raw = Vec::new();
+        let mut out = Vec::new();
+        for step in &self.steps {
+            if step.t_star > t_star && !raw.is_empty() {
+                break;
+            }
+            let feats = engine.features_for_avail_at(dataset, avail, step.t_star);
+            let rcc: Vec<f64> = step.selected.iter().map(|&j| feats[j]).collect();
+            let mut row = Vec::with_capacity(static_row.len() + rcc.len() + 1);
+            if self.config.stacked {
+                row.push(static_pred.expect("stacked pipeline has a base model"));
+            } else {
+                row.extend_from_slice(&static_row);
+            }
+            row.extend_from_slice(&rcc);
+            raw.push(step.model.predict_row(&row));
+            out.push((step.t_star, self.config.fusion.fuse(&raw)));
+        }
+        out
+    }
+
+    /// Human-readable names of the features offered to the model at `step`:
+    /// statics (or the base prediction) followed by the selected RCC
+    /// features, matching the model's input column order.
+    pub fn step_input_names(&self, step: usize) -> Vec<String> {
+        let mut names: Vec<String> = if self.config.stacked {
+            vec!["STATIC_BASE_PREDICTION".to_string()]
+        } else {
+            STATIC_FEATURE_NAMES.iter().map(|s| s.to_string()).collect()
+        };
+        names.extend(self.steps[step].selected.iter().map(|&j| self.feature_names[j].clone()));
+        names
+    }
+}
+
+/// Assembles the model input matrix for one architecture.
+fn assemble(
+    statics: &DenseMatrix,
+    static_preds: Option<&[f64]>,
+    rcc: &DenseMatrix,
+    stacked: bool,
+) -> DenseMatrix {
+    if stacked {
+        let preds = static_preds.expect("stacked needs base predictions");
+        let base = DenseMatrix::from_rows(preds.to_vec(), preds.len(), 1);
+        base.hstack(rcc)
+    } else {
+        statics.hstack(rcc)
+    }
+}
+
+/// Per-step validation error of fused predictions, summed over the
+/// timeline — the inner objective of every greedy optimization task
+/// (Equation 2's `sum over t*` of validation absolute error, reported as
+/// the mean MAE across steps).
+pub fn timeline_validation_mae(
+    pipeline: &TrainedPipeline,
+    inputs: &PipelineInputs,
+    val_ids: &[AvailId],
+) -> f64 {
+    let rows = inputs.rows_for(val_ids);
+    let truth = inputs.targets_of(&rows);
+    let step_preds = pipeline.predict_steps(inputs, val_ids);
+    let n_steps = pipeline.steps.len();
+    let mut total = 0.0;
+    for s in 0..n_steps {
+        let fused = pipeline.fuse_matrix(&step_preds, s);
+        total += domd_ml::mae(&truth, &fused);
+    }
+    total / n_steps as f64
+}
+
+/// As [`timeline_validation_mae`] but returning the per-step series (used
+/// by the figures that plot MAE over the planned duration).
+pub fn timeline_mae_series(
+    pipeline: &TrainedPipeline,
+    inputs: &PipelineInputs,
+    ids: &[AvailId],
+) -> Vec<f64> {
+    let rows = inputs.rows_for(ids);
+    let truth = inputs.targets_of(&rows);
+    let step_preds = pipeline.predict_steps(inputs, ids);
+    (0..pipeline.steps.len())
+        .map(|s| domd_ml::mae(&truth, &pipeline.fuse_matrix(&step_preds, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domd_data::{generate, GeneratorConfig};
+    use domd_ml::Loss;
+
+    fn quick_config() -> PipelineConfig {
+        let mut c = PipelineConfig::default0();
+        c.k = 12;
+        c.grid_step = 25.0; // 5 models
+        c.gbt.n_estimators = 40;
+        c
+    }
+
+    fn setup() -> (domd_data::Dataset, PipelineInputs) {
+        let ds = generate(&GeneratorConfig { n_avails: 60, target_rccs: 6000, scale: 1, seed: 2 });
+        let inputs = PipelineInputs::build(&ds, 25.0);
+        (ds, inputs)
+    }
+
+    #[test]
+    fn inputs_shapes() {
+        let (ds, inputs) = setup();
+        assert_eq!(inputs.avail_ids().len(), 60);
+        assert_eq!(inputs.grid(), &[0.0, 25.0, 50.0, 75.0, 100.0]);
+        assert_eq!(inputs.statics.n_cols(), 8);
+        assert_eq!(inputs.delays.len(), 60);
+        let a0 = inputs.avail_ids()[0];
+        assert_eq!(inputs.delays[0], f64::from(ds.avail(a0).unwrap().delay().unwrap()));
+    }
+
+    #[test]
+    fn fit_and_predict_non_stacked() {
+        let (ds, inputs) = setup();
+        let split = ds.split(1);
+        let p = TrainedPipeline::fit(&inputs, &split.train, &quick_config());
+        assert_eq!(p.steps.len(), 5);
+        assert!(p.static_model.is_none());
+        for s in &p.steps {
+            assert_eq!(s.selected.len(), 12);
+        }
+        let preds = p.predict_steps(&inputs, &split.validation);
+        assert_eq!(preds.n_rows(), split.validation.len());
+        assert_eq!(preds.n_cols(), 5);
+        assert!(preds.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn training_error_beats_mean_baseline() {
+        let (ds, inputs) = setup();
+        let split = ds.split(1);
+        let mut cfg = quick_config();
+        cfg.gbt.n_estimators = 150;
+        let p = TrainedPipeline::fit(&inputs, &split.train, &cfg);
+        let rows = inputs.rows_for(&split.train);
+        let truth = inputs.targets_of(&rows);
+        let fused = p.predict_fused(&inputs, &split.train, 4);
+        let mean = domd_ml::stats::mean(&truth);
+        let base = domd_ml::mae(&truth, &vec![mean; truth.len()]);
+        let fit_err = domd_ml::mae(&truth, &fused);
+        assert!(fit_err < base * 0.5, "fit {fit_err} vs baseline {base}");
+    }
+
+    #[test]
+    fn stacked_architecture_has_base_model() {
+        let (ds, inputs) = setup();
+        let split = ds.split(1);
+        let mut cfg = quick_config();
+        cfg.stacked = true;
+        let p = TrainedPipeline::fit(&inputs, &split.train, &cfg);
+        assert!(p.static_model.is_some());
+        let preds = p.predict_steps(&inputs, &split.validation);
+        assert!(preds.as_slice().iter().all(|v| v.is_finite()));
+        let names = p.step_input_names(0);
+        assert_eq!(names[0], "STATIC_BASE_PREDICTION");
+        assert_eq!(names.len(), 1 + 12);
+    }
+
+    #[test]
+    fn non_stacked_input_names_start_with_statics() {
+        let (ds, inputs) = setup();
+        let split = ds.split(1);
+        let p = TrainedPipeline::fit(&inputs, &split.train, &quick_config());
+        let names = p.step_input_names(2);
+        assert_eq!(&names[..8], &STATIC_FEATURE_NAMES.map(String::from));
+        assert_eq!(names.len(), 8 + 12);
+    }
+
+    #[test]
+    fn online_prediction_matches_offline_for_closed_avail() {
+        let (ds, inputs) = setup();
+        let split = ds.split(1);
+        let mut cfg = quick_config();
+        cfg.fusion = crate::config::Fusion::Average;
+        let p = TrainedPipeline::fit(&inputs, &split.train, &cfg);
+        let engine = FeatureEngine::default();
+        let victim = split.validation[0];
+        let online = p.predict_online(&ds, &engine, victim, 100.0);
+        assert_eq!(online.len(), 5);
+        let step_preds = p.predict_steps(&inputs, &[victim]);
+        for (s, (t, fused)) in online.iter().enumerate() {
+            assert_eq!(*t, inputs.grid()[s]);
+            let offline = p.fuse_matrix(&step_preds, s)[0];
+            assert!(
+                (fused - offline).abs() < 1e-6 * (1.0 + offline.abs()),
+                "step {s}: online {fused} offline {offline}"
+            );
+        }
+    }
+
+    #[test]
+    fn online_prediction_respects_horizon() {
+        let (ds, inputs) = setup();
+        let split = ds.split(1);
+        let p = TrainedPipeline::fit(&inputs, &split.train, &quick_config());
+        let engine = FeatureEngine::default();
+        let online = p.predict_online(&ds, &engine, split.validation[0], 55.0);
+        // Grid 0,25,50,75,100: points reached by t*=55 are 0,25,50.
+        assert_eq!(online.len(), 3);
+        assert_eq!(online.last().unwrap().0, 50.0);
+    }
+
+    #[test]
+    fn validation_mae_is_positive_and_finite() {
+        let (ds, inputs) = setup();
+        let split = ds.split(1);
+        let p = TrainedPipeline::fit(&inputs, &split.train, &quick_config());
+        let mae = timeline_validation_mae(&p, &inputs, &split.validation);
+        assert!(mae.is_finite() && mae > 0.0);
+        let series = timeline_mae_series(&p, &inputs, &split.validation);
+        assert_eq!(series.len(), 5);
+        let avg = series.iter().sum::<f64>() / 5.0;
+        assert!((avg - mae).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_flows_into_gbt_spec() {
+        let mut cfg = quick_config();
+        cfg.loss = Loss::PseudoHuber(18.0);
+        match model_spec(&cfg, 3) {
+            ModelSpec::Gbt(p) => assert_eq!(p.loss, Loss::PseudoHuber(18.0)),
+            _ => panic!("expected GBT"),
+        }
+    }
+}

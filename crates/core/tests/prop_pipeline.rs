@@ -1,0 +1,54 @@
+//! Property-based tests for the pipeline layer: fusion algebra and
+//! configuration invariants over arbitrary prediction sequences.
+
+use domd_core::Fusion;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fusion_bounds(preds in prop::collection::vec(-500.0f64..1500.0, 1..20)) {
+        let none = Fusion::None.fuse(&preds);
+        let min = Fusion::Min.fuse(&preds);
+        let avg = Fusion::Average.fuse(&preds);
+        let max = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // Ordering invariants.
+        prop_assert!(min <= avg + 1e-9);
+        prop_assert!(avg <= max + 1e-9);
+        prop_assert!(min <= none && none <= max);
+        // None is the most recent prediction.
+        prop_assert_eq!(none, *preds.last().unwrap());
+    }
+
+    #[test]
+    fn fusion_is_translation_equivariant(
+        preds in prop::collection::vec(-100.0f64..100.0, 1..15),
+        shift in -50.0f64..50.0,
+    ) {
+        let shifted: Vec<f64> = preds.iter().map(|p| p + shift).collect();
+        for f in Fusion::ALL {
+            let a = f.fuse(&preds) + shift;
+            let b = f.fuse(&shifted);
+            prop_assert!((a - b).abs() < 1e-9, "{} not equivariant", f.name());
+        }
+    }
+
+    #[test]
+    fn min_fusion_is_monotone_nonincreasing_in_horizon(
+        preds in prop::collection::vec(-100.0f64..100.0, 2..15),
+    ) {
+        // Extending the horizon can only lower (or keep) the min-fused value.
+        let mut prev = f64::INFINITY;
+        for s in 0..preds.len() {
+            let v = Fusion::Min.fuse(&preds[..=s]);
+            prop_assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn single_prediction_fuses_identically(p in -500.0f64..500.0) {
+        for f in Fusion::ALL {
+            prop_assert_eq!(f.fuse(&[p]), p);
+        }
+    }
+}

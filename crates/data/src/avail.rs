@@ -1,0 +1,188 @@
+//! Availability ("avail") schema — Section 2 of the paper.
+//!
+//! Each maintenance period is `a_i = <i, planS, planE, actS, actE>` plus the
+//! static attributes used by the modeling pipeline. Delay is defined on
+//! *durations*, not end dates, so a late-starting avail that still takes its
+//! planned number of days has zero delay (Table 1, avail 5).
+
+use crate::date::Date;
+use crate::logical_time::{logical_time, LogicalTime};
+
+/// Identifier of an availability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AvailId(pub u32);
+
+/// Identifier of a ship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShipId(pub u32);
+
+impl std::fmt::Display for AvailId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ShipId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Execution status of an avail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AvailStatus {
+    /// Maintenance still executing: no actual end date, delay unknown.
+    Ongoing,
+    /// Maintenance concluded: actual end date known, delay measurable.
+    Closed,
+}
+
+/// Static (time-invariant) attributes of an avail, `F_i^S` in the paper.
+///
+/// The paper reports 8 static features "such as ship class, RMC id, ship
+/// age, etc."; this struct carries the concrete set this reproduction uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticAttrs {
+    /// Ship class (e.g. destroyer vs cruiser hull family), small categorical.
+    pub ship_class: u8,
+    /// Regional Maintenance Center executing the avail, small categorical.
+    pub rmc_id: u8,
+    /// Ship age in years at planned start.
+    pub ship_age_years: f64,
+    /// Number of prior avails recorded for this ship.
+    pub prior_avail_count: u32,
+    /// Mean delay (days) over this ship's prior avails; 0 when none.
+    pub prior_avg_delay: f64,
+}
+
+/// One maintenance availability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Avail {
+    /// Identifier `i`.
+    pub id: AvailId,
+    /// Ship undergoing maintenance.
+    pub ship: ShipId,
+    /// Planned start date `t_i^planS`.
+    pub plan_start: Date,
+    /// Planned end date `t_i^planE`.
+    pub plan_end: Date,
+    /// Actual start date `t_i^actS`.
+    pub actual_start: Date,
+    /// Actual end date `t_i^actE`; `None` while the avail is ongoing.
+    pub actual_end: Option<Date>,
+    /// Static attributes `F_i^S`.
+    pub statics: StaticAttrs,
+}
+
+impl Avail {
+    /// Execution status derived from the presence of an actual end date.
+    pub fn status(&self) -> AvailStatus {
+        if self.actual_end.is_some() {
+            AvailStatus::Closed
+        } else {
+            AvailStatus::Ongoing
+        }
+    }
+
+    /// Planned duration `s_i^plan = planE − planS` in days.
+    pub fn planned_duration(&self) -> i32 {
+        self.plan_end - self.plan_start
+    }
+
+    /// Actual duration `s_i^act = actE − actS` in days; `None` while ongoing.
+    pub fn actual_duration(&self) -> Option<i32> {
+        self.actual_end.map(|e| e - self.actual_start)
+    }
+
+    /// Delay `d_i = s_i^act − s_i^plan` in days (Section 2). Positive when
+    /// tardy, zero when on plan, negative when early. `None` while ongoing.
+    pub fn delay(&self) -> Option<i32> {
+        self.actual_duration().map(|a| a - self.planned_duration())
+    }
+
+    /// Logical time `t*` of physical date `t` for this avail (Equation 1).
+    pub fn logical_time_of(&self, t: Date) -> LogicalTime {
+        logical_time(t, self.actual_start, self.planned_duration())
+    }
+
+    /// The logical time at which this avail actually concluded
+    /// (100% + delay as a fraction of planned duration); `None` while ongoing.
+    pub fn final_logical_time(&self) -> Option<LogicalTime> {
+        self.actual_end.map(|e| self.logical_time_of(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_avail(
+        id: u32,
+        plan_s: &str,
+        plan_e: &str,
+        act_s: &str,
+        act_e: Option<&str>,
+    ) -> Avail {
+        Avail {
+            id: AvailId(id),
+            ship: ShipId(60),
+            plan_start: plan_s.parse().unwrap(),
+            plan_end: plan_e.parse().unwrap(),
+            actual_start: act_s.parse().unwrap(),
+            actual_end: act_e.map(|s| s.parse().unwrap()),
+            statics: StaticAttrs {
+                ship_class: 1,
+                rmc_id: 2,
+                ship_age_years: 21.0,
+                prior_avail_count: 3,
+                prior_avg_delay: 12.0,
+            },
+        }
+    }
+
+    #[test]
+    fn paper_table1_row2_delay_405() {
+        let a = toy_avail(2, "5/7/19", "4/11/20", "5/7/19", Some("5/21/21"));
+        assert_eq!(a.planned_duration(), 340);
+        assert_eq!(a.actual_duration(), Some(745));
+        assert_eq!(a.delay(), Some(405));
+        assert_eq!(a.status(), AvailStatus::Closed);
+    }
+
+    #[test]
+    fn paper_table1_row3_on_time() {
+        let a = toy_avail(3, "7/18/18", "6/11/19", "7/18/18", Some("6/11/19"));
+        assert_eq!(a.delay(), Some(0));
+    }
+
+    #[test]
+    fn paper_table1_row5_negative_delay_despite_late_start() {
+        // Started 27 days late but finished on the planned end date:
+        // the duration-based definition yields a *negative* delay.
+        let a = toy_avail(5, "1/31/20", "8/19/20", "2/27/20", Some("8/19/20"));
+        assert_eq!(a.delay(), Some(-27));
+    }
+
+    #[test]
+    fn ongoing_has_no_delay() {
+        let a = toy_avail(1, "8/20/23", "12/4/24", "8/20/23", None);
+        assert_eq!(a.status(), AvailStatus::Ongoing);
+        assert_eq!(a.delay(), None);
+        assert_eq!(a.actual_duration(), None);
+        assert_eq!(a.final_logical_time(), None);
+    }
+
+    #[test]
+    fn final_logical_time_exceeds_100_for_tardy_avail() {
+        let a = toy_avail(2, "5/7/19", "4/11/20", "5/7/19", Some("5/21/21"));
+        let f = a.final_logical_time().unwrap();
+        assert!((f - 100.0 * 745.0 / 340.0).abs() < 1e-9);
+        assert!(f > 200.0);
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(AvailId(7).to_string(), "A7");
+        assert_eq!(ShipId(1565).to_string(), "S1565");
+    }
+}

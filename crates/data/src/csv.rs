@@ -1,0 +1,239 @@
+//! CSV interchange for the two NMD tables.
+//!
+//! The deployed pipeline "uses obfuscated data for training and then
+//! retrains on raw data in the Navy environment without human intervention"
+//! (Abstract) — i.e. the same code must ingest whatever avail/RCC extracts
+//! the environment provides. This module writes and parses the two tables
+//! in a plain CSV layout (no quoting needed: every field is numeric, a
+//! date, or a code), so a deployment can swap the synthetic generator for
+//! real extracts without touching the pipeline.
+
+use crate::avail::{Avail, AvailId, ShipId, StaticAttrs};
+use crate::dataset::Dataset;
+use crate::date::Date;
+use crate::rcc::{Rcc, RccId, RccType, Swlin};
+use std::fmt::Write as _;
+
+/// Header of the avail table CSV.
+pub const AVAIL_HEADER: &str = "avail_id,ship_id,plan_start,plan_end,actual_start,actual_end,\
+ship_class,rmc_id,ship_age_years,prior_avail_count,prior_avg_delay";
+
+/// Header of the RCC table CSV.
+pub const RCC_HEADER: &str = "rcc_id,avail_id,rcc_type,swlin,created,settled,amount";
+
+/// Error produced when parsing a CSV extract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvError {
+    /// 1-based line number (0 for structural problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(line: usize, message: impl Into<String>) -> CsvError {
+    CsvError { line, message: message.into() }
+}
+
+/// Serializes the avail table.
+pub fn write_avails(dataset: &Dataset) -> String {
+    let mut out = String::with_capacity(64 * dataset.avails().len());
+    out.push_str(AVAIL_HEADER);
+    out.push('\n');
+    for a in dataset.avails() {
+        let actual_end = a.actual_end.map(|d| d.to_string()).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            a.id.0,
+            a.ship.0,
+            a.plan_start,
+            a.plan_end,
+            a.actual_start,
+            actual_end,
+            a.statics.ship_class,
+            a.statics.rmc_id,
+            a.statics.ship_age_years,
+            a.statics.prior_avail_count,
+            a.statics.prior_avg_delay,
+        );
+    }
+    out
+}
+
+/// Serializes the RCC table.
+pub fn write_rccs(dataset: &Dataset) -> String {
+    let mut out = String::with_capacity(48 * dataset.rccs().len());
+    out.push_str(RCC_HEADER);
+    out.push('\n');
+    for r in dataset.rccs() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            r.id.0, r.avail.0, r.rcc_type, r.swlin, r.created, r.settled, r.amount,
+        );
+    }
+    out
+}
+
+fn fields(line: &str, want: usize, line_no: usize) -> Result<Vec<&str>, CsvError> {
+    let f: Vec<&str> = line.split(',').collect();
+    if f.len() != want {
+        return Err(err(line_no, format!("expected {want} fields, got {}", f.len())));
+    }
+    Ok(f)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str, line_no: usize) -> Result<T, CsvError>
+where
+    T::Err: std::fmt::Display,
+{
+    s.trim().parse().map_err(|e| err(line_no, format!("bad {what} {s:?}: {e}")))
+}
+
+/// Parses an avail table CSV (as produced by [`write_avails`]).
+pub fn read_avails(text: &str) -> Result<Vec<Avail>, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == AVAIL_HEADER => {}
+        _ => return Err(err(0, "missing or wrong avail header")),
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = fields(line, 11, line_no)?;
+        let actual_end: Option<Date> = if f[5].trim().is_empty() {
+            None
+        } else {
+            Some(parse(f[5], "actual_end", line_no)?)
+        };
+        out.push(Avail {
+            id: AvailId(parse(f[0], "avail_id", line_no)?),
+            ship: ShipId(parse(f[1], "ship_id", line_no)?),
+            plan_start: parse(f[2], "plan_start", line_no)?,
+            plan_end: parse(f[3], "plan_end", line_no)?,
+            actual_start: parse(f[4], "actual_start", line_no)?,
+            actual_end,
+            statics: StaticAttrs {
+                ship_class: parse(f[6], "ship_class", line_no)?,
+                rmc_id: parse(f[7], "rmc_id", line_no)?,
+                ship_age_years: parse(f[8], "ship_age_years", line_no)?,
+                prior_avail_count: parse(f[9], "prior_avail_count", line_no)?,
+                prior_avg_delay: parse(f[10], "prior_avg_delay", line_no)?,
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// Parses an RCC table CSV (as produced by [`write_rccs`]).
+pub fn read_rccs(text: &str) -> Result<Vec<Rcc>, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == RCC_HEADER => {}
+        _ => return Err(err(0, "missing or wrong RCC header")),
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = fields(line, 7, line_no)?;
+        let rcc_type: RccType =
+            f[2].trim().parse().map_err(|e| err(line_no, format!("bad rcc_type: {e}")))?;
+        let swlin: Swlin =
+            f[3].trim().parse().map_err(|e| err(line_no, format!("bad swlin: {e}")))?;
+        out.push(Rcc {
+            id: RccId(parse(f[0], "rcc_id", line_no)?),
+            avail: AvailId(parse(f[1], "avail_id", line_no)?),
+            rcc_type,
+            swlin,
+            created: parse(f[4], "created", line_no)?,
+            settled: parse(f[5], "settled", line_no)?,
+            amount: parse(f[6], "amount", line_no)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Serializes both tables and reassembles a [`Dataset`] from the pair.
+pub fn read_dataset(avail_csv: &str, rcc_csv: &str) -> Result<Dataset, CsvError> {
+    Ok(Dataset::new(read_avails(avail_csv)?, read_rccs(rcc_csv)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    fn small() -> Dataset {
+        generate(&GeneratorConfig { n_avails: 15, target_rccs: 600, scale: 1, seed: 31 })
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = small();
+        let back = read_dataset(&write_avails(&ds), &write_rccs(&ds)).unwrap();
+        assert_eq!(back.avails(), ds.avails());
+        assert_eq!(back.rccs(), ds.rccs());
+    }
+
+    #[test]
+    fn ongoing_avails_roundtrip_with_empty_end() {
+        let ds = small();
+        let victim = ds.avails()[2].id;
+        let as_of = ds.avails()[2].actual_start + 30;
+        let (censored, _) = crate::generator::censor_ongoing(&ds, &[victim], as_of);
+        let text = write_avails(&censored);
+        let back = read_avails(&text).unwrap();
+        let a = back.iter().find(|a| a.id == victim).unwrap();
+        assert_eq!(a.actual_end, None);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(read_avails("nope\n1,2,3").is_err());
+        assert!(read_rccs("").is_err());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let mut text = String::from(AVAIL_HEADER);
+        text.push_str("\n1,2,1/1/20,6/1/20,1/1/20,,0,0,10.0,1,5.0\nbad,row\n");
+        let e = read_avails(&text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("expected 11 fields"));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let mut text = String::from(RCC_HEADER);
+        text.push('\n');
+        text.push_str("1,5,G,434-11-001,3/22/20,6/16/20,notanumber\n");
+        let e = read_rccs(&text).unwrap_err();
+        assert!(e.message.contains("bad amount"));
+        let mut text2 = String::from(RCC_HEADER);
+        text2.push('\n');
+        text2.push_str("1,5,ZZ,434-11-001,3/22/20,6/16/20,5.0\n");
+        assert!(read_rccs(&text2).unwrap_err().message.contains("rcc_type"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let ds = small();
+        let mut text = write_avails(&ds);
+        text.push_str("\n\n");
+        assert_eq!(read_avails(&text).unwrap().len(), ds.avails().len());
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal sampling helpers (normal, log-normal, gamma, beta, categorical)
+//! built on `rand`'s uniform primitives.
+//!
+//! The synthetic NMD generator needs a handful of classic distributions; to
+//! stay within the approved dependency set we implement them here instead of
+//! pulling in `rand_distr`. Algorithms: Box–Muller for the normal and
+//! Marsaglia–Tsang for the gamma (with the standard `alpha < 1` boost), beta
+//! as a gamma ratio.
+
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+/// Log-normal sample parameterized by the *underlying* normal's mean/std.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Gamma(shape, scale) sample via Marsaglia–Tsang (2000).
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng, 0.0, 1.0);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Beta(a, b) sample as a gamma ratio.
+pub fn beta<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
+    let x = gamma(rng, a, 1.0);
+    let y = gamma(rng, b, 1.0);
+    x / (x + y)
+}
+
+/// Draws an index from unnormalized non-negative `weights`.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "categorical weights must have positive sum");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12345)
+    }
+
+    fn mean_and_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n;
+        (m, v)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut r = rng();
+        // Gamma(3, 2): mean 6, var 12.
+        let xs: Vec<f64> = (0..50_000).map(|_| gamma(&mut r, 3.0, 2.0)).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - 6.0).abs() < 0.1, "mean {m}");
+        assert!((v - 12.0).abs() < 0.6, "var {v}");
+        assert!(xs.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn gamma_shape_below_one() {
+        let mut r = rng();
+        // Gamma(0.5, 1): mean 0.5.
+        let xs: Vec<f64> = (0..50_000).map(|_| gamma(&mut r, 0.5, 1.0)).collect();
+        let (m, _) = mean_and_var(&xs);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+        assert!(xs.iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn beta_bounded_and_centered() {
+        let mut r = rng();
+        // Beta(2, 2): mean 0.5, support (0, 1).
+        let xs: Vec<f64> = (0..50_000).map(|_| beta(&mut r, 2.0, 2.0)).collect();
+        let (m, _) = mean_and_var(&xs);
+        assert!((m - 0.5).abs() < 0.01, "mean {m}");
+        assert!(xs.iter().all(|x| (0.0..=1.0).contains(x)));
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut r = rng();
+        let w = [1.0, 2.0, 7.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            counts[categorical(&mut r, &w)] += 1;
+        }
+        assert!((counts[2] as f64 / 100_000.0 - 0.7).abs() < 0.01);
+        assert!((counts[0] as f64 / 100_000.0 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn log_normal_positive() {
+        let mut r = rng();
+        assert!((0..1000).all(|_| log_normal(&mut r, 2.0, 1.0) > 0.0));
+    }
+}

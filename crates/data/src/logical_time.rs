@@ -1,0 +1,157 @@
+//! Logical time (Equation 1 of the paper) and its discretization into
+//! model windows.
+//!
+//! For an avail `a_i` with actual start `actS` and planned duration
+//! `s_plan`, the logical time of a physical timestamp `t` is
+//! `t* = 100 · (t − actS) / s_plan` — the percentage of planned maintenance
+//! duration elapsed at `t`. Values above 100% occur exactly when an avail is
+//! running late, which is why the timeline models are anchored at fixed grid
+//! points of the *planned* duration rather than the actual one.
+
+use crate::date::Date;
+
+/// A logical timestamp: percent of planned duration elapsed (may exceed 100).
+pub type LogicalTime = f64;
+
+/// Computes `t*` per Equation 1.
+///
+/// ```
+/// use domd_data::date::Date;
+/// use domd_data::logical_time::logical_time;
+/// let act_s = Date::from_ymd(2019, 5, 7).unwrap();
+/// let t = Date::from_ymd(2019, 7, 6).unwrap();
+/// let t_star = logical_time(t, act_s, 340);
+/// assert!((t_star - 17.647).abs() < 0.01); // ~18% as in the paper's example
+/// ```
+pub fn logical_time(t: Date, actual_start: Date, planned_duration_days: i32) -> LogicalTime {
+    debug_assert!(planned_duration_days > 0, "planned duration must be positive");
+    100.0 * f64::from(t - actual_start) / f64::from(planned_duration_days)
+}
+
+/// Inverse of [`logical_time`]: the physical date at logical time `t_star`
+/// (rounded to the nearest whole day).
+pub fn physical_time(
+    t_star: LogicalTime,
+    actual_start: Date,
+    planned_duration_days: i32,
+) -> Date {
+    let days = (t_star / 100.0 * f64::from(planned_duration_days)).round() as i32;
+    actual_start + days
+}
+
+/// The discretized logical-time grid over which timeline models are trained.
+///
+/// With a model gap interval of `x` percent the paper trains
+/// `1 + ceil(100/x)` models at logical times `0, x, 2x, …` covering `[0, 100]`
+/// (Problem 1). `TimeGrid` owns that enumeration so that every component of
+/// the pipeline — feature engineering, training, fusion, evaluation — agrees
+/// on the model anchor points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeGrid {
+    step: f64,
+    points: Vec<LogicalTime>,
+}
+
+impl TimeGrid {
+    /// Grid with window width `x` percent. Panics if `x` is not in `(0, 100]`.
+    pub fn new(x: f64) -> Self {
+        assert!(x > 0.0 && x <= 100.0, "model gap interval must be in (0, 100], got {x}");
+        let n = (100.0 / x).ceil() as usize;
+        let mut points = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            points.push((i as f64 * x).min(100.0));
+        }
+        TimeGrid { step: x, points }
+    }
+
+    /// The window width `x` in percent.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// All model anchor points, ascending, starting at 0 and ending at 100.
+    pub fn points(&self) -> &[LogicalTime] {
+        &self.points
+    }
+
+    /// Number of models (`1 + ceil(100/x)` in the paper's notation counts the
+    /// base model at 0 plus one per subsequent window; this equals
+    /// `points().len()`).
+    pub fn n_models(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Index of the last grid point at or before `t_star` (clamped to the
+    /// grid). This is the most recent model whose anchor has been reached.
+    pub fn index_at(&self, t_star: LogicalTime) -> usize {
+        if t_star <= 0.0 {
+            return 0;
+        }
+        let i = (t_star / self.step).floor() as usize;
+        i.min(self.points.len() - 1)
+    }
+
+    /// Grid points from 0 up to and including the window containing `t_star`
+    /// — the prediction anchors a DoMD query must report (Problem 1).
+    pub fn points_up_to(&self, t_star: LogicalTime) -> &[LogicalTime] {
+        &self.points[..=self.index_at(t_star)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_eq1() {
+        // Avail 2: actS = 5/7/2019, s_plan = 340, t = 7/6/2019 -> ~18%.
+        let act_s = Date::from_ymd(2019, 5, 7).unwrap();
+        let t = Date::from_ymd(2019, 7, 6).unwrap();
+        let ts = logical_time(t, act_s, 340);
+        assert!((17.0..19.0).contains(&ts), "t* = {ts}");
+    }
+
+    #[test]
+    fn logical_physical_roundtrip() {
+        let act_s = Date::from_ymd(2021, 3, 1).unwrap();
+        for d in [0, 10, 100, 250, 617] {
+            let t = act_s + d;
+            let ts = logical_time(t, act_s, 617);
+            assert_eq!(physical_time(ts, act_s, 617), t);
+        }
+    }
+
+    #[test]
+    fn grid_x10_has_11_models() {
+        let g = TimeGrid::new(10.0);
+        assert_eq!(g.n_models(), 11);
+        assert_eq!(g.points()[0], 0.0);
+        assert_eq!(*g.points().last().unwrap(), 100.0);
+        assert_eq!(g.points()[3], 30.0);
+    }
+
+    #[test]
+    fn grid_non_divisor_step_clamps_to_100() {
+        let g = TimeGrid::new(30.0);
+        assert_eq!(g.points(), &[0.0, 30.0, 60.0, 90.0, 100.0]);
+        assert_eq!(g.n_models(), 5);
+    }
+
+    #[test]
+    fn index_at_matches_paper_query_example() {
+        // Paper: x = 10%, t* in [50, 60) -> 6 estimates at 0..50.
+        let g = TimeGrid::new(10.0);
+        assert_eq!(g.points_up_to(50.0).len(), 6);
+        assert_eq!(g.points_up_to(55.0).len(), 6);
+        assert_eq!(g.points_up_to(0.0).len(), 1);
+        assert_eq!(g.points_up_to(-5.0).len(), 1);
+        assert_eq!(g.points_up_to(100.0).len(), 11);
+        assert_eq!(g.points_up_to(250.0).len(), 11); // late avail clamps to grid end
+    }
+
+    #[test]
+    #[should_panic(expected = "model gap interval")]
+    fn rejects_zero_step() {
+        TimeGrid::new(0.0);
+    }
+}

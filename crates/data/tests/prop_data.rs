@@ -1,0 +1,109 @@
+//! Property-based tests for the data substrate: date arithmetic, logical
+//! time, delay identities, and status-predicate coherence.
+
+use domd_data::avail::{Avail, AvailId, ShipId, StaticAttrs};
+use domd_data::date::Date;
+use domd_data::logical_time::{logical_time, physical_time, TimeGrid};
+use domd_data::rcc::{status_at, RccStatus};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn date_roundtrips_through_civil(days in -200_000i32..200_000) {
+        let d = Date::from_days(days);
+        let (y, m, dd) = d.ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
+    }
+
+    #[test]
+    fn date_roundtrips_through_display(days in -50_000i32..80_000) {
+        let d = Date::from_days(days);
+        let parsed: Date = d.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn date_addition_is_associative(days in -10_000i32..10_000, a in -5000i32..5000, b in -5000i32..5000) {
+        let d = Date::from_days(days);
+        prop_assert_eq!((d + a) + b, d + (a + b));
+        prop_assert_eq!((d + a) - d, a);
+    }
+
+    #[test]
+    fn month_days_always_valid(days in -100_000i32..100_000) {
+        let d = Date::from_days(days);
+        let (y, m, dd) = d.ymd();
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!(dd >= 1 && dd <= domd_data::date::days_in_month(y, m));
+    }
+
+    #[test]
+    fn logical_physical_roundtrip(start in -5000i32..5000, planned in 1i32..2000, offset in 0i32..4000) {
+        let act_s = Date::from_days(start);
+        let t = act_s + offset;
+        let ts = logical_time(t, act_s, planned);
+        prop_assert_eq!(physical_time(ts, act_s, planned), t);
+    }
+
+    #[test]
+    fn delay_is_duration_difference(
+        start in 0i32..10_000,
+        planned in 1i32..2000,
+        late_start in 0i32..100,
+        delay in -200i32..2000,
+    ) {
+        let plan_start = Date::from_days(start);
+        let actual_start = plan_start + late_start;
+        let a = Avail {
+            id: AvailId(1),
+            ship: ShipId(1),
+            plan_start,
+            plan_end: plan_start + planned,
+            actual_start,
+            actual_end: Some(actual_start + planned + delay),
+            statics: StaticAttrs {
+                ship_class: 0,
+                rmc_id: 0,
+                ship_age_years: 10.0,
+                prior_avail_count: 1,
+                prior_avg_delay: 0.0,
+            },
+        };
+        // The duration-based definition is invariant to the late start.
+        prop_assert_eq!(a.delay(), Some(delay));
+    }
+
+    #[test]
+    fn status_partition_is_exhaustive_and_exclusive(
+        start in 0.0f64..100.0,
+        width in 0.01f64..80.0,
+        t in -20.0f64..180.0,
+    ) {
+        let end = start + width;
+        let s = status_at(start, end, t);
+        // Exactly one of the three primitive statuses holds.
+        let active = start <= t && t < end;
+        let settled = end <= t;
+        let not_created = start > t;
+        prop_assert_eq!(s == RccStatus::Active, active);
+        prop_assert_eq!(s == RccStatus::Settled, settled);
+        prop_assert_eq!(s == RccStatus::NotCreated, not_created);
+        prop_assert_eq!(u32::from(active) + u32::from(settled) + u32::from(not_created), 1);
+    }
+
+    #[test]
+    fn time_grid_is_sound(x in 0.5f64..100.0, t in -10.0f64..300.0) {
+        let g = TimeGrid::new(x);
+        let pts = g.points();
+        prop_assert_eq!(pts[0], 0.0);
+        prop_assert_eq!(*pts.last().unwrap(), 100.0);
+        prop_assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        let idx = g.index_at(t);
+        prop_assert!(idx < g.n_models());
+        // The anchor at idx has been reached whenever t >= 0.
+        if t >= 0.0 {
+            prop_assert!(pts[idx] <= t || idx == 0);
+        }
+        prop_assert_eq!(g.points_up_to(t).len(), idx + 1);
+    }
+}

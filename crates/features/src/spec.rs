@@ -1,0 +1,417 @@
+//! The feature catalog: the enumeration of the transformation function 𝒯
+//! over RCCs (Section 3.1).
+//!
+//! Features are defined per (RCC-type filter × SWLIN subsystem group ×
+//! status × aggregation), mirroring the paper's examples like
+//! `G1-AVG_SETTLED_AMT` ("average settled amount of Growth RCCs under
+//! SWLIN first digit 1"). The catalog additionally carries creation-rate
+//! and active-ratio trend features; the full enumeration is exactly the
+//! **1490 RCC-dependent features** the paper's Section 5.2.1 reports:
+//!
+//! * 4 type filters × 10 SWLIN groups × 3 statuses × 12 aggregations = 1440
+//! * 4 type filters × 10 SWLIN groups creation rates = 40
+//! * 10 SWLIN-group active ratios = 10
+
+use domd_data::rcc::RccType;
+
+/// RCC-type restriction of a feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeFilter {
+    /// Any type.
+    All,
+    /// One specific type.
+    One(RccType),
+}
+
+impl TypeFilter {
+    /// All four filters in catalog order.
+    pub const ALL: [TypeFilter; 4] = [
+        TypeFilter::All,
+        TypeFilter::One(RccType::Growth),
+        TypeFilter::One(RccType::NewWork),
+        TypeFilter::One(RccType::NewGrowth),
+    ];
+
+    /// Short code for feature names.
+    pub fn code(self) -> &'static str {
+        match self {
+            TypeFilter::All => "ALL",
+            TypeFilter::One(t) => t.code(),
+        }
+    }
+}
+
+/// SWLIN subsystem restriction: the whole ship, one first digit (general
+/// subsystem, Figure 1), or — in the extended catalog — a two-digit
+/// module prefix one level deeper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwlinGroup {
+    /// Whole ship.
+    All,
+    /// One first digit (real codes start at subsystem 1).
+    FirstDigit(u8),
+    /// A (subsystem, module) two-digit prefix: the next level of the
+    /// Figure 1 hierarchy (`SWLIN_Level_no = 2` in the Figure 3 GROUP BY).
+    TwoDigit(u8, u8),
+}
+
+impl SwlinGroup {
+    /// The ten depth-1 groups in catalog order: ALL plus digits 1..=9.
+    pub fn all() -> Vec<SwlinGroup> {
+        let mut v = vec![SwlinGroup::All];
+        v.extend((1..=9).map(SwlinGroup::FirstDigit));
+        v
+    }
+
+    /// The 90 depth-2 groups: subsystems 1..=9 x modules 0..=9.
+    pub fn two_digit() -> Vec<SwlinGroup> {
+        (1..=9).flat_map(|a| (0..=9).map(move |b| SwlinGroup::TwoDigit(a, b))).collect()
+    }
+
+    /// Short code for feature names.
+    pub fn code(self) -> String {
+        match self {
+            SwlinGroup::All => "ALL".to_string(),
+            SwlinGroup::FirstDigit(d) => d.to_string(),
+            SwlinGroup::TwoDigit(a, b) => format!("{a}{b}"),
+        }
+    }
+}
+
+/// RCC status the feature conditions on (Equations 3–5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatusFilter {
+    /// In-flight at `t*`.
+    Active,
+    /// Concluded by `t*`.
+    Settled,
+    /// Raised by `t*` (active ∪ settled).
+    Created,
+}
+
+impl StatusFilter {
+    /// All three statuses in catalog order.
+    pub const ALL: [StatusFilter; 3] =
+        [StatusFilter::Active, StatusFilter::Settled, StatusFilter::Created];
+
+    /// Short code for feature names.
+    pub fn code(self) -> &'static str {
+        match self {
+            StatusFilter::Active => "ACT",
+            StatusFilter::Settled => "SET",
+            StatusFilter::Created => "CRE",
+        }
+    }
+}
+
+/// Aggregations computable from the incremental accumulators
+/// (count / sum / sum-of-squares of amount and duration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregation {
+    /// Row count.
+    Count,
+    /// Sum of settled amounts.
+    SumAmt,
+    /// Mean settled amount.
+    AvgAmt,
+    /// Std deviation of settled amounts.
+    StdAmt,
+    /// Root-mean-square settled amount.
+    RmsAmt,
+    /// sqrt(1 + sum of amounts) — concave spend scale.
+    SqrtSumAmt,
+    /// ln(1 + sum of amounts) — log spend scale.
+    LogSumAmt,
+    /// Amount per open day: sum_amount / (1 + sum_duration).
+    AmtPerDay,
+    /// Sum of durations (days).
+    SumDur,
+    /// Mean duration.
+    AvgDur,
+    /// Std deviation of durations.
+    StdDur,
+    /// sqrt(1 + sum of durations).
+    SqrtSumDur,
+}
+
+impl Aggregation {
+    /// The twelve aggregations in catalog order.
+    pub const ALL: [Aggregation; 12] = [
+        Aggregation::Count,
+        Aggregation::SumAmt,
+        Aggregation::AvgAmt,
+        Aggregation::StdAmt,
+        Aggregation::RmsAmt,
+        Aggregation::SqrtSumAmt,
+        Aggregation::LogSumAmt,
+        Aggregation::AmtPerDay,
+        Aggregation::SumDur,
+        Aggregation::AvgDur,
+        Aggregation::StdDur,
+        Aggregation::SqrtSumDur,
+    ];
+
+    /// Short code for feature names.
+    pub fn code(self) -> &'static str {
+        match self {
+            Aggregation::Count => "COUNT",
+            Aggregation::SumAmt => "SUM_AMT",
+            Aggregation::AvgAmt => "AVG_AMT",
+            Aggregation::StdAmt => "STD_AMT",
+            Aggregation::RmsAmt => "RMS_AMT",
+            Aggregation::SqrtSumAmt => "SQRT_SUM_AMT",
+            Aggregation::LogSumAmt => "LOG_SUM_AMT",
+            Aggregation::AmtPerDay => "AMT_PER_DAY",
+            Aggregation::SumDur => "SUM_DUR",
+            Aggregation::AvgDur => "AVG_DUR",
+            Aggregation::StdDur => "STD_DUR",
+            Aggregation::SqrtSumDur => "SQRT_SUM_DUR",
+        }
+    }
+
+    /// Applies the aggregation to an accumulator.
+    pub fn apply(self, acc: &domd_index::Accum) -> f64 {
+        match self {
+            Aggregation::Count => acc.count,
+            Aggregation::SumAmt => acc.sum_amount,
+            Aggregation::AvgAmt => acc.avg_amount(),
+            Aggregation::StdAmt => acc.std_amount(),
+            Aggregation::RmsAmt => {
+                if acc.count <= 0.0 {
+                    0.0
+                } else {
+                    (acc.sum_amount_sq / acc.count).max(0.0).sqrt()
+                }
+            }
+            Aggregation::SqrtSumAmt => (1.0 + acc.sum_amount.max(0.0)).sqrt(),
+            Aggregation::LogSumAmt => (1.0 + acc.sum_amount.max(0.0)).ln(),
+            Aggregation::AmtPerDay => acc.sum_amount / (1.0 + acc.sum_duration.max(0.0)),
+            Aggregation::SumDur => acc.sum_duration,
+            Aggregation::AvgDur => acc.avg_duration(),
+            Aggregation::StdDur => acc.std_duration(),
+            Aggregation::SqrtSumDur => (1.0 + acc.sum_duration.max(0.0)).sqrt(),
+        }
+    }
+}
+
+/// One RCC-dependent feature definition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureSpec {
+    /// Aggregation over a (type, SWLIN group, status) cell.
+    GroupAgg {
+        /// Type restriction.
+        type_filter: TypeFilter,
+        /// Subsystem restriction.
+        swlin: SwlinGroup,
+        /// Status restriction.
+        status: StatusFilter,
+        /// Aggregation to apply.
+        agg: Aggregation,
+    },
+    /// Created count per percent of elapsed logical time.
+    CreationRate {
+        /// Type restriction.
+        type_filter: TypeFilter,
+        /// Subsystem restriction.
+        swlin: SwlinGroup,
+    },
+    /// Fraction of raised RCCs still active (any type) in a subsystem.
+    ActiveRatio {
+        /// Subsystem restriction.
+        swlin: SwlinGroup,
+    },
+}
+
+impl FeatureSpec {
+    /// Paper-style feature name, e.g. `G1-AVG_AMT_SET`.
+    pub fn name(&self) -> String {
+        match self {
+            FeatureSpec::GroupAgg { type_filter, swlin, status, agg } => {
+                format!("{}{}-{}_{}", type_filter.code(), swlin.code(), agg.code(), status.code())
+            }
+            FeatureSpec::CreationRate { type_filter, swlin } => {
+                format!("{}{}-CREATION_RATE", type_filter.code(), swlin.code())
+            }
+            FeatureSpec::ActiveRatio { swlin } => format!("ALL{}-ACTIVE_RATIO", swlin.code()),
+        }
+    }
+}
+
+/// How deep the catalog's SWLIN groups descend (drives the size of the
+/// incremental sweep's cell space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatalogDepth {
+    /// First digit only (the paper's 1490-feature catalog).
+    Subsystem,
+    /// First and second digit (the extended 5810-feature catalog).
+    Module,
+}
+
+/// The full ordered feature catalog.
+#[derive(Debug, Clone)]
+pub struct FeatureCatalog {
+    specs: Vec<FeatureSpec>,
+    depth: CatalogDepth,
+}
+
+impl FeatureCatalog {
+    /// The paper's 1490-feature enumeration.
+    pub fn standard() -> Self {
+        let mut specs = Vec::with_capacity(1490);
+        for type_filter in TypeFilter::ALL {
+            for swlin in SwlinGroup::all() {
+                for status in StatusFilter::ALL {
+                    for agg in Aggregation::ALL {
+                        specs.push(FeatureSpec::GroupAgg { type_filter, swlin, status, agg });
+                    }
+                }
+            }
+        }
+        for type_filter in TypeFilter::ALL {
+            for swlin in SwlinGroup::all() {
+                specs.push(FeatureSpec::CreationRate { type_filter, swlin });
+            }
+        }
+        for swlin in SwlinGroup::all() {
+            specs.push(FeatureSpec::ActiveRatio { swlin });
+        }
+        debug_assert_eq!(specs.len(), 1490);
+        FeatureCatalog { specs, depth: CatalogDepth::Subsystem }
+    }
+
+    /// The extended catalog: the standard 1490 features plus one level
+    /// deeper — 90 (subsystem, module) prefixes x 4 type filters x 3
+    /// statuses x 4 core aggregations = 4320 module-level features, 5810
+    /// in total. Evaluated in `repro feature-depth`.
+    pub fn extended() -> Self {
+        let mut base = FeatureCatalog::standard();
+        const MODULE_AGGS: [Aggregation; 4] = [
+            Aggregation::Count,
+            Aggregation::SumAmt,
+            Aggregation::AvgAmt,
+            Aggregation::SqrtSumAmt,
+        ];
+        for type_filter in TypeFilter::ALL {
+            for swlin in SwlinGroup::two_digit() {
+                for status in StatusFilter::ALL {
+                    for agg in MODULE_AGGS {
+                        base.specs.push(FeatureSpec::GroupAgg { type_filter, swlin, status, agg });
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(base.specs.len(), 5810);
+        base.depth = CatalogDepth::Module;
+        base
+    }
+
+    /// The SWLIN depth this catalog's groups require.
+    pub fn depth(&self) -> CatalogDepth {
+        self.depth
+    }
+
+    /// The ordered specs.
+    pub fn specs(&self) -> &[FeatureSpec] {
+        &self.specs
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// All feature names, in column order.
+    pub fn names(&self) -> Vec<String> {
+        self.specs.iter().map(FeatureSpec::name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn standard_catalog_has_exactly_1490_features() {
+        let c = FeatureCatalog::standard();
+        assert_eq!(c.len(), 1490);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = FeatureCatalog::standard();
+        let names = c.names();
+        let set: HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), names.len(), "duplicate feature names");
+    }
+
+    #[test]
+    fn paper_style_name_shape() {
+        let f = FeatureSpec::GroupAgg {
+            type_filter: TypeFilter::One(RccType::Growth),
+            swlin: SwlinGroup::FirstDigit(1),
+            status: StatusFilter::Settled,
+            agg: Aggregation::AvgAmt,
+        };
+        assert_eq!(f.name(), "G1-AVG_AMT_SET");
+        let c = FeatureCatalog::standard();
+        assert!(c.names().contains(&"G1-AVG_AMT_SET".to_string()));
+    }
+
+    #[test]
+    fn aggregations_on_empty_accum_are_finite() {
+        let acc = domd_index::Accum::default();
+        for agg in Aggregation::ALL {
+            let v = agg.apply(&acc);
+            assert!(v.is_finite(), "{} on empty accum = {v}", agg.code());
+        }
+    }
+
+    #[test]
+    fn aggregations_match_manual_values() {
+        let mut acc = domd_index::Accum::default();
+        acc.add(100.0, 10.0);
+        acc.add(300.0, 30.0);
+        assert_eq!(Aggregation::Count.apply(&acc), 2.0);
+        assert_eq!(Aggregation::SumAmt.apply(&acc), 400.0);
+        assert_eq!(Aggregation::AvgAmt.apply(&acc), 200.0);
+        assert!((Aggregation::StdAmt.apply(&acc) - 100.0).abs() < 1e-9);
+        let rms = ((100.0f64.powi(2) + 300.0f64.powi(2)) / 2.0).sqrt();
+        assert!((Aggregation::RmsAmt.apply(&acc) - rms).abs() < 1e-9);
+        assert!((Aggregation::SqrtSumAmt.apply(&acc) - 401.0f64.sqrt()).abs() < 1e-12);
+        assert!((Aggregation::LogSumAmt.apply(&acc) - 401.0f64.ln()).abs() < 1e-12);
+        assert!((Aggregation::AmtPerDay.apply(&acc) - 400.0 / 41.0).abs() < 1e-12);
+        assert_eq!(Aggregation::SumDur.apply(&acc), 40.0);
+        assert_eq!(Aggregation::AvgDur.apply(&acc), 20.0);
+        assert!((Aggregation::StdDur.apply(&acc) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swlin_groups_are_ten() {
+        assert_eq!(SwlinGroup::all().len(), 10);
+        assert_eq!(SwlinGroup::All.code(), "ALL");
+        assert_eq!(SwlinGroup::FirstDigit(7).code(), "7");
+        assert_eq!(SwlinGroup::TwoDigit(4, 3).code(), "43");
+        assert_eq!(SwlinGroup::two_digit().len(), 90);
+    }
+
+    #[test]
+    fn extended_catalog_has_5810_unique_features() {
+        let c = FeatureCatalog::extended();
+        assert_eq!(c.len(), 5810);
+        assert_eq!(c.depth(), CatalogDepth::Module);
+        let names = c.names();
+        let set: HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), names.len(), "duplicate feature names");
+        assert!(names.contains(&"NG43-SUM_AMT_CRE".to_string()));
+        // The standard catalog is a strict prefix.
+        let std = FeatureCatalog::standard();
+        assert_eq!(&names[..1490], &std.names()[..]);
+        assert_eq!(std.depth(), CatalogDepth::Subsystem);
+    }
+}

@@ -1,0 +1,82 @@
+//! The 8 static (time-invariant) features `F_i^S` of Section 5.2.1 —
+//! ship class, RMC id, ship age, and the planning attributes known before
+//! execution begins. These bypass feature selection: the paper applies
+//! selection only to generated features, keeping statics in by default.
+
+use domd_data::avail::Avail;
+use domd_data::AvailId;
+use domd_ml::DenseMatrix;
+
+/// Names of the static feature columns, in order.
+pub const STATIC_FEATURE_NAMES: [&str; 8] = [
+    "SHIP_CLASS",
+    "RMC_ID",
+    "SHIP_AGE_YEARS",
+    "PLANNED_DURATION",
+    "PLAN_START_YEAR",
+    "PLAN_START_MONTH",
+    "PRIOR_AVAIL_COUNT",
+    "PRIOR_AVG_DELAY",
+];
+
+/// Number of static features.
+pub const N_STATIC: usize = STATIC_FEATURE_NAMES.len();
+
+/// The static feature row of one avail.
+pub fn static_row(a: &Avail) -> [f64; N_STATIC] {
+    [
+        f64::from(a.statics.ship_class),
+        f64::from(a.statics.rmc_id),
+        a.statics.ship_age_years,
+        f64::from(a.planned_duration()),
+        f64::from(a.plan_start.year()),
+        f64::from(a.plan_start.month()),
+        f64::from(a.statics.prior_avail_count),
+        a.statics.prior_avg_delay,
+    ]
+}
+
+/// Static feature matrix for the given avails (rows in `avail_ids` order).
+pub fn static_matrix(dataset: &domd_data::Dataset, avail_ids: &[AvailId]) -> DenseMatrix {
+    let mut m = DenseMatrix::zeros(avail_ids.len(), N_STATIC);
+    for (i, id) in avail_ids.iter().enumerate() {
+        let a = dataset.avail(*id).expect("avail id present in dataset");
+        m.row_mut(i).copy_from_slice(&static_row(a));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domd_data::{generate, GeneratorConfig};
+
+    #[test]
+    fn matrix_matches_rows() {
+        let ds = generate(&GeneratorConfig { n_avails: 8, target_rccs: 200, scale: 1, seed: 4 });
+        let ids: Vec<AvailId> = ds.avails().iter().map(|a| a.id).collect();
+        let m = static_matrix(&ds, &ids);
+        assert_eq!(m.n_rows(), 8);
+        assert_eq!(m.n_cols(), 8);
+        for (i, a) in ds.avails().iter().enumerate() {
+            assert_eq!(m.row(i), &static_row(a));
+        }
+    }
+
+    #[test]
+    fn row_values_are_sane() {
+        let ds = generate(&GeneratorConfig { n_avails: 5, target_rccs: 100, scale: 1, seed: 5 });
+        for a in ds.avails() {
+            let r = static_row(a);
+            assert!(r[2] >= 3.0 && r[2] <= 40.0, "ship age {}", r[2]);
+            assert!(r[3] >= 120.0, "planned duration {}", r[3]);
+            assert!(r[4] >= 2015.0 && r[4] <= 2024.0, "plan year {}", r[4]);
+            assert!((1.0..=12.0).contains(&r[5]), "plan month {}", r[5]);
+        }
+    }
+
+    #[test]
+    fn names_count_matches() {
+        assert_eq!(STATIC_FEATURE_NAMES.len(), N_STATIC);
+    }
+}

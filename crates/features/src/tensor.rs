@@ -1,0 +1,131 @@
+//! The avail × feature × logical-time tensor of Section 3.1.
+//!
+//! "Across the entire avail set, the resulting features can be thought of
+//! as a tensor across the avail, feature set, and logical time dimensions.
+//! Each model is trained on a slice of that tensor generated at discrete
+//! logical times t*." — this type *is* that tensor, one dense matrix per
+//! grid point.
+
+use domd_data::AvailId;
+use domd_ml::DenseMatrix;
+
+/// A materialized feature tensor.
+#[derive(Debug, Clone)]
+pub struct FeatureTensor {
+    avail_ids: Vec<AvailId>,
+    grid: Vec<f64>,
+    names: Vec<String>,
+    /// `slices[s]` is the (n_avails × n_features) matrix at grid point `s`.
+    slices: Vec<DenseMatrix>,
+}
+
+impl FeatureTensor {
+    /// Assembles a tensor; every slice must be (n_avails × names.len()).
+    pub fn new(
+        avail_ids: Vec<AvailId>,
+        grid: Vec<f64>,
+        names: Vec<String>,
+        slices: Vec<DenseMatrix>,
+    ) -> Self {
+        assert_eq!(grid.len(), slices.len(), "one slice per grid point");
+        for s in &slices {
+            assert_eq!(s.n_rows(), avail_ids.len());
+            assert_eq!(s.n_cols(), names.len());
+        }
+        FeatureTensor { avail_ids, grid, names, slices }
+    }
+
+    /// Avail order of the rows.
+    pub fn avail_ids(&self) -> &[AvailId] {
+        &self.avail_ids
+    }
+
+    /// The logical-time grid.
+    pub fn grid(&self) -> &[f64] {
+        &self.grid
+    }
+
+    /// Feature (column) names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The tensor slice at grid index `step`.
+    pub fn slice(&self, step: usize) -> &DenseMatrix {
+        &self.slices[step]
+    }
+
+    /// Number of grid points.
+    pub fn n_steps(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Row index of an avail, if present.
+    pub fn row_of(&self, id: AvailId) -> Option<usize> {
+        self.avail_ids.iter().position(|a| *a == id)
+    }
+
+    /// Restricts the tensor to a subset of avails (rows), preserving order
+    /// of `ids`. Panics if an id is absent.
+    pub fn select_avails(&self, ids: &[AvailId]) -> FeatureTensor {
+        let rows: Vec<usize> = ids
+            .iter()
+            .map(|id| self.row_of(*id).unwrap_or_else(|| panic!("avail {id} not in tensor")))
+            .collect();
+        FeatureTensor {
+            avail_ids: ids.to_vec(),
+            grid: self.grid.clone(),
+            names: self.names.clone(),
+            slices: self.slices.iter().map(|s| s.select_rows(&rows)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> FeatureTensor {
+        let ids = vec![AvailId(1), AvailId(2)];
+        let grid = vec![0.0, 50.0];
+        let names = vec!["f0".to_string(), "f1".to_string(), "f2".to_string()];
+        let s0 = DenseMatrix::from_rows(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let s1 = DenseMatrix::from_rows(vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0], 2, 3);
+        FeatureTensor::new(ids, grid, names, vec![s0, s1])
+    }
+
+    #[test]
+    fn accessors() {
+        let t = toy();
+        assert_eq!(t.n_steps(), 2);
+        assert_eq!(t.row_of(AvailId(2)), Some(1));
+        assert_eq!(t.row_of(AvailId(99)), None);
+        assert_eq!(t.slice(1).get(0, 2), 30.0);
+    }
+
+    #[test]
+    fn select_avails_reorders_rows() {
+        let t = toy().select_avails(&[AvailId(2), AvailId(1)]);
+        assert_eq!(t.avail_ids(), &[AvailId(2), AvailId(1)]);
+        assert_eq!(t.slice(0).row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.slice(0).row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in tensor")]
+    fn select_missing_avail_panics() {
+        toy().select_avails(&[AvailId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one slice per grid point")]
+    fn shape_mismatch_panics() {
+        let t = toy();
+        FeatureTensor::new(
+            t.avail_ids().to_vec(),
+            vec![0.0],
+            t.names().to_vec(),
+            vec![t.slice(0).clone(), t.slice(1).clone()],
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for feature engineering: tensor values agree with
+//! a brute-force recomputation straight from the RCC rows, and the
+//! structural invariants of the catalog hold on arbitrary generated data.
+
+use domd_data::rcc::RccType;
+use domd_data::{generate, logical_time, AvailId, GeneratorConfig};
+use domd_features::FeatureEngine;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn count_features_match_brute_force(
+        seed in 0u64..200,
+        t_star in 0.0f64..110.0,
+    ) {
+        let ds = generate(&GeneratorConfig { n_avails: 6, target_rccs: 400, scale: 1, seed });
+        let engine = FeatureEngine::default();
+        let names = engine.catalog().names();
+        let col = |n: &str| names.iter().position(|x| x == n).unwrap();
+
+        for a in ds.avails() {
+            let feats = engine.features_for_avail_at(&ds, a.id, t_star);
+            let planned = a.planned_duration().max(1);
+            let status_of = |r: &domd_data::Rcc| {
+                let s = logical_time(r.created, a.actual_start, planned);
+                let e = logical_time(r.settled, a.actual_start, planned);
+                domd_data::status_at(s, e, t_star)
+            };
+            // Brute force: G-type created count under subsystem 4.
+            let want_g4: usize = ds
+                .rccs_of(a.id)
+                .iter()
+                .filter(|r| {
+                    r.rcc_type == RccType::Growth
+                        && r.swlin.digit(1) == 4
+                        && status_of(r) != domd_data::RccStatus::NotCreated
+                })
+                .count();
+            prop_assert_eq!(feats[col("G4-COUNT_CRE")] as usize, want_g4);
+            // Brute force: overall settled amount.
+            let want_amt: f64 = ds
+                .rccs_of(a.id)
+                .iter()
+                .filter(|r| status_of(r) == domd_data::RccStatus::Settled)
+                .map(|r| r.amount)
+                .sum();
+            let got = feats[col("ALLALL-SUM_AMT_SET")];
+            prop_assert!((got - want_amt).abs() < 1e-6 * (1.0 + want_amt));
+        }
+    }
+
+    #[test]
+    fn status_partition_invariant_in_features(seed in 0u64..100, t_star in 0.0f64..110.0) {
+        // CRE count = ACT count + SET count, per type and subsystem.
+        let ds = generate(&GeneratorConfig { n_avails: 5, target_rccs: 350, scale: 1, seed });
+        let engine = FeatureEngine::default();
+        let names = engine.catalog().names();
+        let col = |n: String| names.iter().position(|x| *x == n).unwrap();
+        for a in ds.avails() {
+            let feats = engine.features_for_avail_at(&ds, a.id, t_star);
+            for tf in ["ALL", "G", "N", "NG"] {
+                for sg in ["ALL", "1", "5", "9"] {
+                    let cre = feats[col(format!("{tf}{sg}-COUNT_CRE"))];
+                    let act = feats[col(format!("{tf}{sg}-COUNT_ACT"))];
+                    let set = feats[col(format!("{tf}{sg}-COUNT_SET"))];
+                    prop_assert!((cre - act - set).abs() < 1e-9, "{tf}{sg} at {t_star}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn type_groups_sum_to_all(seed in 0u64..100) {
+        let ds = generate(&GeneratorConfig { n_avails: 5, target_rccs: 350, scale: 1, seed });
+        let engine = FeatureEngine::default();
+        let ids: Vec<AvailId> = ds.avails().iter().map(|a| a.id).collect();
+        let t = engine.generate_tensor(&ds, &ids, &[70.0]);
+        let names = t.names();
+        let col = |n: &str| names.iter().position(|x| x == n).unwrap();
+        for a in 0..ids.len() {
+            let total = t.slice(0).get(a, col("ALLALL-SUM_AMT_CRE"));
+            let parts: f64 = ["G", "N", "NG"]
+                .iter()
+                .map(|tf| t.slice(0).get(a, col(&format!("{tf}ALL-SUM_AMT_CRE"))))
+                .sum();
+            prop_assert!((total - parts).abs() < 1e-6 * (1.0 + total));
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! Dual-AVL-tree index (Section 4.1).
+//!
+//! The paper's AVL design keeps two self-balancing binary search trees —
+//! one keyed on RCC logical *start* positions, one on logical *end*
+//! positions — so both Status Query predicates (`creation_date <= t*`,
+//! `settled_date <= t*`) are prefix range scans. Each node also carries the
+//! opposite endpoint so the stab query (active set) is a filtered range
+//! scan without a second lookup.
+//!
+//! The tree is arena-backed (`Vec<Node>` with `u32` child indices): no
+//! per-node allocation, compact memory (relevant to Table 6), and O(log n)
+//! insert/delete for the dynamic-maintenance story of Section 4.1.
+
+use crate::traits::LogicalTimeIndex;
+use crate::types::{HeapSize, LogicalRcc, RowId};
+
+const NIL: u32 = u32::MAX;
+
+/// One arena node of an AVL tree keyed by `(key, id)`.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Sort key: logical start (start tree) or logical end (end tree).
+    key: f64,
+    /// The opposite endpoint, carried so stab queries need no second tree.
+    other: f64,
+    /// RCC row id; also the key tiebreaker, making keys unique.
+    id: RowId,
+    left: u32,
+    right: u32,
+    height: u8,
+}
+
+/// An AVL tree over `(key, id)` pairs with payload `other`.
+#[derive(Debug, Clone)]
+pub struct AvlTree {
+    nodes: Vec<Node>,
+    root: u32,
+    /// Arena slots freed by `remove`, reused by `insert`.
+    free: Vec<u32>,
+    len: usize,
+    /// True while the arena is in in-order (sorted-by-key) layout — set by
+    /// [`AvlTree::build_from_sorted`], cleared by any mutation. Range scans
+    /// then run as sequential slice iterations instead of pointer chasing.
+    sorted_layout: bool,
+}
+
+impl Default for AvlTree {
+    fn default() -> Self {
+        AvlTree::new()
+    }
+}
+
+impl AvlTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        AvlTree { nodes: Vec::new(), root: NIL, free: Vec::new(), len: 0, sorted_layout: false }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn height(&self, n: u32) -> i32 {
+        if n == NIL {
+            0
+        } else {
+            i32::from(self.nodes[n as usize].height)
+        }
+    }
+
+    fn update_height(&mut self, n: u32) {
+        let h = 1 + self.height(self.nodes[n as usize].left).max(self.height(self.nodes[n as usize].right));
+        self.nodes[n as usize].height = h as u8;
+    }
+
+    fn balance_factor(&self, n: u32) -> i32 {
+        self.height(self.nodes[n as usize].left) - self.height(self.nodes[n as usize].right)
+    }
+
+    fn rotate_right(&mut self, y: u32) -> u32 {
+        let x = self.nodes[y as usize].left;
+        let t2 = self.nodes[x as usize].right;
+        self.nodes[x as usize].right = y;
+        self.nodes[y as usize].left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: u32) -> u32 {
+        let y = self.nodes[x as usize].right;
+        let t2 = self.nodes[y as usize].left;
+        self.nodes[y as usize].left = x;
+        self.nodes[x as usize].right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    fn rebalance(&mut self, n: u32) -> u32 {
+        self.update_height(n);
+        let bf = self.balance_factor(n);
+        if bf > 1 {
+            if self.balance_factor(self.nodes[n as usize].left) < 0 {
+                let l = self.nodes[n as usize].left;
+                self.nodes[n as usize].left = self.rotate_left(l);
+            }
+            self.rotate_right(n)
+        } else if bf < -1 {
+            if self.balance_factor(self.nodes[n as usize].right) > 0 {
+                let r = self.nodes[n as usize].right;
+                self.nodes[n as usize].right = self.rotate_right(r);
+            }
+            self.rotate_left(n)
+        } else {
+            n
+        }
+    }
+
+    fn key_lt(a: (f64, RowId), b: (f64, RowId)) -> bool {
+        match a.0.total_cmp(&b.0) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.1 < b.1,
+        }
+    }
+
+    fn alloc(&mut self, key: f64, other: f64, id: RowId) -> u32 {
+        let node = Node { key, other, id, left: NIL, right: NIL, height: 1 };
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Inserts `(key, id)` with payload `other`. Duplicate `(key, id)` pairs
+    /// are rejected (returns `false`).
+    pub fn insert(&mut self, key: f64, other: f64, id: RowId) -> bool {
+        fn rec(tree: &mut AvlTree, n: u32, key: f64, other: f64, id: RowId) -> (u32, bool) {
+            if n == NIL {
+                let slot = tree.alloc(key, other, id);
+                return (slot, true);
+            }
+            let nk = (tree.nodes[n as usize].key, tree.nodes[n as usize].id);
+            if (key, id) == nk {
+                return (n, false);
+            }
+            let inserted;
+            if AvlTree::key_lt((key, id), nk) {
+                let (child, ok) = rec(tree, tree.nodes[n as usize].left, key, other, id);
+                tree.nodes[n as usize].left = child;
+                inserted = ok;
+            } else {
+                let (child, ok) = rec(tree, tree.nodes[n as usize].right, key, other, id);
+                tree.nodes[n as usize].right = child;
+                inserted = ok;
+            }
+            (tree.rebalance(n), inserted)
+        }
+        let (root, ok) = rec(self, self.root, key, other, id);
+        self.root = root;
+        if ok {
+            self.len += 1;
+            self.sorted_layout = false;
+        }
+        ok
+    }
+
+    /// Removes `(key, id)`; returns `false` when absent.
+    pub fn remove(&mut self, key: f64, id: RowId) -> bool {
+        fn min_node(tree: &AvlTree, mut n: u32) -> u32 {
+            while tree.nodes[n as usize].left != NIL {
+                n = tree.nodes[n as usize].left;
+            }
+            n
+        }
+        fn rec(tree: &mut AvlTree, n: u32, key: f64, id: RowId) -> (u32, bool) {
+            if n == NIL {
+                return (NIL, false);
+            }
+            let nk = (tree.nodes[n as usize].key, tree.nodes[n as usize].id);
+            let removed;
+            if (key, id) == nk {
+                let (l, r) = (tree.nodes[n as usize].left, tree.nodes[n as usize].right);
+                let replacement = if l == NIL || r == NIL {
+                    tree.free.push(n);
+                    if l == NIL {
+                        r
+                    } else {
+                        l
+                    }
+                } else {
+                    // Two children: splice in the in-order successor.
+                    let succ = min_node(tree, r);
+                    let (sk, so, sid) = {
+                        let s = &tree.nodes[succ as usize];
+                        (s.key, s.other, s.id)
+                    };
+                    let (new_r, _) = rec(tree, r, sk, sid);
+                    tree.nodes[n as usize].key = sk;
+                    tree.nodes[n as usize].other = so;
+                    tree.nodes[n as usize].id = sid;
+                    tree.nodes[n as usize].right = new_r;
+                    n
+                };
+                if replacement == NIL {
+                    return (NIL, true);
+                }
+                return (tree.rebalance(replacement), true);
+            }
+            if AvlTree::key_lt((key, id), nk) {
+                let (child, ok) = rec(tree, tree.nodes[n as usize].left, key, id);
+                tree.nodes[n as usize].left = child;
+                removed = ok;
+            } else {
+                let (child, ok) = rec(tree, tree.nodes[n as usize].right, key, id);
+                tree.nodes[n as usize].right = child;
+                removed = ok;
+            }
+            (tree.rebalance(n), removed)
+        }
+        let (root, ok) = rec(self, self.root, key, id);
+        self.root = root;
+        if ok {
+            self.len -= 1;
+            self.sorted_layout = false;
+        }
+        ok
+    }
+
+    /// Visits every entry with `key <= bound` (subtree-pruned in-order walk;
+    /// a sequential slice scan while the arena is in sorted layout).
+    pub fn for_each_leq<F: FnMut(f64, f64, RowId)>(&self, bound: f64, f: &mut F) {
+        if self.sorted_layout {
+            let end = self.nodes.partition_point(|n| n.key <= bound);
+            for n in &self.nodes[..end] {
+                f(n.key, n.other, n.id);
+            }
+            return;
+        }
+        fn rec<F: FnMut(f64, f64, RowId)>(tree: &AvlTree, n: u32, bound: f64, f: &mut F) {
+            if n == NIL {
+                return;
+            }
+            let node = tree.nodes[n as usize];
+            if node.key <= bound {
+                rec(tree, node.left, bound, f);
+                f(node.key, node.other, node.id);
+                rec(tree, node.right, bound, f);
+            } else {
+                // Entire right subtree exceeds the bound.
+                rec(tree, node.left, bound, f);
+            }
+        }
+        rec(self, self.root, bound, f);
+    }
+
+    /// Visits every entry with `lo < key <= hi` — the incremental-window
+    /// scan used when advancing the logical timeline by one step. Runs as a
+    /// sequential slice scan while the arena is in sorted layout.
+    pub fn for_each_in<F: FnMut(f64, f64, RowId)>(&self, lo: f64, hi: f64, f: &mut F) {
+        if self.sorted_layout {
+            let start = self.nodes.partition_point(|n| n.key <= lo);
+            let end = start + self.nodes[start..].partition_point(|n| n.key <= hi);
+            for n in &self.nodes[start..end] {
+                f(n.key, n.other, n.id);
+            }
+            return;
+        }
+        fn rec<F: FnMut(f64, f64, RowId)>(tree: &AvlTree, n: u32, lo: f64, hi: f64, f: &mut F) {
+            if n == NIL {
+                return;
+            }
+            let node = tree.nodes[n as usize];
+            if node.key > lo {
+                rec(tree, node.left, lo, hi, f);
+            }
+            if node.key > lo && node.key <= hi {
+                f(node.key, node.other, node.id);
+            }
+            if node.key <= hi {
+                rec(tree, node.right, lo, hi, f);
+            }
+        }
+        rec(self, self.root, lo, hi, f);
+    }
+
+    /// Maximum node depth (testing hook: must stay O(log n)).
+    pub fn depth(&self) -> usize {
+        self.height(self.root) as usize
+    }
+
+    /// Total arena slots (live + freed); a stable value across balanced
+    /// remove/insert churn shows slot reuse.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Bulk-builds a perfectly balanced tree from entries pre-sorted by
+    /// `(key, id)`. Nodes land at their *in-order* arena positions, so the
+    /// pruned range scans of [`AvlTree::for_each_leq`] /
+    /// [`AvlTree::for_each_in`] walk memory almost sequentially — the
+    /// locality that makes the incremental sweep fast. O(n) after the
+    /// caller's O(n log n) sort; this is why index creation is an order of
+    /// magnitude cheaper than per-insert construction (Figure 5a).
+    pub fn build_from_sorted(entries: &[(f64, f64, RowId)]) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| (w[0].0, w[0].2) < (w[1].0, w[1].2)),
+            "entries must be strictly sorted by (key, id)"
+        );
+        let n = entries.len();
+        let mut nodes = Vec::with_capacity(n);
+        nodes.extend(entries.iter().map(|&(key, other, id)| Node {
+            key,
+            other,
+            id,
+            left: NIL,
+            right: NIL,
+            height: 1,
+        }));
+        let mut tree =
+            AvlTree { nodes, root: NIL, free: Vec::new(), len: n, sorted_layout: true };
+
+        /// Wires up `lo..hi` (exclusive) and returns (root index, height).
+        fn rec(nodes: &mut [Node], lo: usize, hi: usize) -> (u32, u8) {
+            if lo >= hi {
+                return (NIL, 0);
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (l, hl) = rec(nodes, lo, mid);
+            let (r, hr) = rec(nodes, mid + 1, hi);
+            nodes[mid].left = l;
+            nodes[mid].right = r;
+            let h = 1 + hl.max(hr);
+            nodes[mid].height = h;
+            (mid as u32, h)
+        }
+        let (root, _) = rec(&mut tree.nodes, 0, n);
+        tree.root = root;
+        tree
+    }
+}
+
+impl HeapSize for AvlTree {
+    fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The dual-AVL logical-time index of Section 4.1.
+#[derive(Debug, Clone, Default)]
+pub struct AvlIndex {
+    /// Keyed on logical start; `other` is the logical end.
+    starts: AvlTree,
+    /// Keyed on logical end; `other` is the logical start.
+    ends: AvlTree,
+}
+
+impl AvlIndex {
+    /// Inserts one RCC into both trees (O(log n) each).
+    pub fn insert(&mut self, rcc: &LogicalRcc) -> bool {
+        let a = self.starts.insert(rcc.start, rcc.end, rcc.id);
+        let b = self.ends.insert(rcc.end, rcc.start, rcc.id);
+        debug_assert_eq!(a, b, "trees must stay in lockstep");
+        a && b
+    }
+
+    /// Removes one RCC from both trees (O(log n) each).
+    pub fn remove(&mut self, rcc: &LogicalRcc) -> bool {
+        let a = self.starts.remove(rcc.start, rcc.id);
+        let b = self.ends.remove(rcc.end, rcc.id);
+        debug_assert_eq!(a, b, "trees must stay in lockstep");
+        a && b
+    }
+
+    /// Visits RCCs *created* in the window `lo < start <= hi`, passing
+    /// `(start, end, id)`. Drives incremental computation (Section 4.3).
+    pub fn for_each_created_in<F: FnMut(f64, f64, RowId)>(&self, lo: f64, hi: f64, mut f: F) {
+        self.starts.for_each_in(lo, hi, &mut |k, o, id| f(k, o, id));
+    }
+
+    /// Visits RCCs *settled* in the window `lo < end <= hi`, passing
+    /// `(start, end, id)`.
+    pub fn for_each_settled_in<F: FnMut(f64, f64, RowId)>(&self, lo: f64, hi: f64, mut f: F) {
+        self.ends.for_each_in(lo, hi, &mut |k, o, id| f(o, k, id));
+    }
+
+    /// Testing/inspection hook: depths of the two trees.
+    pub fn depths(&self) -> (usize, usize) {
+        (self.starts.depth(), self.ends.depth())
+    }
+
+    /// Testing/inspection hook: arena sizes of the two trees.
+    pub fn arena_lens(&self) -> (usize, usize) {
+        (self.starts.arena_len(), self.ends.arena_len())
+    }
+}
+
+impl HeapSize for AvlIndex {
+    fn heap_bytes(&self) -> usize {
+        self.starts.heap_bytes() + self.ends.heap_bytes()
+    }
+}
+
+impl LogicalTimeIndex for AvlIndex {
+    fn name(&self) -> &'static str {
+        "avl"
+    }
+
+    fn build(rccs: &[LogicalRcc]) -> Self {
+        // Bulk path: sort once per tree, then O(n) balanced construction
+        // with in-order arena layout. `insert`/`remove` keep the trees
+        // maintainable afterwards.
+        let mut by_start: Vec<(f64, f64, RowId)> =
+            rccs.iter().map(|r| (r.start, r.end, r.id)).collect();
+        by_start.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        let mut by_end: Vec<(f64, f64, RowId)> =
+            rccs.iter().map(|r| (r.end, r.start, r.id)).collect();
+        by_end.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        AvlIndex {
+            starts: AvlTree::build_from_sorted(&by_start),
+            ends: AvlTree::build_from_sorted(&by_end),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    fn active_at(&self, t_star: f64) -> Vec<RowId> {
+        // Range scan on the start tree, filtering on the carried end.
+        let mut out = Vec::new();
+        self.starts.for_each_leq(t_star, &mut |_start, end, id| {
+            if end > t_star {
+                out.push(id);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    fn settled_by(&self, t_star: f64) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.ends.for_each_leq(t_star, &mut |_end, _start, id| out.push(id));
+        out.sort_unstable();
+        out
+    }
+
+    fn created_by(&self, t_star: f64) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.starts.for_each_leq(t_star, &mut |_s, _e, id| out.push(id));
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rcc(id: RowId, start: f64, end: f64) -> LogicalRcc {
+        LogicalRcc { id, avail: domd_data::AvailId(1), start, end }
+    }
+
+    #[test]
+    fn insert_and_query_small() {
+        let rs = [rcc(0, 0.0, 30.0), rcc(1, 10.0, 50.0), rcc(2, 40.0, 90.0), rcc(3, 95.0, 120.0)];
+        let idx = AvlIndex::build(&rs);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.active_at(20.0), vec![0, 1]);
+        assert_eq!(idx.settled_by(20.0), Vec::<RowId>::new());
+        assert_eq!(idx.created_by(20.0), vec![0, 1]);
+        assert_eq!(idx.not_created_by(20.0), vec![2, 3]);
+        assert_eq!(idx.active_at(50.0), vec![2]); // 1 settles exactly at 50
+        assert_eq!(idx.settled_by(50.0), vec![0, 1]);
+        assert_eq!(idx.created_by(100.0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut idx = AvlIndex::default();
+        assert!(idx.insert(&rcc(7, 1.0, 2.0)));
+        assert!(!idx.insert(&rcc(7, 1.0, 2.0)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn remove_then_query() {
+        let rs: Vec<LogicalRcc> =
+            (0..100).map(|i| rcc(i, i as f64, i as f64 + 10.0)).collect();
+        let mut idx = AvlIndex::build(&rs);
+        for r in rs.iter().step_by(2) {
+            assert!(idx.remove(r));
+        }
+        assert_eq!(idx.len(), 50);
+        assert!(!idx.remove(&rs[0]), "double remove must fail");
+        let act = idx.active_at(15.0);
+        // Remaining odd ids with start <= 15 < end: 7,9,11,13,15.
+        assert_eq!(act, vec![7, 9, 11, 13, 15]);
+    }
+
+    #[test]
+    fn balanced_depth_under_sequential_inserts() {
+        let rs: Vec<LogicalRcc> =
+            (0..4096).map(|i| rcc(i, i as f64 * 0.01, i as f64 * 0.01 + 5.0)).collect();
+        let idx = AvlIndex::build(&rs);
+        let (ds, de) = idx.depths();
+        // AVL bound: height <= 1.44 log2(n+2); for 4096 that's ~18.
+        assert!(ds <= 18 && de <= 18, "depths ({ds}, {de}) exceed AVL bound");
+    }
+
+    #[test]
+    fn arena_slots_reused_after_remove() {
+        let mut idx = AvlIndex::default();
+        for i in 0..100 {
+            idx.insert(&rcc(i, i as f64, i as f64 + 1.0));
+        }
+        let arena_before = idx.arena_lens();
+        for i in 0..50 {
+            idx.remove(&rcc(i, i as f64, i as f64 + 1.0));
+        }
+        for i in 100..150 {
+            idx.insert(&rcc(i, i as f64, i as f64 + 1.0));
+        }
+        assert_eq!(idx.len(), 100);
+        assert_eq!(idx.arena_lens(), arena_before, "freed slots must be reused");
+    }
+
+    #[test]
+    fn window_scan_matches_filter() {
+        let rs: Vec<LogicalRcc> =
+            (0..500).map(|i| rcc(i, (i % 97) as f64, (i % 97) as f64 + (i % 13) as f64 + 1.0)).collect();
+        let idx = AvlIndex::build(&rs);
+        let mut got = Vec::new();
+        idx.for_each_created_in(20.0, 40.0, |s, e, id| {
+            assert!(s > 20.0 && s <= 40.0);
+            assert!(e > s);
+            got.push(id);
+        });
+        got.sort_unstable();
+        let mut want: Vec<RowId> =
+            rs.iter().filter(|r| r.start > 20.0 && r.start <= 40.0).map(|r| r.id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn settled_window_scan_matches_filter() {
+        let rs: Vec<LogicalRcc> =
+            (0..500).map(|i| rcc(i, (i % 89) as f64, (i % 89) as f64 + (i % 17) as f64 + 1.0)).collect();
+        let idx = AvlIndex::build(&rs);
+        let mut got = Vec::new();
+        idx.for_each_settled_in(30.0, 60.0, |s, e, id| {
+            assert!(e > 30.0 && e <= 60.0);
+            assert!(s < e);
+            got.push(id);
+        });
+        got.sort_unstable();
+        let mut want: Vec<RowId> =
+            rs.iter().filter(|r| r.end > 30.0 && r.end <= 60.0).map(|r| r.id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

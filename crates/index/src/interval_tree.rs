@@ -1,0 +1,323 @@
+//! Centered interval tree index (Section 4.1).
+//!
+//! The classic centered interval tree: each node owns a center point and
+//! every interval containing that center, stored twice — sorted by start
+//! and sorted by end — so stab queries touch only the qualifying prefix or
+//! suffix of each node list. Intervals entirely left (right) of the center
+//! recurse into the left (right) child. Construction is O(n log n), stab
+//! and range retrieval are O(log n + k).
+//!
+//! The double bookkeeping per interval is why this design carries slightly
+//! more memory than the dual-AVL index (Table 6 reports the same ordering).
+//! This variant is static: dynamic maintenance in the paper's pipeline uses
+//! the AVL design, which the paper also found superior in practice.
+
+use crate::traits::LogicalTimeIndex;
+use crate::types::{HeapSize, LogicalRcc, RowId};
+
+const NIL: u32 = u32::MAX;
+
+/// `(key endpoint, other endpoint, id)` entry in a node list.
+type Entry = (f64, f64, RowId);
+
+#[derive(Debug, Clone)]
+struct Node {
+    center: f64,
+    left: u32,
+    right: u32,
+    /// Intervals containing `center`, ascending by start.
+    by_start: Vec<Entry>,
+    /// The same intervals, ascending by end.
+    by_end: Vec<Entry>,
+}
+
+/// Centered interval tree over logical RCC intervals.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalTreeIndex {
+    nodes: Vec<Node>,
+    root: u32,
+    len: usize,
+}
+
+impl IntervalTreeIndex {
+    fn build_rec(&mut self, mut items: Vec<(f64, f64, RowId)>) -> u32 {
+        if items.is_empty() {
+            return NIL;
+        }
+        // Center = median endpoint; the interval contributing it always
+        // contains it, so the node list is never empty and recursion
+        // terminates.
+        let mut endpoints: Vec<f64> = Vec::with_capacity(items.len() * 2);
+        for &(s, e, _) in &items {
+            endpoints.push(s);
+            endpoints.push(e);
+        }
+        endpoints.sort_by(f64::total_cmp);
+        let center = endpoints[endpoints.len() / 2];
+
+        let mut left_items = Vec::new();
+        let mut right_items = Vec::new();
+        let mut here = Vec::new();
+        for (s, e, id) in items.drain(..) {
+            if e < center {
+                left_items.push((s, e, id));
+            } else if s > center {
+                right_items.push((s, e, id));
+            } else {
+                here.push((s, e, id));
+            }
+        }
+        debug_assert!(!here.is_empty(), "median endpoint's interval must land here");
+
+        let mut by_start: Vec<Entry> = here.iter().map(|&(s, e, id)| (s, e, id)).collect();
+        by_start.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        let mut by_end: Vec<Entry> = here.iter().map(|&(s, e, id)| (e, s, id)).collect();
+        by_end.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        by_start.shrink_to_fit();
+        by_end.shrink_to_fit();
+
+        let slot = self.nodes.len() as u32;
+        self.nodes.push(Node { center, left: NIL, right: NIL, by_start, by_end });
+        let l = self.build_rec(left_items);
+        let r = self.build_rec(right_items);
+        self.nodes[slot as usize].left = l;
+        self.nodes[slot as usize].right = r;
+        slot
+    }
+
+    /// Emits every id stored in the subtree rooted at `n`.
+    fn collect_subtree(&self, n: u32, out: &mut Vec<RowId>) {
+        if n == NIL {
+            return;
+        }
+        let node = &self.nodes[n as usize];
+        out.extend(node.by_start.iter().map(|&(_, _, id)| id));
+        self.collect_subtree(node.left, out);
+        self.collect_subtree(node.right, out);
+    }
+
+    fn stab(&self, n: u32, t: f64, out: &mut Vec<RowId>) {
+        if n == NIL {
+            return;
+        }
+        let node = &self.nodes[n as usize];
+        if t < node.center {
+            // Node intervals end at or past the center (> t); qualify by start.
+            for &(s, _e, id) in &node.by_start {
+                if s > t {
+                    break;
+                }
+                out.push(id);
+            }
+            self.stab(node.left, t, out);
+        } else {
+            // t >= center: node intervals start at or before the center
+            // (<= t); qualify by the half-open end (end > t).
+            for &(e, _s, id) in node.by_end.iter().rev() {
+                if e <= t {
+                    break;
+                }
+                out.push(id);
+            }
+            if t > node.center {
+                self.stab(node.right, t, out);
+            }
+            // t == center: left subtree ends < center = t (settled), right
+            // subtree starts > center = t (not created) — both pruned.
+        }
+    }
+
+    fn settled(&self, n: u32, t: f64, out: &mut Vec<RowId>) {
+        if n == NIL {
+            return;
+        }
+        let node = &self.nodes[n as usize];
+        if node.center <= t {
+            for &(e, _s, id) in &node.by_end {
+                if e > t {
+                    break;
+                }
+                out.push(id);
+            }
+            // Left subtree ends strictly before the center <= t: all settled.
+            self.collect_subtree(node.left, out);
+            self.settled(node.right, t, out);
+        } else {
+            // Node intervals end at or past center > t: none settled here or
+            // to the right (starts > center > t).
+            self.settled(node.left, t, out);
+        }
+    }
+
+    fn created(&self, n: u32, t: f64, out: &mut Vec<RowId>) {
+        if n == NIL {
+            return;
+        }
+        let node = &self.nodes[n as usize];
+        if node.center <= t {
+            // Node intervals start at or before center <= t: all created;
+            // left subtree lies entirely before the center: all created.
+            out.extend(node.by_start.iter().map(|&(_, _, id)| id));
+            self.collect_subtree(node.left, out);
+            self.created(node.right, t, out);
+        } else {
+            for &(s, _e, id) in &node.by_start {
+                if s > t {
+                    break;
+                }
+                out.push(id);
+            }
+            self.created(node.left, t, out);
+        }
+    }
+
+    /// Maximum node depth (testing hook).
+    pub fn depth(&self) -> usize {
+        fn rec(tree: &IntervalTreeIndex, n: u32) -> usize {
+            if n == NIL {
+                return 0;
+            }
+            let node = &tree.nodes[n as usize];
+            1 + rec(tree, node.left).max(rec(tree, node.right))
+        }
+        rec(self, self.root)
+    }
+
+    /// Number of tree nodes (testing/diagnostics hook).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl HeapSize for IntervalTreeIndex {
+    fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.by_start.capacity() * std::mem::size_of::<Entry>()
+                        + n.by_end.capacity() * std::mem::size_of::<Entry>()
+                })
+                .sum::<usize>()
+    }
+}
+
+impl LogicalTimeIndex for IntervalTreeIndex {
+    fn name(&self) -> &'static str {
+        "interval-tree"
+    }
+
+    fn build(rccs: &[LogicalRcc]) -> Self {
+        let mut tree = IntervalTreeIndex { nodes: Vec::new(), root: NIL, len: rccs.len() };
+        let items: Vec<(f64, f64, RowId)> = rccs.iter().map(|r| (r.start, r.end, r.id)).collect();
+        tree.root = tree.build_rec(items);
+        tree
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn active_at(&self, t_star: f64) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.stab(self.root, t_star, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn settled_by(&self, t_star: f64) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.settled(self.root, t_star, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn created_by(&self, t_star: f64) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.created(self.root, t_star, &mut out);
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rcc(id: RowId, start: f64, end: f64) -> LogicalRcc {
+        LogicalRcc { id, avail: domd_data::AvailId(1), start, end }
+    }
+
+    #[test]
+    fn small_case_semantics() {
+        let rs = [rcc(0, 0.0, 30.0), rcc(1, 10.0, 50.0), rcc(2, 40.0, 90.0), rcc(3, 95.0, 120.0)];
+        let idx = IntervalTreeIndex::build(&rs);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.active_at(20.0), vec![0, 1]);
+        assert_eq!(idx.active_at(50.0), vec![2]);
+        assert_eq!(idx.settled_by(50.0), vec![0, 1]);
+        assert_eq!(idx.created_by(100.0), vec![0, 1, 2, 3]);
+        assert_eq!(idx.not_created_by(20.0), vec![2, 3]);
+    }
+
+    #[test]
+    fn stab_at_exact_center_endpoint() {
+        // Identical intervals force the center onto shared endpoints.
+        let rs = [rcc(0, 10.0, 20.0), rcc(1, 10.0, 20.0), rcc(2, 10.0, 20.0)];
+        let idx = IntervalTreeIndex::build(&rs);
+        assert_eq!(idx.active_at(10.0), vec![0, 1, 2]);
+        assert_eq!(idx.active_at(15.0), vec![0, 1, 2]);
+        assert_eq!(idx.active_at(20.0), Vec::<RowId>::new()); // half-open end
+        assert_eq!(idx.settled_by(20.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let idx = IntervalTreeIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.active_at(10.0).is_empty());
+        assert!(idx.settled_by(10.0).is_empty());
+        assert!(idx.created_by(10.0).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let rs: Vec<LogicalRcc> = (0..2000)
+            .map(|i| {
+                let s: f64 = rng.gen_range(0.0..100.0);
+                let w: f64 = rng.gen_range(0.5..40.0);
+                rcc(i, s, s + w)
+            })
+            .collect();
+        let idx = IntervalTreeIndex::build(&rs);
+        for t in [0.0, 7.3, 25.0, 50.0, 77.7, 99.9, 120.0] {
+            let mut want_a: Vec<RowId> =
+                rs.iter().filter(|r| r.start <= t && r.end > t).map(|r| r.id).collect();
+            want_a.sort_unstable();
+            assert_eq!(idx.active_at(t), want_a, "active at {t}");
+            let mut want_s: Vec<RowId> = rs.iter().filter(|r| r.end <= t).map(|r| r.id).collect();
+            want_s.sort_unstable();
+            assert_eq!(idx.settled_by(t), want_s, "settled at {t}");
+            let mut want_c: Vec<RowId> = rs.iter().filter(|r| r.start <= t).map(|r| r.id).collect();
+            want_c.sort_unstable();
+            assert_eq!(idx.created_by(t), want_c, "created at {t}");
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let rs: Vec<LogicalRcc> = (0..8192)
+            .map(|i| {
+                let s: f64 = rng.gen_range(0.0..100.0);
+                rcc(i, s, s + rng.gen_range(0.1..5.0))
+            })
+            .collect();
+        let idx = IntervalTreeIndex::build(&rs);
+        assert!(idx.depth() <= 2 * 14, "depth {} too deep for n=8192", idx.depth());
+    }
+}

@@ -1,0 +1,43 @@
+//! # domd-index
+//!
+//! Status Query processing for the DoMD framework — Section 4 of the EDBT
+//! 2025 paper. A Status Query retrieves, at a logical timestamp `t*`, the
+//! RCCs that are active / settled / created / not-yet-created (Equations
+//! 3–6), restricted to GROUP BY subtrees over RCC type and the SWLIN
+//! hierarchy, and aggregates their amounts and durations.
+//!
+//! Three index designs answer the logical-time predicates:
+//!
+//! * [`avl::AvlIndex`] — dual AVL trees keyed on logical start and end
+//!   positions (the paper's winning design; O(log n) dynamic maintenance);
+//! * [`interval_tree::IntervalTreeIndex`] — a centered interval tree;
+//! * [`naive::NaiveJoinIndex`] — the materialized avail ⋈ RCC join scanned
+//!   per query (the Pandas-merge baseline).
+//!
+//! [`group_tree`] holds the RCC-Type-Tree and SWLIN tree of Algorithm
+//! StatusQ; [`status_query`] implements the algorithm itself; and
+//! [`incremental`] provides the `StatStructure` delta computation of
+//! Section 4.3, which advances per-group aggregates across the logical
+//! timeline touching only the RCCs whose endpoints fall in each new window.
+
+pub mod avl;
+pub mod group_tree;
+pub mod incremental;
+pub mod interval_tree;
+pub mod naive;
+pub mod sorted_array;
+pub mod status_query;
+pub mod traits;
+pub mod types;
+
+pub use avl::{AvlIndex, AvlTree};
+pub use group_tree::{RccTypeTree, SwlinTree};
+pub use incremental::{
+    sweep_from_scratch, sweep_incremental, Accum, RowColumns, StatStructure,
+};
+pub use interval_tree::IntervalTreeIndex;
+pub use naive::NaiveJoinIndex;
+pub use sorted_array::SortedArrayIndex;
+pub use status_query::{StatusAggregate, StatusQuery, StatusQueryEngine};
+pub use traits::LogicalTimeIndex;
+pub use types::{project_dataset, HeapSize, LogicalRcc, OrderedF64, RowId};

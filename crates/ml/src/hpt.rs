@@ -1,0 +1,310 @@
+//! AutoHPT (Section 3.2.4): Tree-structured Parzen Estimator (TPE)
+//! hyperparameter optimization in the Sequential Model-Based Optimization
+//! loop of Bergstra et al. / Optuna, which the paper combines.
+//!
+//! After a random warm-up, each trial splits the observation history at the
+//! γ-quantile of losses into "good" and "bad" sets, models each dimension
+//! of both sets with a Parzen (Gaussian-mixture) density, samples candidate
+//! configurations from the good density, and keeps the candidate maximizing
+//! the density ratio `l(x)/g(x)` — the TPE proxy for expected improvement.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Domain of one hyperparameter dimension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamDomain {
+    /// Continuous in `[lo, hi]`; `log = true` searches in log space.
+    Float { lo: f64, hi: f64, log: bool },
+    /// Integer-valued in `[lo, hi]` (inclusive).
+    Int { lo: i64, hi: i64 },
+}
+
+/// One named hyperparameter dimension.
+#[derive(Debug, Clone)]
+pub struct ParamSpec {
+    /// Name surfaced in reports.
+    pub name: &'static str,
+    /// Search domain.
+    pub domain: ParamDomain,
+}
+
+impl ParamSpec {
+    fn to_internal(&self, v: f64) -> f64 {
+        match self.domain {
+            ParamDomain::Float { log: true, .. } => v.ln(),
+            _ => v,
+        }
+    }
+
+    fn value_from_internal(&self, u: f64) -> f64 {
+        match self.domain {
+            ParamDomain::Float { lo, hi, log } => {
+                let x = if log { u.exp() } else { u };
+                x.clamp(lo, hi)
+            }
+            ParamDomain::Int { lo, hi } => u.round().clamp(lo as f64, hi as f64),
+        }
+    }
+
+    fn internal_bounds(&self) -> (f64, f64) {
+        match self.domain {
+            ParamDomain::Float { lo, hi, log } => {
+                if log {
+                    (lo.ln(), hi.ln())
+                } else {
+                    (lo, hi)
+                }
+            }
+            ParamDomain::Int { lo, hi } => (lo as f64, hi as f64),
+        }
+    }
+
+    fn sample_uniform(&self, rng: &mut SmallRng) -> f64 {
+        let (lo, hi) = self.internal_bounds();
+        let u = if lo == hi { lo } else { rng.gen_range(lo..hi) };
+        self.value_from_internal(u)
+    }
+}
+
+/// TPE controls.
+#[derive(Debug, Clone, Copy)]
+pub struct TpeConfig {
+    /// Total objective evaluations.
+    pub n_trials: usize,
+    /// Leading random-search trials before the Parzen model kicks in.
+    pub n_startup: usize,
+    /// Quantile splitting good from bad observations.
+    pub gamma: f64,
+    /// Candidates sampled from the good density per trial.
+    pub n_candidates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpeConfig {
+    fn default() -> Self {
+        TpeConfig { n_trials: 30, n_startup: 8, gamma: 0.25, n_candidates: 24, seed: 0 }
+    }
+}
+
+/// One completed trial.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// Parameter values (in domain units, same order as the specs).
+    pub params: Vec<f64>,
+    /// Observed objective value.
+    pub loss: f64,
+}
+
+/// Result of a TPE run.
+#[derive(Debug, Clone)]
+pub struct TpeResult {
+    /// Best parameter vector found.
+    pub best_params: Vec<f64>,
+    /// Its objective value.
+    pub best_loss: f64,
+    /// Every trial, in evaluation order.
+    pub history: Vec<Trial>,
+}
+
+/// Minimizes `objective` over the space given by `specs`.
+pub fn tpe_minimize<F: FnMut(&[f64]) -> f64>(
+    specs: &[ParamSpec],
+    config: &TpeConfig,
+    mut objective: F,
+) -> TpeResult {
+    assert!(!specs.is_empty(), "need at least one dimension");
+    assert!(config.n_trials >= 1, "need at least one trial");
+    assert!(config.gamma > 0.0 && config.gamma < 1.0);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut history: Vec<Trial> = Vec::with_capacity(config.n_trials);
+
+    for trial_no in 0..config.n_trials {
+        let params = if trial_no < config.n_startup.max(2) {
+            specs.iter().map(|s| s.sample_uniform(&mut rng)).collect::<Vec<f64>>()
+        } else {
+            suggest(specs, &history, config, &mut rng)
+        };
+        let loss = objective(&params);
+        history.push(Trial { params, loss });
+    }
+
+    let best = history
+        .iter()
+        .min_by(|a, b| a.loss.total_cmp(&b.loss))
+        .expect("at least one trial ran");
+    TpeResult { best_params: best.params.clone(), best_loss: best.loss, history }
+}
+
+/// Parzen-window log density: a uniform-prior component plus a Gaussian at
+/// each observation with a range-scaled bandwidth.
+fn log_density(u: f64, obs: &[f64], lo: f64, hi: f64) -> f64 {
+    let range = (hi - lo).max(1e-12);
+    let bw = (range / (obs.len() as f64).sqrt()).max(range * 0.02);
+    let mut acc = 1.0 / range; // uniform prior pseudo-count
+    for &o in obs {
+        let z = (u - o) / bw;
+        acc += (-0.5 * z * z).exp() / (bw * (2.0 * std::f64::consts::PI).sqrt());
+    }
+    (acc / (obs.len() as f64 + 1.0)).ln()
+}
+
+fn suggest(
+    specs: &[ParamSpec],
+    history: &[Trial],
+    config: &TpeConfig,
+    rng: &mut SmallRng,
+) -> Vec<f64> {
+    // Split at the gamma quantile of losses.
+    let mut order: Vec<usize> = (0..history.len()).collect();
+    order.sort_by(|&a, &b| history[a].loss.total_cmp(&history[b].loss));
+    let n_good = ((history.len() as f64 * config.gamma).ceil() as usize)
+        .clamp(1, history.len() - 1);
+    let good: Vec<usize> = order[..n_good].to_vec();
+    let bad: Vec<usize> = order[n_good..].to_vec();
+
+    // Per-dimension internal-space observations.
+    let dim_obs = |idxs: &[usize], d: usize| -> Vec<f64> {
+        idxs.iter().map(|&i| specs[d].to_internal(history[i].params[d])).collect()
+    };
+
+    let mut best_cand: Option<(Vec<f64>, f64)> = None;
+    for _ in 0..config.n_candidates {
+        // Sample each dimension from the good Parzen mixture.
+        let mut cand_internal = Vec::with_capacity(specs.len());
+        let mut score = 0.0;
+        for (d, spec) in specs.iter().enumerate() {
+            let (lo, hi) = spec.internal_bounds();
+            let range = (hi - lo).max(1e-12);
+            let g_obs = dim_obs(&good, d);
+            let b_obs = dim_obs(&bad, d);
+            let bw = (range / (g_obs.len() as f64).sqrt()).max(range * 0.02);
+            // Mixture draw: a good center + Gaussian noise, or the prior.
+            let u = if rng.gen::<f64>() < 1.0 / (g_obs.len() as f64 + 1.0) {
+                rng.gen_range(lo..=hi)
+            } else {
+                let center = g_obs[rng.gen_range(0..g_obs.len())];
+                (center + crate::hpt::gauss(rng) * bw).clamp(lo, hi)
+            };
+            score += log_density(u, &g_obs, lo, hi) - log_density(u, &b_obs, lo, hi);
+            cand_internal.push(u);
+        }
+        if best_cand.as_ref().is_none_or(|(_, s)| score > *s) {
+            best_cand = Some((cand_internal, score));
+        }
+    }
+    let (internal, _) = best_cand.expect("n_candidates >= 1");
+    specs.iter().zip(internal).map(|(s, u)| s.value_from_internal(u)).collect()
+}
+
+/// Standard normal draw (Box–Muller, cosine branch).
+fn gauss(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bowl_specs() -> Vec<ParamSpec> {
+        vec![
+            ParamSpec { name: "a", domain: ParamDomain::Float { lo: -10.0, hi: 10.0, log: false } },
+            ParamSpec { name: "b", domain: ParamDomain::Float { lo: -10.0, hi: 10.0, log: false } },
+        ]
+    }
+
+    #[test]
+    fn finds_quadratic_minimum_neighborhood() {
+        let res = tpe_minimize(
+            &bowl_specs(),
+            &TpeConfig { n_trials: 80, seed: 1, ..Default::default() },
+            |p| (p[0] - 3.0).powi(2) + (p[1] + 2.0).powi(2),
+        );
+        assert!(res.best_loss < 1.5, "best {:?} loss {}", res.best_params, res.best_loss);
+        assert!((res.best_params[0] - 3.0).abs() < 2.0);
+        assert!((res.best_params[1] + 2.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn beats_pure_random_on_average() {
+        // Same budget, same objective; TPE should win on the median of
+        // several seeds.
+        let objective = |p: &[f64]| (p[0] - 3.0).powi(2) + (p[1] + 2.0).powi(2);
+        let mut tpe_wins = 0;
+        for seed in 0..9 {
+            let tpe = tpe_minimize(
+                &bowl_specs(),
+                &TpeConfig { n_trials: 40, seed, ..Default::default() },
+                objective,
+            );
+            let rand = tpe_minimize(
+                &bowl_specs(),
+                &TpeConfig { n_trials: 40, n_startup: 40, seed, ..Default::default() },
+                objective,
+            );
+            if tpe.best_loss <= rand.best_loss {
+                tpe_wins += 1;
+            }
+        }
+        assert!(tpe_wins >= 6, "TPE won only {tpe_wins}/9 against random search");
+    }
+
+    #[test]
+    fn integer_dimension_stays_integral() {
+        let specs = vec![ParamSpec { name: "n", domain: ParamDomain::Int { lo: 1, hi: 9 } }];
+        let res = tpe_minimize(
+            &specs,
+            &TpeConfig { n_trials: 25, seed: 3, ..Default::default() },
+            |p| (p[0] - 6.0).abs(),
+        );
+        for t in &res.history {
+            assert_eq!(t.params[0], t.params[0].round());
+            assert!((1.0..=9.0).contains(&t.params[0]));
+        }
+        assert_eq!(res.best_params[0], 6.0);
+    }
+
+    #[test]
+    fn log_domain_explores_orders_of_magnitude() {
+        let specs = vec![ParamSpec {
+            name: "lr",
+            domain: ParamDomain::Float { lo: 1e-4, hi: 1.0, log: true },
+        }];
+        let res = tpe_minimize(
+            &specs,
+            &TpeConfig { n_trials: 60, seed: 4, ..Default::default() },
+            |p| (p[0].ln() - 0.01f64.ln()).abs(),
+        );
+        assert!(res.best_params[0] > 1e-3 && res.best_params[0] < 0.1, "{:?}", res.best_params);
+        // Warm-up must have covered multiple decades.
+        let min = res.history.iter().map(|t| t.params[0]).fold(f64::MAX, f64::min);
+        let max = res.history.iter().map(|t| t.params[0]).fold(f64::MIN, f64::max);
+        assert!(max / min > 100.0, "log sampling span {min}..{max}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let f = |p: &[f64]| p[0].powi(2);
+        let cfg = TpeConfig { n_trials: 20, seed: 5, ..Default::default() };
+        let a = tpe_minimize(&bowl_specs(), &cfg, f);
+        let b = tpe_minimize(&bowl_specs(), &cfg, f);
+        assert_eq!(a.best_params, b.best_params);
+        assert_eq!(a.history.len(), 20);
+    }
+
+    #[test]
+    fn history_records_every_trial() {
+        let res = tpe_minimize(
+            &bowl_specs(),
+            &TpeConfig { n_trials: 13, seed: 6, ..Default::default() },
+            |p| p[0] + p[1],
+        );
+        assert_eq!(res.history.len(), 13);
+        let best_in_history =
+            res.history.iter().map(|t| t.loss).fold(f64::MAX, f64::min);
+        assert_eq!(best_in_history, res.best_loss);
+    }
+}

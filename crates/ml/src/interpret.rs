@@ -1,0 +1,159 @@
+//! Model-agnostic interpretability tools for the SME review loop
+//! (Section 5.2.5): partial dependence and permutation importance. Both
+//! interrogate a fitted model only through its predictions, so they apply
+//! to every family uniformly — and unlike split-gain importance, they are
+//! comparable across families.
+
+use crate::matrix::DenseMatrix;
+use crate::metrics::mae;
+use crate::model::TrainedModel;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One point of a partial-dependence curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdpPoint {
+    /// The value feature `j` was clamped to.
+    pub value: f64,
+    /// Mean model prediction over the background rows at that value.
+    pub mean_prediction: f64,
+}
+
+/// Partial dependence of `model` on column `feature` over `x`: for each of
+/// `n_points` grid values spanning the feature's observed range, clamp the
+/// column for every row and average the predictions. A flat curve means
+/// the model ignores the feature; the curve's shape is the model's learned
+/// marginal response (e.g. the capacity-cliff regime jumps show up as
+/// steps).
+pub fn partial_dependence(
+    model: &TrainedModel,
+    x: &DenseMatrix,
+    feature: usize,
+    n_points: usize,
+) -> Vec<PdpPoint> {
+    assert!(feature < x.n_cols(), "feature out of range");
+    assert!(n_points >= 2, "need at least 2 grid points");
+    assert!(x.n_rows() > 0, "need background rows");
+    let col = x.col(feature);
+    let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut out = Vec::with_capacity(n_points);
+    let mut work = x.clone();
+    for i in 0..n_points {
+        let v = if hi > lo {
+            lo + (hi - lo) * i as f64 / (n_points - 1) as f64
+        } else {
+            lo
+        };
+        for r in 0..work.n_rows() {
+            work.set(r, feature, v);
+        }
+        let preds = model.predict(&work);
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        out.push(PdpPoint { value: v, mean_prediction: mean });
+    }
+    out
+}
+
+/// Permutation importance: the increase in MAE when column `j` is shuffled
+/// (averaged over `n_repeats` shuffles). Near-zero means the model's
+/// accuracy does not rely on the feature.
+pub fn permutation_importance(
+    model: &TrainedModel,
+    x: &DenseMatrix,
+    y: &[f64],
+    n_repeats: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert_eq!(x.n_rows(), y.len());
+    assert!(n_repeats >= 1);
+    let base = mae(y, &model.predict(x));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(x.n_cols());
+    for j in 0..x.n_cols() {
+        let original = x.col(j);
+        let mut work = x.clone();
+        let mut total = 0.0;
+        for _ in 0..n_repeats {
+            let mut shuffled = original.clone();
+            shuffled.shuffle(&mut rng);
+            for (r, v) in shuffled.iter().enumerate() {
+                work.set(r, j, *v);
+            }
+            total += mae(y, &model.predict(&work)) - base;
+        }
+        out.push((total / n_repeats as f64).max(0.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbt::GbtParams;
+    use crate::model::ModelSpec;
+    use rand::Rng;
+
+    /// y = 5·x0 + step(x1 > 0)·10; x2 is noise.
+    fn fitted() -> (TrainedModel, DenseMatrix, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)])
+            .collect();
+        let y: Vec<f64> =
+            rows.iter().map(|r| 5.0 * r[0] + if r[1] > 0.0 { 10.0 } else { 0.0 }).collect();
+        let x = DenseMatrix::from_vec_of_rows(&rows);
+        let m = ModelSpec::Gbt(GbtParams { n_estimators: 150, ..Default::default() }).fit(&x, &y);
+        (m, x, y)
+    }
+
+    #[test]
+    fn pdp_recovers_monotone_slope() {
+        let (m, x, _) = fitted();
+        let curve = partial_dependence(&m, &x, 0, 9);
+        assert_eq!(curve.len(), 9);
+        // Monotone increasing overall, spanning roughly 5 * range = 20.
+        assert!(curve.windows(2).all(|w| w[1].mean_prediction >= w[0].mean_prediction - 0.5));
+        let span = curve.last().unwrap().mean_prediction - curve[0].mean_prediction;
+        assert!(span > 12.0, "slope span {span}");
+    }
+
+    #[test]
+    fn pdp_shows_step_for_threshold_feature() {
+        let (m, x, _) = fitted();
+        let curve = partial_dependence(&m, &x, 1, 21);
+        let below: Vec<f64> = curve.iter().filter(|p| p.value < -0.3).map(|p| p.mean_prediction).collect();
+        let above: Vec<f64> = curve.iter().filter(|p| p.value > 0.3).map(|p| p.mean_prediction).collect();
+        let gap = above.iter().sum::<f64>() / above.len() as f64
+            - below.iter().sum::<f64>() / below.len() as f64;
+        assert!(gap > 6.0, "step gap {gap} should approach 10");
+    }
+
+    #[test]
+    fn pdp_flat_for_noise_feature() {
+        let (m, x, _) = fitted();
+        let curve = partial_dependence(&m, &x, 2, 9);
+        let span = curve.iter().map(|p| p.mean_prediction).fold(f64::NEG_INFINITY, f64::max)
+            - curve.iter().map(|p| p.mean_prediction).fold(f64::INFINITY, f64::min);
+        assert!(span < 2.0, "noise feature span {span}");
+    }
+
+    #[test]
+    fn permutation_importance_ranks_signals() {
+        let (m, x, y) = fitted();
+        let imp = permutation_importance(&m, &x, &y, 3, 7);
+        assert_eq!(imp.len(), 3);
+        assert!(imp[0] > imp[2] * 3.0, "{imp:?}");
+        assert!(imp[1] > imp[2] * 3.0, "{imp:?}");
+    }
+
+    #[test]
+    fn pdp_handles_constant_feature() {
+        let x = DenseMatrix::from_rows(vec![1.0, 5.0, 1.0, 7.0], 2, 2);
+        let y = vec![5.0, 7.0];
+        let m = ModelSpec::Gbt(GbtParams { n_estimators: 5, ..Default::default() }).fit(&x, &y);
+        let curve = partial_dependence(&m, &x, 0, 5);
+        assert!(curve.iter().all(|p| p.value == 1.0));
+    }
+}

@@ -1,0 +1,295 @@
+//! Linear regression with elastic-net regularization, fit by cyclic
+//! coordinate descent — the paper's "simpler model family" baseline
+//! (Section 5.2.2 tunes Linear Regression with Elastic-Net, i.e. combined
+//! ℓ1/ℓ2 regularization).
+//!
+//! Features are standardized internally (zero mean, unit variance) so one
+//! penalty strength applies uniformly; coefficients are reported in the
+//! standardized basis with predictions mapped back automatically.
+
+use crate::matrix::DenseMatrix;
+use crate::stats::{mean, standardize_columns};
+
+/// Elastic-net hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticNetParams {
+    /// Overall penalty strength (α ≥ 0). 0 = ordinary least squares.
+    pub alpha: f64,
+    /// Mix between ℓ1 (1.0) and ℓ2 (0.0).
+    pub l1_ratio: f64,
+    /// Maximum coordinate-descent sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the maximum coefficient change.
+    pub tol: f64,
+}
+
+impl Default for ElasticNetParams {
+    fn default() -> Self {
+        ElasticNetParams { alpha: 0.5, l1_ratio: 0.5, max_iter: 500, tol: 1e-6 }
+    }
+}
+
+/// A fitted elastic-net model.
+#[derive(Debug, Clone)]
+pub struct ElasticNetModel {
+    /// Coefficients in the standardized feature basis.
+    coef: Vec<f64>,
+    /// Intercept in the original target units.
+    intercept: f64,
+    /// Per-feature standardization `(mean, std)`.
+    scaler: Vec<(f64, f64)>,
+    /// Sweeps actually performed.
+    pub n_iter: usize,
+}
+
+impl ElasticNetModel {
+    /// Fits by cyclic coordinate descent with soft-thresholding.
+    pub fn fit(x: &DenseMatrix, y: &[f64], params: &ElasticNetParams) -> Self {
+        assert_eq!(x.n_rows(), y.len(), "x and y row counts differ");
+        assert!(x.n_rows() > 0, "cannot fit on an empty matrix");
+        assert!((0.0..=1.0).contains(&params.l1_ratio), "l1_ratio in [0,1]");
+        assert!(params.alpha >= 0.0, "alpha must be non-negative");
+
+        let n = x.n_rows();
+        let p = x.n_cols();
+        let mut xs = x.clone();
+        let scaler = standardize_columns(&mut xs);
+        let y_mean = mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+        let l1 = params.alpha * params.l1_ratio * n as f64;
+        let l2 = params.alpha * (1.0 - params.l1_ratio) * n as f64;
+
+        // Residuals track yc - X beta so each coordinate update is O(n).
+        let mut coef = vec![0.0; p];
+        let mut resid = yc.clone();
+        // Column squared norms (constant under standardization up to the
+        // constant-column case, so compute exactly).
+        let col_sq: Vec<f64> = (0..p)
+            .map(|j| (0..n).map(|i| xs.get(i, j).powi(2)).sum::<f64>())
+            .collect();
+
+        let mut n_iter = 0;
+        for _sweep in 0..params.max_iter {
+            n_iter += 1;
+            let mut max_delta: f64 = 0.0;
+            for j in 0..p {
+                if col_sq[j] == 0.0 {
+                    continue; // constant column carries no signal
+                }
+                let old = coef[j];
+                // rho = x_j . (resid + x_j * old)
+                let mut rho = 0.0;
+                for (i, r) in resid.iter().enumerate() {
+                    rho += xs.get(i, j) * r;
+                }
+                rho += col_sq[j] * old;
+                let new = soft_threshold(rho, l1) / (col_sq[j] + l2);
+                if new != old {
+                    let delta = new - old;
+                    for (i, r) in resid.iter_mut().enumerate() {
+                        *r -= delta * xs.get(i, j);
+                    }
+                    coef[j] = new;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < params.tol {
+                break;
+            }
+        }
+
+        ElasticNetModel { coef, intercept: y_mean, scaler, n_iter }
+    }
+
+    /// Prediction for one feature row (original, unstandardized units).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut out = self.intercept;
+        for (j, &c) in self.coef.iter().enumerate() {
+            if c != 0.0 {
+                let (m, s) = self.scaler[j];
+                out += c * (row[j] - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Predictions for every row of `x`.
+    pub fn predict(&self, x: &DenseMatrix) -> Vec<f64> {
+        (0..x.n_rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    /// Coefficients in the standardized basis (importance proxy).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+
+    /// Count of exactly-zero coefficients (ℓ1 sparsity effect).
+    pub fn n_zero_coefs(&self) -> usize {
+        self.coef.iter().filter(|c| **c == 0.0).count()
+    }
+}
+
+/// Soft-thresholding operator `S(z, g) = sign(z) * max(|z| - g, 0)`.
+fn soft_threshold(z: f64, g: f64) -> f64 {
+    if z > g {
+        z - g
+    } else if z < -g {
+        z + g
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize, seed: u64) -> (DenseMatrix, Vec<f64>) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-2.0..2.0);
+            let b: f64 = rng.gen_range(-2.0..2.0);
+            let c: f64 = rng.gen_range(-2.0..2.0);
+            rows.push(vec![a, b, c]);
+            y.push(3.0 * a - 2.0 * b + 7.0);
+        }
+        (DenseMatrix::from_vec_of_rows(&rows), y)
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(5.0, 2.0), 3.0);
+        assert_eq!(soft_threshold(-5.0, 2.0), -3.0);
+        assert_eq!(soft_threshold(1.5, 2.0), 0.0);
+        assert_eq!(soft_threshold(-1.5, 2.0), 0.0);
+    }
+
+    #[test]
+    fn ols_recovers_exact_linear_map() {
+        let (x, y) = linear_data(200, 1);
+        let m = ElasticNetModel::fit(
+            &x,
+            &y,
+            &ElasticNetParams { alpha: 0.0, l1_ratio: 0.0, max_iter: 2000, tol: 1e-10 },
+        );
+        let pred = m.predict(&x);
+        let err: f64 =
+            pred.iter().zip(&y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64;
+        assert!(err < 1e-6, "OLS residual {err}");
+    }
+
+    #[test]
+    fn ridge_matches_closed_form_single_feature() {
+        // One standardized feature: coef = rho / (n + l2) with rho = x.y.
+        let x = DenseMatrix::from_rows(vec![-1.0, 0.0, 1.0], 3, 1);
+        let y = [-3.0, 0.0, 3.0];
+        let alpha = 0.5;
+        let m = ElasticNetModel::fit(
+            &x,
+            &y,
+            &ElasticNetParams { alpha, l1_ratio: 0.0, max_iter: 5000, tol: 1e-12 },
+        );
+        // Standardized column: std = sqrt(2/3); xs = x / std; col_sq = 3.
+        let std = (2.0f64 / 3.0).sqrt();
+        let xs = [-1.0 / std, 0.0, 1.0 / std];
+        let rho: f64 = xs.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let expected = rho / (3.0 + alpha * 3.0);
+        assert!((m.coefficients()[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_zeroes_irrelevant_feature() {
+        let (x, y) = linear_data(300, 2);
+        let m = ElasticNetModel::fit(
+            &x,
+            &y,
+            &ElasticNetParams { alpha: 0.2, l1_ratio: 1.0, max_iter: 2000, tol: 1e-10 },
+        );
+        // Feature 2 has no effect on y: lasso must zero it out.
+        assert_eq!(m.coefficients()[2], 0.0);
+        assert!(m.coefficients()[0] > 0.0);
+        assert!(m.coefficients()[1] < 0.0);
+        assert_eq!(m.n_zero_coefs(), 1);
+    }
+
+    #[test]
+    fn stronger_alpha_shrinks_more() {
+        let (x, y) = linear_data(200, 3);
+        let weak = ElasticNetModel::fit(&x, &y, &ElasticNetParams { alpha: 0.01, ..Default::default() });
+        let strong = ElasticNetModel::fit(&x, &y, &ElasticNetParams { alpha: 5.0, ..Default::default() });
+        let norm = |m: &ElasticNetModel| m.coefficients().iter().map(|c| c.abs()).sum::<f64>();
+        assert!(norm(&strong) < norm(&weak));
+    }
+
+    #[test]
+    fn constant_column_is_ignored() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 4.0]).collect();
+        let x = DenseMatrix::from_vec_of_rows(&rows);
+        let y: Vec<f64> = (0..50).map(|i| 2.0 * i as f64).collect();
+        let m = ElasticNetModel::fit(&x, &y, &ElasticNetParams { alpha: 0.0, ..Default::default() });
+        assert_eq!(m.coefficients()[1], 0.0);
+        let err = (m.predict_row(&[10.0, 4.0]) - 20.0).abs();
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn intercept_only_when_no_signal() {
+        let x = DenseMatrix::from_rows(vec![0.0; 10], 10, 1);
+        let y = vec![5.0; 10];
+        let m = ElasticNetModel::fit(&x, &y, &ElasticNetParams::default());
+        assert_eq!(m.predict_row(&[123.0]), 5.0);
+    }
+
+    #[test]
+    fn converges_before_max_iter_on_easy_problem() {
+        let (x, y) = linear_data(100, 4);
+        let m = ElasticNetModel::fit(
+            &x,
+            &y,
+            &ElasticNetParams { alpha: 0.0, l1_ratio: 0.0, max_iter: 500, tol: 1e-8 },
+        );
+        assert!(m.n_iter < 500, "took {} sweeps", m.n_iter);
+    }
+}
+
+// --- persistence -----------------------------------------------------------
+
+#[allow(clippy::items_after_test_module)] // persistence lives with its type
+impl ElasticNetModel {
+    /// Serializes the fitted model.
+    pub fn write_text(&self, out: &mut String) {
+        use crate::persist::{fmt_f64, put_line};
+        put_line(
+            out,
+            "enet",
+            &[fmt_f64(self.intercept), self.n_iter.to_string(), self.coef.len().to_string()],
+        );
+        put_line(out, "coef", &self.coef.iter().map(|c| fmt_f64(*c)).collect::<Vec<_>>());
+        let scaler: Vec<String> =
+            self.scaler.iter().flat_map(|(m, s)| [fmt_f64(*m), fmt_f64(*s)]).collect();
+        put_line(out, "scaler", &scaler);
+    }
+
+    /// Parses a model previously written by [`ElasticNetModel::write_text`].
+    pub fn read_text(
+        r: &mut crate::persist::Reader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let head = r.tagged("enet")?;
+        let head = r.exactly(&head, 3)?;
+        let intercept: f64 = r.parse(head[0], "intercept")?;
+        let n_iter: usize = r.parse(head[1], "n_iter")?;
+        let p: usize = r.parse(head[2], "coef count")?;
+        let toks = r.tagged("coef")?;
+        let toks = r.exactly(&toks, p)?;
+        let coef: Vec<f64> = r.parse_all(toks, "coefficient")?;
+        let toks = r.tagged("scaler")?;
+        let toks = r.exactly(&toks, 2 * p)?;
+        let flat: Vec<f64> = r.parse_all(toks, "scaler")?;
+        let scaler: Vec<(f64, f64)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        Ok(ElasticNetModel { coef, intercept, scaler, n_iter })
+    }
+}

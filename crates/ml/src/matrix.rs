@@ -1,0 +1,174 @@
+//! Dense row-major feature matrix.
+//!
+//! The modeling population is ~200 avails with at most a few thousand
+//! generated features, so a contiguous `Vec<f64>` with row views is the
+//! right representation: cache-friendly scans for split finding and
+//! correlation, no sparse bookkeeping.
+
+/// A dense `n_rows x n_cols` matrix of `f64`, row major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    data: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl DenseMatrix {
+    /// A matrix of zeros.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        DenseMatrix { data: vec![0.0; n_rows * n_cols], n_rows, n_cols }
+    }
+
+    /// Builds from row-major data; `data.len()` must equal
+    /// `n_rows * n_cols`.
+    pub fn from_rows(data: Vec<f64>, n_rows: usize, n_cols: usize) -> Self {
+        assert_eq!(data.len(), n_rows * n_cols, "row-major data size mismatch");
+        DenseMatrix { data, n_rows, n_cols }
+    }
+
+    /// Builds from a slice of equal-length rows.
+    pub fn from_vec_of_rows(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        DenseMatrix { data, n_rows, n_cols }
+    }
+
+    /// Row count.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Column count.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Borrow row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Mutably borrow row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Element `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n_cols + j] = v;
+    }
+
+    /// Copies column `j` out (columns are strided in row-major layout).
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.n_rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// A new matrix keeping only `cols` (in the given order).
+    pub fn select_cols(&self, cols: &[usize]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.n_rows, cols.len());
+        for i in 0..self.n_rows {
+            let src = self.row(i);
+            let dst = out.row_mut(i);
+            for (jj, &j) in cols.iter().enumerate() {
+                dst[jj] = src[j];
+            }
+        }
+        out
+    }
+
+    /// A new matrix keeping only `rows` (in the given order).
+    pub fn select_rows(&self, rows: &[usize]) -> DenseMatrix {
+        let mut data = Vec::with_capacity(rows.len() * self.n_cols);
+        for &i in rows {
+            data.extend_from_slice(self.row(i));
+        }
+        DenseMatrix { data, n_rows: rows.len(), n_cols: self.n_cols }
+    }
+
+    /// A new matrix with `other`'s columns appended on the right.
+    pub fn hstack(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n_rows, other.n_rows, "hstack needs equal row counts");
+        let n_cols = self.n_cols + other.n_cols;
+        let mut data = Vec::with_capacity(self.n_rows * n_cols);
+        for i in 0..self.n_rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(other.row(i));
+        }
+        DenseMatrix { data, n_rows: self.n_rows, n_cols }
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3)
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut m = sample();
+        m.set(0, 1, 9.0);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.get(0, 1), 9.0);
+        assert_eq!(m.get(1, 0), 7.0);
+    }
+
+    #[test]
+    fn select_cols_and_rows() {
+        let m = sample();
+        let c = m.select_cols(&[2, 0]);
+        assert_eq!(c.row(0), &[3.0, 1.0]);
+        assert_eq!(c.row(1), &[6.0, 4.0]);
+        let r = m.select_rows(&[1]);
+        assert_eq!(r.n_rows(), 1);
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn hstack_concatenates() {
+        let m = sample();
+        let h = m.hstack(&m.select_cols(&[0]));
+        assert_eq!(h.n_cols(), 4);
+        assert_eq!(h.row(0), &[1.0, 2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major data size mismatch")]
+    fn rejects_bad_shape() {
+        DenseMatrix::from_rows(vec![1.0; 5], 2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn rejects_ragged() {
+        DenseMatrix::from_vec_of_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Evaluation measures of Section 5.2.1: MAE (including the percentile MAE
+//! the Navy SME milestone is phrased in), MSE, RMSE, and R².
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty(), "MAE of empty set");
+    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+}
+
+/// Mean squared error.
+pub fn mse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty(), "MSE of empty set");
+    truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / truth.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    mse(truth, pred).sqrt()
+}
+
+/// Coefficient of determination. 1 for a perfect fit, 0 for predicting the
+/// mean, negative when worse than the mean; 0 when truth is constant.
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty(), "R^2 of empty set");
+    let mean_t = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean_t).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Percentile MAE: the mean of the `pct` fraction (0 < pct ≤ 1) smallest
+/// absolute errors — "MAE for 80% of avails" in the paper's Table 7 means
+/// the error over the best-predicted 80% of the test set.
+pub fn percentile_mae(truth: &[f64], pred: &[f64], pct: f64) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty(), "percentile MAE of empty set");
+    assert!(pct > 0.0 && pct <= 1.0, "pct must be in (0, 1]");
+    let mut errs: Vec<f64> = truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).collect();
+    errs.sort_by(f64::total_cmp);
+    let k = ((errs.len() as f64 * pct).round() as usize).clamp(1, errs.len());
+    errs[..k].iter().sum::<f64>() / k as f64
+}
+
+/// The Table 7 measurement bundle at one logical time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// MAE over the best-predicted 80% of instances.
+    pub mae_80: f64,
+    /// MAE over the best-predicted 90% of instances.
+    pub mae_90: f64,
+    /// MAE over all instances.
+    pub mae_100: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+impl QualityReport {
+    /// Computes the full bundle.
+    pub fn compute(truth: &[f64], pred: &[f64]) -> Self {
+        QualityReport {
+            mae_80: percentile_mae(truth, pred, 0.8),
+            mae_90: percentile_mae(truth, pred, 0.9),
+            mae_100: mae(truth, pred),
+            mse: mse(truth, pred),
+            rmse: rmse(truth, pred),
+            r2: r2(truth, pred),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [1.0, -2.0, 3.0];
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(mse(&y, &y), 0.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+        assert_eq!(percentile_mae(&y, &y, 0.8), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let t = [0.0, 0.0, 0.0, 0.0];
+        let p = [1.0, -1.0, 2.0, -2.0];
+        assert_eq!(mae(&t, &p), 1.5);
+        assert_eq!(mse(&t, &p), 2.5);
+        assert!((rmse(&t, &p) - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.5; 4];
+        assert!(r2(&t, &p).abs() < 1e-12);
+        // Worse than the mean => negative.
+        assert!(r2(&t, &[10.0, 10.0, 10.0, 10.0]) < 0.0);
+        // Constant truth: defined as 0.
+        assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_mae_drops_worst_errors() {
+        let t = [0.0; 10];
+        let mut p = [1.0; 10];
+        p[9] = 100.0; // one catastrophically bad prediction
+        let full = mae(&t, &p);
+        let p90 = percentile_mae(&t, &p, 0.9);
+        let p80 = percentile_mae(&t, &p, 0.8);
+        assert!(full > 10.0);
+        assert_eq!(p90, 1.0, "90% cut drops exactly the outlier");
+        assert_eq!(p80, 1.0);
+        assert!(percentile_mae(&t, &p, 1.0) == full);
+    }
+
+    #[test]
+    fn quality_report_consistency() {
+        let t = [10.0, 20.0, 30.0, 400.0];
+        let p = [12.0, 18.0, 33.0, 350.0];
+        let q = QualityReport::compute(&t, &p);
+        assert!(q.mae_80 <= q.mae_90);
+        assert!(q.mae_90 <= q.mae_100);
+        assert!((q.rmse * q.rmse - q.mse).abs() < 1e-9);
+        assert!(q.r2 > 0.9, "large-signal fit should explain most variance");
+    }
+
+    #[test]
+    #[should_panic(expected = "pct must be in (0, 1]")]
+    fn percentile_rejects_zero() {
+        percentile_mae(&[1.0], &[1.0], 0.0);
+    }
+}

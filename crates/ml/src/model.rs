@@ -1,0 +1,155 @@
+//! Uniform model interface over the two base model families of Section
+//! 5.2.2 (XGBoost-style boosted trees and elastic-net linear regression).
+
+use crate::gbt::{GbtModel, GbtParams};
+use crate::linear::{ElasticNetModel, ElasticNetParams};
+use crate::matrix::DenseMatrix;
+
+/// Which base model family to fit and with what hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelSpec {
+    /// Gradient-boosted trees.
+    Gbt(GbtParams),
+    /// Elastic-net linear regression.
+    ElasticNet(ElasticNetParams),
+}
+
+impl ModelSpec {
+    /// Family name for experiment tables.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ModelSpec::Gbt(_) => "xgboost",
+            ModelSpec::ElasticNet(_) => "linear-regression",
+        }
+    }
+
+    /// Fits the specified model.
+    pub fn fit(&self, x: &DenseMatrix, y: &[f64]) -> TrainedModel {
+        match self {
+            ModelSpec::Gbt(p) => TrainedModel::Gbt(GbtModel::fit(x, y, p)),
+            ModelSpec::ElasticNet(p) => TrainedModel::ElasticNet(ElasticNetModel::fit(x, y, p)),
+        }
+    }
+}
+
+/// A fitted model of either family.
+#[derive(Debug, Clone)]
+pub enum TrainedModel {
+    /// Fitted boosted ensemble.
+    Gbt(GbtModel),
+    /// Fitted elastic net.
+    ElasticNet(ElasticNetModel),
+}
+
+impl TrainedModel {
+    /// Prediction for one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        match self {
+            TrainedModel::Gbt(m) => m.predict_row(row),
+            TrainedModel::ElasticNet(m) => m.predict_row(row),
+        }
+    }
+
+    /// Predictions for every row of `x`.
+    pub fn predict(&self, x: &DenseMatrix) -> Vec<f64> {
+        match self {
+            TrainedModel::Gbt(m) => m.predict(x),
+            TrainedModel::ElasticNet(m) => m.predict(x),
+        }
+    }
+
+    /// Per-feature importance: split gain for GBT, |standardized
+    /// coefficient| for the linear family.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        match self {
+            TrainedModel::Gbt(m) => m.feature_importance().to_vec(),
+            TrainedModel::ElasticNet(m) => m.coefficients().iter().map(|c| c.abs()).collect(),
+        }
+    }
+
+    /// Indices of the `k` most important features, descending.
+    pub fn top_features(&self, k: usize) -> Vec<usize> {
+        let imp = self.feature_importance();
+        let mut idx: Vec<usize> = (0..imp.len()).collect();
+        idx.sort_by(|&a, &b| imp[b].total_cmp(&imp[a]).then(a.cmp(&b)));
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> (DenseMatrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = (0..60).map(|i| 2.0 * i as f64 + 1.0).collect();
+        (DenseMatrix::from_vec_of_rows(&rows), y)
+    }
+
+    #[test]
+    fn both_families_fit_and_predict() {
+        let (x, y) = data();
+        for spec in [
+            ModelSpec::Gbt(GbtParams { n_estimators: 150, ..Default::default() }),
+            ModelSpec::ElasticNet(ElasticNetParams { alpha: 0.0, ..Default::default() }),
+        ] {
+            let m = spec.fit(&x, &y);
+            let pred = m.predict(&x);
+            let err: f64 =
+                pred.iter().zip(&y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64;
+            assert!(err < 6.0, "{} err {err}", spec.family());
+            assert_eq!(m.predict_row(x.row(3)), pred[3]);
+        }
+    }
+
+    #[test]
+    fn family_names() {
+        assert_eq!(ModelSpec::Gbt(GbtParams::default()).family(), "xgboost");
+        assert_eq!(
+            ModelSpec::ElasticNet(ElasticNetParams::default()).family(),
+            "linear-regression"
+        );
+    }
+
+    #[test]
+    fn top_features_ranks_signal_first() {
+        let (x, y) = data();
+        let m = ModelSpec::Gbt(GbtParams::default()).fit(&x, &y);
+        assert_eq!(m.top_features(1), vec![0]);
+        let lin = ModelSpec::ElasticNet(ElasticNetParams { alpha: 0.1, l1_ratio: 1.0, ..Default::default() })
+            .fit(&x, &y);
+        assert_eq!(lin.top_features(1), vec![0]);
+    }
+}
+
+// --- persistence -----------------------------------------------------------
+
+#[allow(clippy::items_after_test_module)] // persistence lives with its type
+impl TrainedModel {
+    /// Serializes the fitted model with a family tag.
+    pub fn write_text(&self, out: &mut String) {
+        match self {
+            TrainedModel::Gbt(m) => {
+                crate::persist::put_line(out, "model", &["gbt".into()]);
+                m.write_text(out);
+            }
+            TrainedModel::ElasticNet(m) => {
+                crate::persist::put_line(out, "model", &["enet".into()]);
+                m.write_text(out);
+            }
+        }
+    }
+
+    /// Parses a model previously written by [`TrainedModel::write_text`].
+    pub fn read_text(
+        r: &mut crate::persist::Reader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let toks = r.tagged("model")?;
+        match toks.first() {
+            Some(&"gbt") => Ok(TrainedModel::Gbt(GbtModel::read_text(r)?)),
+            Some(&"enet") => Ok(TrainedModel::ElasticNet(ElasticNetModel::read_text(r)?)),
+            other => Err(r.err(format!("unknown model family {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Line-oriented text persistence for trained models.
+//!
+//! The deployed pipeline is trained outside the Navy environment and
+//! shipped as an artifact, then periodically retrained inside it
+//! (Abstract). Models therefore need a dependency-free, human-inspectable
+//! serialization: one token-separated record per line, `f64` values
+//! written in Rust's shortest round-trip form.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Error produced when parsing a persisted artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "artifact line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Sequential reader over artifact lines with position tracking.
+pub struct Reader<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reads from the start of `text`.
+    pub fn new(text: &'a str) -> Self {
+        Reader { lines: text.lines(), line_no: 0 }
+    }
+
+    /// Error at the current position.
+    pub fn err(&self, message: impl Into<String>) -> PersistError {
+        PersistError { line: self.line_no, message: message.into() }
+    }
+
+    /// Next non-empty line.
+    pub fn line(&mut self) -> Result<&'a str, PersistError> {
+        loop {
+            self.line_no += 1;
+            match self.lines.next() {
+                None => {
+                    return Err(PersistError {
+                        line: self.line_no,
+                        message: "unexpected end of artifact".into(),
+                    })
+                }
+                Some(l) if l.trim().is_empty() => continue,
+                Some(l) => return Ok(l),
+            }
+        }
+    }
+
+    /// Next line split into whitespace tokens, requiring the given tag as
+    /// the first token; returns the remaining tokens.
+    pub fn tagged(&mut self, tag: &str) -> Result<Vec<&'a str>, PersistError> {
+        let l = self.line()?;
+        let mut toks = l.split_whitespace();
+        match toks.next() {
+            Some(t) if t == tag => Ok(toks.collect()),
+            Some(t) => Err(self.err(format!("expected tag {tag:?}, found {t:?}"))),
+            None => Err(self.err(format!("expected tag {tag:?}, found empty line"))),
+        }
+    }
+
+    /// Parses one token.
+    pub fn parse<T: FromStr>(&self, tok: &str, what: &str) -> Result<T, PersistError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        tok.parse().map_err(|e| self.err(format!("bad {what} {tok:?}: {e}")))
+    }
+
+    /// Parses a whole token list.
+    pub fn parse_all<T: FromStr>(&self, toks: &[&str], what: &str) -> Result<Vec<T>, PersistError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        toks.iter().map(|t| self.parse(t, what)).collect()
+    }
+
+    /// Requires exactly `n` tokens.
+    pub fn exactly<'t>(&self, toks: &'t [&'a str], n: usize) -> Result<&'t [&'a str], PersistError> {
+        if toks.len() != n {
+            return Err(self.err(format!("expected {n} fields, got {}", toks.len())));
+        }
+        Ok(toks)
+    }
+}
+
+/// Writes a tagged line of space-separated values.
+pub fn put_line(out: &mut String, tag: &str, values: &[String]) {
+    out.push_str(tag);
+    for v in values {
+        out.push(' ');
+        out.push_str(v);
+    }
+    out.push('\n');
+}
+
+/// Formats an `f64` so it round-trips exactly through `parse`.
+pub fn fmt_f64(v: f64) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{v}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_tracks_lines_and_tags() {
+        let text = "alpha 1 2\n\nbeta x\n";
+        let mut r = Reader::new(text);
+        let toks = r.tagged("alpha").unwrap();
+        assert_eq!(toks, vec!["1", "2"]);
+        let v: Vec<i32> = r.parse_all(&toks, "num").unwrap();
+        assert_eq!(v, vec![1, 2]);
+        let e = r.tagged("gamma").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("gamma"));
+    }
+
+    #[test]
+    fn reader_reports_eof() {
+        let mut r = Reader::new("only 1\n");
+        r.tagged("only").unwrap();
+        assert!(r.line().unwrap_err().message.contains("end of artifact"));
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact() {
+        for v in [0.0, -1.5, std::f64::consts::PI, 1e-300, 123_456_789.123_456_78, f64::MIN_POSITIVE]
+        {
+            let s = fmt_f64(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via {s}");
+        }
+    }
+
+    #[test]
+    fn exactly_enforces_arity() {
+        let r = Reader::new("");
+        assert!(r.exactly(&["a", "b"], 2).is_ok());
+        assert!(r.exactly(&["a"], 2).is_err());
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use crate::matrix::DenseMatrix;
+    use crate::{ElasticNetModel, ElasticNetParams, GbtModel, GbtParams, Loss, TrainedModel};
+
+    fn data() -> (DenseMatrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![f64::from(i), f64::from(i % 7), f64::from(i % 3)]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 5.0 * r[1] + r[2] * r[0]).collect();
+        (DenseMatrix::from_vec_of_rows(&rows), y)
+    }
+
+    #[test]
+    fn gbt_roundtrips_bit_exact() {
+        let (x, y) = data();
+        let m = GbtModel::fit(
+            &x,
+            &y,
+            &GbtParams { n_estimators: 40, loss: Loss::PseudoHuber(18.0), ..Default::default() },
+        );
+        let mut text = String::new();
+        m.write_text(&mut text);
+        let back = GbtModel::read_text(&mut crate::persist::Reader::new(&text)).unwrap();
+        for i in 0..x.n_rows() {
+            assert_eq!(
+                m.predict_row(x.row(i)).to_bits(),
+                back.predict_row(x.row(i)).to_bits(),
+                "row {i}"
+            );
+        }
+        assert_eq!(m.feature_importance(), back.feature_importance());
+    }
+
+    #[test]
+    fn elastic_net_roundtrips_bit_exact() {
+        let (x, y) = data();
+        let m = ElasticNetModel::fit(&x, &y, &ElasticNetParams::default());
+        let mut text = String::new();
+        m.write_text(&mut text);
+        let back = ElasticNetModel::read_text(&mut crate::persist::Reader::new(&text)).unwrap();
+        for i in 0..x.n_rows() {
+            assert_eq!(m.predict_row(x.row(i)).to_bits(), back.predict_row(x.row(i)).to_bits());
+        }
+    }
+
+    #[test]
+    fn trained_model_dispatches_by_tag() {
+        let (x, y) = data();
+        let m = TrainedModel::Gbt(GbtModel::fit(
+            &x,
+            &y,
+            &GbtParams { n_estimators: 10, ..Default::default() },
+        ));
+        let mut text = String::new();
+        m.write_text(&mut text);
+        let back = TrainedModel::read_text(&mut crate::persist::Reader::new(&text)).unwrap();
+        assert_eq!(m.predict_row(x.row(1)), back.predict_row(x.row(1)));
+    }
+
+    #[test]
+    fn loss_tokens_roundtrip() {
+        for l in [
+            Loss::Squared,
+            Loss::Absolute,
+            Loss::Huber(7.5),
+            Loss::PseudoHuber(18.0),
+            Loss::Quantile(0.9),
+        ] {
+            let toks = l.to_tokens();
+            let strs: Vec<&str> = toks.iter().map(String::as_str).collect();
+            assert_eq!(Loss::from_tokens(&strs).unwrap(), l);
+        }
+        assert!(Loss::from_tokens(&["nope"]).is_err());
+        assert!(Loss::from_tokens(&["huber"]).is_err());
+    }
+
+    #[test]
+    fn corrupted_artifact_is_rejected_with_position() {
+        let (x, y) = data();
+        let m = GbtModel::fit(&x, &y, &GbtParams { n_estimators: 3, ..Default::default() });
+        let mut text = String::new();
+        m.write_text(&mut text);
+        // Break a node line.
+        let broken = text.replacen("S ", "Z ", 1);
+        let err = GbtModel::read_text(&mut crate::persist::Reader::new(&broken)).unwrap_err();
+        assert!(err.message.contains("node line"), "{err}");
+        assert!(err.line > 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Feature selection methods (Task 2, Section 3.2.1): the model-agnostic
+//! scorers (Pearson, Spearman, mutual information) and the model-dependent
+//! Recursive Feature Elimination, plus the random-selection control.
+//!
+//! Every method scores all candidate columns against the target and keeps
+//! the top `k`; RFE instead iteratively retrains a small boosted ensemble
+//! and discards the weakest fraction until `k` survive.
+
+use crate::gbt::{GbtModel, GbtParams};
+use crate::matrix::DenseMatrix;
+use crate::stats::{pearson, ranks};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The feature selection methods evaluated in Figure 6a.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionMethod {
+    /// |Pearson correlation| with the target.
+    Pearson,
+    /// |Spearman rank correlation| with the target.
+    Spearman,
+    /// Binned mutual information with the target.
+    MutualInfo,
+    /// Recursive Feature Elimination driven by GBT gain importance.
+    Rfe,
+    /// Uniform random choice (the control arm).
+    Random,
+}
+
+impl SelectionMethod {
+    /// All methods, in the paper's presentation order.
+    pub const ALL: [SelectionMethod; 5] = [
+        SelectionMethod::Rfe,
+        SelectionMethod::Pearson,
+        SelectionMethod::Spearman,
+        SelectionMethod::MutualInfo,
+        SelectionMethod::Random,
+    ];
+
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectionMethod::Pearson => "pearson",
+            SelectionMethod::Spearman => "spearman",
+            SelectionMethod::MutualInfo => "mutual-info",
+            SelectionMethod::Rfe => "rfe",
+            SelectionMethod::Random => "random",
+        }
+    }
+
+    /// Selects the `k` best column indices of `x` for predicting `y`,
+    /// ascending by index. `seed` drives the random arm and RFE's internal
+    /// subsampling; scoring methods ignore it.
+    pub fn select(self, x: &DenseMatrix, y: &[f64], k: usize, seed: u64) -> Vec<usize> {
+        assert_eq!(x.n_rows(), y.len());
+        let p = x.n_cols();
+        let k = k.min(p);
+        let mut picked = match self {
+            SelectionMethod::Pearson => top_k_by_score(p, k, |j| pearson(&x.col(j), y).abs()),
+            SelectionMethod::Spearman => {
+                // Rank the target once; per-column Spearman is then a
+                // Pearson over precomputed ranks.
+                let ry = ranks(y);
+                top_k_by_score(p, k, |j| pearson(&ranks(&x.col(j)), &ry).abs())
+            }
+            SelectionMethod::MutualInfo => {
+                let n_bins = bins_for(x.n_rows());
+                let y_binned = equal_frequency_bins(y, n_bins);
+                top_k_by_score(p, k, |j| {
+                    let xb = equal_frequency_bins(&x.col(j), n_bins);
+                    mutual_information(&xb, &y_binned, n_bins)
+                })
+            }
+            SelectionMethod::Rfe => rfe(x, y, k, seed),
+            SelectionMethod::Random => {
+                let mut idx: Vec<usize> = (0..p).collect();
+                idx.shuffle(&mut SmallRng::seed_from_u64(seed));
+                idx.truncate(k);
+                idx
+            }
+        };
+        picked.sort_unstable();
+        picked
+    }
+}
+
+/// The `k` indices with the largest scores (ties broken by index).
+fn top_k_by_score<F: Fn(usize) -> f64>(p: usize, k: usize, score: F) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> = (0..p).map(|j| (j, score(j))).collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored.into_iter().map(|(j, _)| j).collect()
+}
+
+/// Heuristic bin count for MI estimation: sqrt(n) capped at 16.
+fn bins_for(n: usize) -> usize {
+    ((n as f64).sqrt().round() as usize).clamp(2, 16)
+}
+
+/// Equal-frequency (quantile) binning into indices `0..n_bins`.
+fn equal_frequency_bins(xs: &[f64], n_bins: usize) -> Vec<usize> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut bins = vec![0usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        bins[i] = (rank * n_bins / n).min(n_bins - 1);
+    }
+    // Equal values must share a bin: walk sorted order and merge runs.
+    for w in 1..n {
+        let (a, b) = (order[w - 1], order[w]);
+        if xs[a] == xs[b] && bins[b] != bins[a] {
+            bins[b] = bins[a];
+        }
+    }
+    bins
+}
+
+/// Discrete mutual information (nats) over pre-binned sequences.
+fn mutual_information(xb: &[usize], yb: &[usize], n_bins: usize) -> f64 {
+    let n = xb.len() as f64;
+    let mut joint = vec![0.0f64; n_bins * n_bins];
+    let mut px = vec![0.0f64; n_bins];
+    let mut py = vec![0.0f64; n_bins];
+    for (&a, &b) in xb.iter().zip(yb) {
+        joint[a * n_bins + b] += 1.0;
+        px[a] += 1.0;
+        py[b] += 1.0;
+    }
+    let mut mi = 0.0;
+    for a in 0..n_bins {
+        for b in 0..n_bins {
+            let pab = joint[a * n_bins + b] / n;
+            if pab > 0.0 {
+                mi += pab * (pab / (px[a] / n * py[b] / n)).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Recursive Feature Elimination: repeatedly fit a small GBT and drop the
+/// lowest-importance half of the surviving features until `k` remain.
+fn rfe(x: &DenseMatrix, y: &[f64], k: usize, seed: u64) -> Vec<usize> {
+    let mut surviving: Vec<usize> = (0..x.n_cols()).collect();
+    let probe = GbtParams {
+        n_estimators: 60,
+        learning_rate: 0.15,
+        max_depth: 3,
+        seed,
+        ..Default::default()
+    };
+    while surviving.len() > k {
+        let sub = x.select_cols(&surviving);
+        let model = GbtModel::fit(&sub, y, &probe);
+        let imp = model.feature_importance();
+        let mut order: Vec<usize> = (0..surviving.len()).collect();
+        order.sort_by(|&a, &b| imp[b].total_cmp(&imp[a]).then(a.cmp(&b)));
+        // Keep the best half, but never fewer than k.
+        let keep = (surviving.len() / 2).max(k);
+        order.truncate(keep);
+        order.sort_unstable();
+        surviving = order.into_iter().map(|i| surviving[i]).collect();
+    }
+    surviving
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// 12 columns; target depends on columns 0 (linear), 1 (monotone
+    /// nonlinear), 2 (non-monotone), the rest noise.
+    fn make_xy(n: usize, seed: u64) -> (DenseMatrix, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..12).map(|_| rng.gen_range(-2.0..2.0f64)).collect();
+            let target = 4.0 * row[0] + 3.0 * row[1].powi(3) + 3.0 * (row[2] * 2.0).cos()
+                + rng.gen_range(-0.2..0.2);
+            rows.push(row);
+            y.push(target);
+        }
+        (DenseMatrix::from_vec_of_rows(&rows), y)
+    }
+
+    #[test]
+    fn pearson_finds_linear_signals() {
+        let (x, y) = make_xy(300, 1);
+        let sel = SelectionMethod::Pearson.select(&x, &y, 2, 0);
+        assert!(sel.contains(&0), "linear column must rank top-2: {sel:?}");
+        assert!(sel.contains(&1), "monotone column must rank top-2: {sel:?}");
+    }
+
+    #[test]
+    fn spearman_finds_monotone_nonlinear() {
+        let (x, y) = make_xy(300, 2);
+        let sel = SelectionMethod::Spearman.select(&x, &y, 2, 0);
+        assert!(sel.contains(&0) && sel.contains(&1), "{sel:?}");
+    }
+
+    #[test]
+    fn mutual_info_finds_non_monotone_signal() {
+        let (x, y) = make_xy(600, 3);
+        let sel = SelectionMethod::MutualInfo.select(&x, &y, 3, 0);
+        assert!(sel.contains(&2), "MI must catch the cosine column: {sel:?}");
+    }
+
+    #[test]
+    fn rfe_keeps_all_true_signals() {
+        let (x, y) = make_xy(300, 4);
+        let sel = SelectionMethod::Rfe.select(&x, &y, 3, 7);
+        assert_eq!(sel, vec![0, 1, 2], "RFE should keep exactly the signals");
+    }
+
+    #[test]
+    fn random_is_seeded_and_covers_range() {
+        let (x, y) = make_xy(50, 5);
+        let a = SelectionMethod::Random.select(&x, &y, 5, 11);
+        let b = SelectionMethod::Random.select(&x, &y, 5, 11);
+        let c = SelectionMethod::Random.select(&x, &y, 5, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|&j| j < 12));
+    }
+
+    #[test]
+    fn k_larger_than_p_clamps() {
+        let (x, y) = make_xy(40, 6);
+        let sel = SelectionMethod::Pearson.select(&x, &y, 100, 0);
+        assert_eq!(sel.len(), 12);
+        assert_eq!(sel, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let (x, y) = make_xy(100, 7);
+        for m in SelectionMethod::ALL {
+            let sel = m.select(&x, &y, 6, 3);
+            assert!(sel.windows(2).all(|w| w[0] < w[1]), "{} unsorted: {sel:?}", m.name());
+        }
+    }
+
+    #[test]
+    fn mi_of_independent_is_near_zero_and_dependent_positive() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let noise: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let nb = bins_for(500);
+        let xb = equal_frequency_bins(&xs, nb);
+        let ind = mutual_information(&xb, &equal_frequency_bins(&noise, nb), nb);
+        let dep = mutual_information(&xb, &xb, nb);
+        assert!(dep > 1.0, "self-MI should approach ln(n_bins): {dep}");
+        assert!(ind < 0.3, "independent MI should be small: {ind}");
+        assert!(dep > 5.0 * ind);
+    }
+
+    #[test]
+    fn equal_frequency_bins_respect_ties() {
+        let xs = [1.0, 1.0, 1.0, 2.0, 3.0, 4.0];
+        let b = equal_frequency_bins(&xs, 3);
+        assert_eq!(b[0], b[1]);
+        assert_eq!(b[1], b[2]);
+        assert!(b.iter().all(|&v| v < 3));
+    }
+}

@@ -1,0 +1,124 @@
+//! K-fold cross-validation utilities.
+//!
+//! With ~140 non-test avails, single-split validation estimates carry
+//! several days of MAE noise — K-fold averaging is the standard small-n
+//! remedy and powers the robustness checks in EXPERIMENTS.md.
+
+use crate::matrix::DenseMatrix;
+use crate::metrics::mae;
+use crate::model::ModelSpec;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffled K-fold index split: returns `k` (train, held-out) pairs whose
+/// held-out parts partition `0..n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(n >= k, "need at least one sample per fold");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut SmallRng::seed_from_u64(seed));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, idx) in order.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    (0..k)
+        .map(|held| {
+            let test = folds[held].clone();
+            let train: Vec<usize> =
+                folds.iter().enumerate().filter(|(i, _)| *i != held).flat_map(|(_, f)| f.iter().copied()).collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Per-fold held-out MAE of `spec` fit on each training part.
+pub fn cross_val_mae(
+    spec: &ModelSpec,
+    x: &DenseMatrix,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert_eq!(x.n_rows(), y.len());
+    kfold_indices(y.len(), k, seed)
+        .into_iter()
+        .map(|(train, test)| {
+            let x_train = x.select_rows(&train);
+            let y_train: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+            let x_test = x.select_rows(&test);
+            let y_test: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+            let model = spec.fit(&x_train, &y_train);
+            mae(&y_test, &model.predict(&x_test))
+        })
+        .collect()
+}
+
+/// Mean and standard deviation of the per-fold MAEs.
+pub fn cross_val_summary(
+    spec: &ModelSpec,
+    x: &DenseMatrix,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let scores = cross_val_mae(spec, x, y, k, seed);
+    (crate::stats::mean(&scores), crate::stats::std_dev(&scores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbt::GbtParams;
+    use crate::linear::ElasticNetParams;
+
+    #[test]
+    fn folds_partition_everything() {
+        let folds = kfold_indices(23, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.iter().copied()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..23).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            assert!(train.iter().all(|i| !test.contains(i)));
+            // Balanced within one element.
+            assert!(test.len() == 4 || test.len() == 5);
+        }
+    }
+
+    #[test]
+    fn folds_deterministic_per_seed() {
+        assert_eq!(kfold_indices(20, 4, 9), kfold_indices(20, 4, 9));
+        assert_ne!(kfold_indices(20, 4, 9), kfold_indices(20, 4, 10));
+    }
+
+    #[test]
+    fn cv_detects_signal() {
+        // Strong linear signal: CV MAE must be far below the target spread.
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![f64::from(i)]).collect();
+        let y: Vec<f64> = (0..60).map(|i| 3.0 * f64::from(i)).collect();
+        let x = DenseMatrix::from_vec_of_rows(&rows);
+        let spec = ModelSpec::ElasticNet(ElasticNetParams { alpha: 0.0, ..Default::default() });
+        let (mean_mae, std_mae) = cross_val_summary(&spec, &x, &y, 5, 1);
+        assert!(mean_mae < 5.0, "CV MAE {mean_mae}");
+        assert!(std_mae.is_finite());
+    }
+
+    #[test]
+    fn cv_works_with_gbt() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i % 8)]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| if r[0] > 4.0 { 10.0 } else { -10.0 }).collect();
+        let x = DenseMatrix::from_vec_of_rows(&rows);
+        let spec = ModelSpec::Gbt(GbtParams { n_estimators: 60, ..Default::default() });
+        let scores = cross_val_mae(&spec, &x, &y, 4, 2);
+        assert_eq!(scores.len(), 4);
+        assert!(scores.iter().all(|s| *s < 5.0), "{scores:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn rejects_single_fold() {
+        kfold_indices(10, 1, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the ML substrate: metric identities,
+//! correlation bounds, loss-function analytic properties, and model
+//! sanity on arbitrary data.
+
+use domd_ml::stats::{pearson, ranks, spearman};
+use domd_ml::{
+    mae, mse, percentile_mae, r2, rmse, DenseMatrix, ElasticNetModel, ElasticNetParams, GbtModel,
+    GbtParams, Loss, RegressionTree, TreeParams,
+};
+use proptest::prelude::*;
+
+fn finite_vec(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metric_identities(y in finite_vec(1..50)) {
+        prop_assert_eq!(mae(&y, &y), 0.0);
+        prop_assert_eq!(mse(&y, &y), 0.0);
+        // Perfect fit explains all variance, unless truth is constant.
+        let constant = y.iter().all(|v| *v == y[0]);
+        prop_assert_eq!(r2(&y, &y), if constant { 0.0 } else { 1.0 });
+    }
+
+    #[test]
+    fn rmse_is_sqrt_mse(t in finite_vec(1..40), shift in -50.0f64..50.0) {
+        let p: Vec<f64> = t.iter().map(|v| v + shift).collect();
+        prop_assert!((rmse(&t, &p).powi(2) - mse(&t, &p)).abs() < 1e-6);
+        prop_assert!((mae(&t, &p) - shift.abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_mae_is_monotone_in_pct(t in finite_vec(2..40), noise in finite_vec(2..40)) {
+        let n = t.len().min(noise.len());
+        let t = &t[..n];
+        let p: Vec<f64> = t.iter().zip(&noise[..n]).map(|(a, b)| a + b * 0.1).collect();
+        let m50 = percentile_mae(t, &p, 0.5);
+        let m80 = percentile_mae(t, &p, 0.8);
+        let m100 = percentile_mae(t, &p, 1.0);
+        prop_assert!(m50 <= m80 + 1e-12);
+        prop_assert!(m80 <= m100 + 1e-12);
+        prop_assert!((m100 - mae(t, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlations_are_bounded_and_scale_invariant(
+        x in finite_vec(3..30),
+        y in finite_vec(3..30),
+        a in 0.1f64..10.0,
+        b in -100.0f64..100.0,
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let r = pearson(x, y);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        let rho = spearman(x, y);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+        // Positive affine transforms preserve both.
+        let xs: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+        prop_assert!((pearson(&xs, y) - r).abs() < 1e-6);
+        prop_assert!((spearman(&xs, y) - rho).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_weighting(x in finite_vec(1..50)) {
+        let r = ranks(&x);
+        let n = x.len() as f64;
+        // Rank sums are preserved under ties: total = n(n+1)/2.
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        prop_assert!(r.iter().all(|v| *v >= 1.0 && *v <= n));
+    }
+
+    #[test]
+    fn losses_are_nonnegative_and_zero_at_truth(y in -500.0f64..500.0, p in -500.0f64..500.0) {
+        for l in [Loss::Squared, Loss::Absolute, Loss::Huber(18.0), Loss::PseudoHuber(18.0)] {
+            prop_assert!(l.value(y, p) >= 0.0);
+            prop_assert_eq!(l.value(y, y), 0.0);
+            let (g, h) = l.grad_hess(y, p);
+            // Gradient sign follows the residual; hessian stays positive.
+            if p > y {
+                prop_assert!(g >= 0.0);
+            } else if p < y {
+                prop_assert!(g <= 0.0);
+            }
+            prop_assert!(h > 0.0);
+        }
+    }
+
+    #[test]
+    fn pseudo_huber_gradient_is_bounded_by_delta(r in -5000.0f64..5000.0, d in 1.0f64..100.0) {
+        let (g, _) = Loss::PseudoHuber(d).grad_hess(0.0, r);
+        prop_assert!(g.abs() <= d + 1e-9);
+    }
+
+    #[test]
+    fn tree_depth_respects_max_depth(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 4..40),
+        max_depth in 0usize..5,
+    ) {
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1]).collect();
+        let x = DenseMatrix::from_vec_of_rows(&rows);
+        let grad: Vec<f64> = y.iter().map(|v| -v).collect();
+        let hess = vec![1.0; y.len()];
+        let all: Vec<usize> = (0..y.len()).collect();
+        let feats = vec![0, 1, 2];
+        let t = RegressionTree::fit(&x, &grad, &hess, &all, &feats,
+            TreeParams { max_depth, ..Default::default() });
+        prop_assert!(t.depth() <= max_depth);
+        // Predictions are finite everywhere.
+        prop_assert!(rows.iter().all(|r| t.predict_row(r).is_finite()));
+    }
+
+    #[test]
+    fn gbt_predictions_finite_on_arbitrary_data(
+        rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 4), 5..30),
+        seed in 0u64..50,
+    ) {
+        let y: Vec<f64> = rows.iter().map(|r| r[0] - r[3]).collect();
+        let x = DenseMatrix::from_vec_of_rows(&rows);
+        let m = GbtModel::fit(&x, &y, &GbtParams {
+            n_estimators: 20,
+            subsample: 0.8,
+            colsample_bytree: 0.8,
+            seed,
+            ..Default::default()
+        });
+        prop_assert!(m.predict(&x).iter().all(|p| p.is_finite()));
+        prop_assert!(m.feature_importance().iter().all(|g| g.is_finite() && *g >= 0.0));
+    }
+
+    #[test]
+    fn elastic_net_zeroes_constant_columns(
+        vals in prop::collection::vec(-10.0f64..10.0, 6..30),
+        constant in -5.0f64..5.0,
+    ) {
+        let rows: Vec<Vec<f64>> = vals.iter().map(|&v| vec![v, constant]).collect();
+        let y: Vec<f64> = vals.iter().map(|v| 3.0 * v).collect();
+        let x = DenseMatrix::from_vec_of_rows(&rows);
+        let m = ElasticNetModel::fit(&x, &y, &ElasticNetParams::default());
+        prop_assert_eq!(m.coefficients()[1], 0.0);
+        prop_assert!(m.predict(&x).iter().all(|p| p.is_finite()));
+    }
+}

@@ -1,0 +1,64 @@
+//! Pipeline-design scenario: run the greedy optimization of Problem 2
+//! (Tasks 2–6) on a reduced search grid and print each task's measurement
+//! table — a miniature of the Section 5.2.2 study. The `repro` binary in
+//! `domd-bench` runs the full-size version.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example pipeline_search
+//! ```
+
+use domd::core::{optimize, OptimizerSettings, PipelineConfig, PipelineInputs};
+use domd::data::{generate, GeneratorConfig};
+use domd::ml::{Loss, SelectionMethod};
+
+fn main() {
+    // Moderate scale so the whole search runs in tens of seconds.
+    let dataset = generate(&GeneratorConfig {
+        n_avails: 120,
+        target_rccs: 20_000,
+        scale: 1,
+        seed: 42,
+    });
+    let split = dataset.split(7);
+    let inputs = PipelineInputs::build(&dataset, 20.0); // x = 20% -> 6 models
+
+    let settings = OptimizerSettings {
+        k_grid: vec![20, 40, 60, 80],
+        trial_grid: vec![10, 20, 30],
+        chosen_trials: 30,
+        losses: vec![Loss::Absolute, Loss::Squared, Loss::PseudoHuber(18.0)],
+        methods: vec![
+            SelectionMethod::Rfe,
+            SelectionMethod::Pearson,
+            SelectionMethod::Spearman,
+            SelectionMethod::MutualInfo,
+            SelectionMethod::Random,
+        ],
+        hpt_objective_steps: vec![0, 3, 5],
+    };
+    let mut base = PipelineConfig::default0();
+    base.grid_step = 20.0;
+    base.gbt.n_estimators = 120;
+
+    println!("running greedy pipeline optimization (Tasks 2-6)...\n");
+    let report = optimize(&inputs, std::slice::from_ref(&split), &settings, &base);
+    print!("{}", report.render());
+
+    // The report's tables are also available programmatically: e.g. the
+    // Figure 6a grid for the winning method.
+    let winner = report.task2.best_method;
+    let row = report
+        .task2
+        .table
+        .iter()
+        .find(|(m, _)| *m == winner)
+        .map(|(_, row)| row.clone())
+        .unwrap_or_default();
+    println!(
+        "\n{} validation MAE across k: {}",
+        winner.name(),
+        row.iter().map(|(k, m)| format!("k{k}={m:.1}")).collect::<Vec<_>>().join("  ")
+    );
+
+}

@@ -1,0 +1,78 @@
+//! Risk-band scenario (extensions): quantile timeline pipelines produce
+//! P10/P50/P90 DoMD bands for budget planning ($250k per delay day), the
+//! pipeline artifact round-trips through persistence, and the drift
+//! monitor decides when the deployed model needs retraining.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example risk_bands
+//! ```
+
+use domd::core::{
+    load_pipeline, save_pipeline, DriftMonitor, IntervalPipeline, PipelineConfig, PipelineInputs,
+};
+use domd::data::{generate, GeneratorConfig};
+
+fn main() {
+    let dataset = generate(&GeneratorConfig::default());
+    let split = dataset.split(7);
+    let inputs = PipelineInputs::build(&dataset, 20.0);
+    let mut config = PipelineConfig::paper_final();
+    config.grid_step = 20.0;
+
+    // --- P10..P90 bands ----------------------------------------------------
+    println!("training point + quantile pipelines (coverage 80%)...");
+    let interval = IntervalPipeline::fit(&inputs, &split.train, &config, 0.8);
+    let step = 3; // the 60% timeline model
+    let bands = interval.predict_bands(&inputs, &split.test, step);
+
+    println!("\nDoMD risk bands at 60% of planned duration (first 8 test avails):");
+    println!("{:>8} | {:>8} | {:>8} | {:>8} | {:>10} | {:>8}", "avail", "P10", "point", "P90", "budget@P90", "truth");
+    for (i, avail) in split.test.iter().take(8).enumerate() {
+        let b = bands[i];
+        let truth = dataset.avail(*avail).unwrap().delay().unwrap();
+        println!(
+            "{:>8} | {:>8.1} | {:>8.1} | {:>8.1} | {:>9.1}M | {:>8}",
+            avail.to_string(),
+            b.lo,
+            b.point,
+            b.hi,
+            b.hi.max(0.0) * 0.25 / 1000.0 * 1000.0, // $250k/day in $M
+            truth,
+        );
+    }
+    let cov = interval.empirical_coverage(&inputs, &split.test, step);
+    println!("empirical coverage of the nominal-80% band: {:.0}%", cov * 100.0);
+
+    // --- artifact persistence ----------------------------------------------
+    let artifact = save_pipeline(interval.point());
+    let restored = load_pipeline(&artifact).expect("artifact parses");
+    let before = interval.point().predict_fused(&inputs, &split.test, step);
+    let after = restored.predict_fused(&inputs, &split.test, step);
+    assert_eq!(before, after, "persistence must be bit-exact");
+    println!(
+        "\npipeline artifact: {:.1} KiB, reload is bit-exact over {} test avails",
+        artifact.len() as f64 / 1024.0,
+        split.test.len()
+    );
+
+    // --- drift monitoring ---------------------------------------------------
+    let monitor = DriftMonitor::new(interval.point(), &inputs, &split.train);
+    let live: Vec<_> = split.validation.clone();
+    let reports = monitor.check(&live, step, 8);
+    println!("\ntop-5 drifting inputs of the 60% model on live data (PSI > 0.25 alerts):");
+    for r in reports.iter().take(5) {
+        let status = if r.psi > domd::core::drift::PSI_ALERT {
+            "ALERT"
+        } else if r.psi > domd::core::drift::PSI_WATCH {
+            "watch"
+        } else {
+            "ok"
+        };
+        println!("  {:<28} PSI {:.3}  [{status}]", r.name, r.psi);
+    }
+    println!(
+        "retrain recommended: {}",
+        monitor.should_retrain(&live, step)
+    );
+}

@@ -1,0 +1,245 @@
+//! `domd` — command-line front end for the DoMD estimation framework,
+//! mirroring the SMDII back-end life cycle: generate (or receive) the NMD
+//! extracts, train a pipeline artifact, evaluate it, and answer DoMD
+//! queries against the live tables.
+//!
+//! ```text
+//! domd generate --out-dir data/ [--seed N] [--avails N] [--rccs N]
+//! domd train    --data-dir data/ --out pipeline.domd [--grid-step X]
+//! domd evaluate --data-dir data/ --model pipeline.domd
+//! domd query    --data-dir data/ --model pipeline.domd --avail N
+//!               [--t-star P | --date M/D/YYYY]
+//! domd validate  --data-dir data/
+//! domd obfuscate --data-dir data/ --out-dir export/ --key N
+//! domd optimize  --data-dir data/ [--out pipeline.domd] [--quick true]
+//! ```
+//!
+//! `generate` writes `avails.csv` and `rccs.csv`; the other commands read
+//! the same two files, so a deployment can swap in real extracts.
+
+use domd::core::{
+    DomdQueryEngine, EvalTable, PipelineConfig, PipelineInputs, TrainedPipeline,
+};
+use domd::data::csv as nmd_csv;
+use domd::data::{generate, Dataset, Date, GeneratorConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use domd::cli::Args;
+
+/// Rejects a grid step outside the domain `TimeGrid` accepts, so a bad
+/// `--grid-step` is a clean CLI error instead of a library assert.
+fn check_grid_step(x: f64) -> Result<f64, String> {
+    if x > 0.0 && x <= 100.0 {
+        Ok(x)
+    } else {
+        Err(format!("--grid-step must be in (0, 100], got {x}"))
+    }
+}
+
+fn load_dataset(dir: &str) -> Result<Dataset, String> {
+    let dir = Path::new(dir);
+    let avails = std::fs::read_to_string(dir.join("avails.csv"))
+        .map_err(|e| format!("reading {}: {e}", dir.join("avails.csv").display()))?;
+    let rccs = std::fs::read_to_string(dir.join("rccs.csv"))
+        .map_err(|e| format!("reading {}: {e}", dir.join("rccs.csv").display()))?;
+    nmd_csv::read_dataset(&avails, &rccs).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out_dir = PathBuf::from(args.require("out-dir")?);
+    let config = GeneratorConfig {
+        n_avails: args.parse_opt("avails", 200usize)?,
+        target_rccs: args.parse_opt("rccs", 52_959usize)?,
+        scale: args.parse_opt("scale", 1u32)?,
+        seed: args.parse_opt("seed", 0xD0_4Du64)?,
+    };
+    if config.n_avails == 0 {
+        return Err("--avails must be at least 1".into());
+    }
+    if config.scale == 0 {
+        return Err("--scale must be at least 1".into());
+    }
+    let ds = generate(&config);
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    std::fs::write(out_dir.join("avails.csv"), nmd_csv::write_avails(&ds))
+        .map_err(|e| e.to_string())?;
+    std::fs::write(out_dir.join("rccs.csv"), nmd_csv::write_rccs(&ds)).map_err(|e| e.to_string())?;
+    let st = ds.stats();
+    println!(
+        "wrote {} avails and {} RCCs to {}",
+        st.n_avails,
+        st.n_rccs,
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("data-dir")?)?;
+    let out = PathBuf::from(args.require("out")?);
+    let grid_step = check_grid_step(args.parse_opt("grid-step", 10.0)?)?;
+    let seed: u64 = args.parse_opt("split-seed", 7u64)?;
+
+    let mut config = PipelineConfig::paper_final();
+    config.grid_step = grid_step;
+    let split = ds.split(seed);
+    eprintln!(
+        "training on {} avails ({} timeline models, config: {} k={} {} fusion={})...",
+        split.train.len(),
+        (100.0 / grid_step).ceil() as usize + 1,
+        config.selection.name(),
+        config.k,
+        config.loss.name(),
+        config.fusion.name(),
+    );
+    let inputs = PipelineInputs::build(&ds, grid_step);
+    let pipeline = TrainedPipeline::fit(&inputs, &split.train, &config);
+    std::fs::write(&out, domd::core::save_pipeline(&pipeline)).map_err(|e| e.to_string())?;
+    println!("saved pipeline artifact to {}", out.display());
+    Ok(())
+}
+
+fn load_pipeline_file(path: &str) -> Result<TrainedPipeline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    domd::core::load_pipeline(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("data-dir")?)?;
+    let pipeline = load_pipeline_file(args.require("model")?)?;
+    let seed: u64 = args.parse_opt("split-seed", 7u64)?;
+    let split = ds.split(seed);
+    let inputs = PipelineInputs::build(&ds, pipeline.config.grid_step);
+    let table = EvalTable::compute(&pipeline, &inputs, &split.test);
+    println!("test set: the {} most recent avails", split.test.len());
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("data-dir")?)?;
+    let pipeline = load_pipeline_file(args.require("model")?)?;
+    let avail = domd::data::AvailId(args.require("avail")?.parse().map_err(|e| format!("bad --avail: {e}"))?);
+    let engine = DomdQueryEngine::new(&ds, &pipeline);
+
+    let answer = if let Some(date) = args.get("date") {
+        let t: Date = date.parse().map_err(|e: domd::data::date::DateError| e.to_string())?;
+        engine
+            .query_at(avail, t)
+            .ok_or_else(|| format!("avail {avail} unknown or not started by {t}"))?
+    } else {
+        let t_star: f64 = args.parse_opt("t-star", 100.0)?;
+        engine
+            .query_logical(avail, t_star)
+            .ok_or_else(|| format!("avail {avail} not present in the dataset"))?
+    };
+
+    println!("DoMD estimates for {avail} (t* now = {:.1}%):", answer.t_star_now);
+    for e in &answer.estimates {
+        println!("  at {:>5.1}% of planned duration: {:>8.1} days", e.t_star, e.estimated_delay);
+    }
+    match answer.latest() {
+        Some(latest) => println!("headline estimate: {:.1} days", latest.estimated_delay),
+        None => println!("no timeline anchor reached yet"),
+    }
+    Ok(())
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), String> {
+    use domd::core::{optimize, OptimizerSettings};
+    let ds = load_dataset(args.require("data-dir")?)?;
+    let grid_step = check_grid_step(args.parse_opt("grid-step", 10.0)?)?;
+    let quick: bool = args.parse_opt("quick", true)?;
+    let settings = if quick {
+        OptimizerSettings {
+            k_grid: vec![20, 40, 60],
+            trial_grid: vec![10, 30],
+            chosen_trials: 30,
+            ..OptimizerSettings::default()
+        }
+    } else {
+        OptimizerSettings::default()
+    };
+    let mut base = PipelineConfig::default0();
+    base.grid_step = grid_step;
+    let splits = [7u64, 8, 12].map(|seed| ds.split(seed));
+    eprintln!("running greedy pipeline optimization (Tasks 2-6, 3-split panel)...");
+    let inputs = PipelineInputs::build(&ds, grid_step);
+    let report = optimize(&inputs, &splits, &settings, &base);
+    print!("{}", report.render());
+    if let Some(out) = args.get("out") {
+        let pipeline = TrainedPipeline::fit(&inputs, &splits[0].train, &report.final_config);
+        std::fs::write(out, domd::core::save_pipeline(&pipeline)).map_err(|e| e.to_string())?;
+        println!("saved optimized pipeline artifact to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("data-dir")?)?;
+    let report = domd::data::validate(&ds);
+    let (errors, warnings) = report.counts();
+    for f in report.findings.iter().take(50) {
+        println!("{f}");
+    }
+    if report.findings.len() > 50 {
+        println!("... and {} more findings", report.findings.len() - 50);
+    }
+    println!("{errors} error(s), {warnings} warning(s)");
+    if report.is_usable() {
+        println!("dataset is usable for training");
+        Ok(())
+    } else {
+        Err("dataset failed validation".into())
+    }
+}
+
+fn cmd_obfuscate(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args.require("data-dir")?)?;
+    let out_dir = PathBuf::from(args.require("out-dir")?);
+    let key = domd::data::ObfuscationKey::new(args.parse_opt("key", 0xD0_4Du64)?);
+    let ob = domd::data::obfuscate(&ds, &key);
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    std::fs::write(out_dir.join("avails.csv"), nmd_csv::write_avails(&ob))
+        .map_err(|e| e.to_string())?;
+    std::fs::write(out_dir.join("rccs.csv"), nmd_csv::write_rccs(&ob)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote obfuscated export ({} avails, {} RCCs; dates shifted {} days, amounts x{:.3}) to {}",
+        ob.avails().len(),
+        ob.rccs().len(),
+        key.date_shift,
+        key.amount_scale,
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]"
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "train" => cmd_train(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "query" => cmd_query(&args),
+        "validate" => cmd_validate(&args),
+        "obfuscate" => cmd_obfuscate(&args),
+        "optimize" => cmd_optimize(&args),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

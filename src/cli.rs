@@ -1,0 +1,95 @@
+//! Minimal `--flag value` argument parsing shared by the `domd` binary.
+//!
+//! The CLI's flag grammar is deliberately tiny (every option is a
+//! `--name value` pair), so a dependency-free parser keeps the deployment
+//! binary self-contained.
+
+/// Parsed `--flag value` pairs, in order of appearance.
+#[derive(Debug)]
+pub struct Args {
+    values: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses raw arguments; every token must be a `--flag` followed by a
+    /// value.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut values = Vec::new();
+        let mut it = raw.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected --flag, found {flag:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} is missing its value"));
+            };
+            values.push((name.to_string(), value.clone()));
+        }
+        Ok(Args { values })
+    }
+
+    /// The value of `--name`, if given (first occurrence wins).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `--name`, or an error naming the missing flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Parses `--name` into `T`, falling back to `default` when absent.
+    pub fn parse_opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{name} {v:?}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Result<Args, String> {
+        Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_flag_value_pairs() {
+        let a = args(&["--data-dir", "x", "--seed", "7"]).unwrap();
+        assert_eq!(a.get("data-dir"), Some("x"));
+        assert_eq!(a.require("seed").unwrap(), "7");
+        assert_eq!(a.parse_opt("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.parse_opt("missing", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_bare_tokens_and_dangling_flags() {
+        assert!(args(&["value-without-flag"]).is_err());
+        assert!(args(&["--flag"]).unwrap_err().contains("missing its value"));
+    }
+
+    #[test]
+    fn reports_missing_and_malformed() {
+        let a = args(&["--n", "notanumber"]).unwrap();
+        assert!(a.require("absent").unwrap_err().contains("--absent"));
+        let e = a.parse_opt::<u32>("n", 1).unwrap_err();
+        assert!(e.contains("bad --n"));
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        let a = args(&["--k", "1", "--k", "2"]).unwrap();
+        assert_eq!(a.get("k"), Some("1"));
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        let a = args(&[]).unwrap();
+        assert_eq!(a.get("anything"), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! # domd
+//!
+//! Umbrella crate for the DoMD (Days of Maintenance Delay) estimation
+//! framework — a Rust reproduction of the EDBT 2025 paper *"A
+//! Computational Framework for Estimating Days of Maintenance Delay of
+//! Naval Ships"*.
+//!
+//! Re-exports the five layers:
+//!
+//! * [`data`] — schema, logical time, and the synthetic Navy Maintenance
+//!   Data generator;
+//! * [`index`] — Status Query processing (dual-AVL / interval-tree / naive
+//!   indexes, group-by trees, incremental computation);
+//! * [`ml`] — from-scratch boosted trees, elastic net, losses, feature
+//!   selection, TPE hyperparameter tuning, metrics;
+//! * [`features`] — the 1490-feature transformation 𝒯 and the avail ×
+//!   feature × logical-time tensor;
+//! * [`core`] — the timeline pipeline, greedy optimizer, DoMD query
+//!   engine, evaluation, and explanations.
+//!
+//! See `examples/quickstart.rs` for the three-minute tour.
+
+pub mod cli;
+
+pub use domd_core as core;
+pub use domd_data as data;
+pub use domd_features as features;
+pub use domd_index as index;
+pub use domd_ml as ml;
