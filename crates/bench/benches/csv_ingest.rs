@@ -1,0 +1,64 @@
+//! Ingest-hardening overhead bench: strict CSV ingest vs. lenient ingest
+//! (row-level quarantine checks) vs. lenient ingest plus the full semantic
+//! validation pass, on a full extract at 1x scale.
+//!
+//! Hand-timed rather than criterion-driven: the comparison is a ratio of
+//! multi-millisecond whole-file parses, so interleaved rounds over
+//! `std::time::Instant` are plenty — and it keeps the bench runnable in
+//! offline environments where criterion cannot be fetched. The variants
+//! run round-robin within each round (not in per-variant blocks) so
+//! machine-load drift lands on all three equally.
+
+use domd_bench::util::{scaled_dataset, time_ms};
+use domd_data::csv as nmd_csv;
+use domd_data::read_dataset_lenient;
+use std::hint::black_box;
+
+fn main() {
+    let ds = scaled_dataset(1);
+    let avails = nmd_csv::write_avails(&ds);
+    let rccs = nmd_csv::write_rccs(&ds);
+    println!(
+        "csv_ingest: {} avails, {} RCCs ({} KiB of extract text)",
+        ds.avails().len(),
+        ds.rccs().len(),
+        (avails.len() + rccs.len()) / 1024
+    );
+
+    let strict = || black_box(nmd_csv::read_dataset(&avails, &rccs).expect("clean extract"));
+    let lenient = || {
+        let (ds, report) = read_dataset_lenient(&avails, &rccs).expect("headers intact");
+        black_box(report.len());
+        black_box(ds)
+    };
+    let lenient_validated = || {
+        let (ds, report) = read_dataset_lenient(&avails, &rccs).expect("headers intact");
+        black_box(report.len());
+        black_box(ds.validate().counts());
+        black_box(ds)
+    };
+
+    // Warm-up: fault the extract text into cache before timing anything.
+    strict();
+    lenient_validated();
+
+    let rounds = 50;
+    let mut totals = [0.0f64; 3];
+    for _ in 0..rounds {
+        totals[0] += time_ms(strict).1;
+        totals[1] += time_ms(lenient).1;
+        totals[2] += time_ms(lenient_validated).1;
+    }
+    let [t_strict, t_lenient, t_validated] = totals.map(|t| t / rounds as f64);
+
+    let pct = |t: f64| (t / t_strict - 1.0) * 100.0;
+    println!("strict ingest:                {t_strict:8.3} ms");
+    println!(
+        "lenient (quarantine checks):  {t_lenient:8.3} ms  ({:+.2}% vs strict)",
+        pct(t_lenient)
+    );
+    println!(
+        "lenient + Dataset::validate:  {t_validated:8.3} ms  ({:+.2}% vs strict)",
+        pct(t_validated)
+    );
+}

@@ -1,6 +1,7 @@
 //! Pipeline configuration: the parameter vector `x = (s, m, l, p, f)` of
 //! Problem 2, plus the model-gap interval of Problem 1.
 
+use crate::error::DomdError;
 use domd_ml::{ElasticNetParams, GbtParams, Loss, SelectionMethod};
 
 /// Base model family (Section 5.2.2 compares these two).
@@ -163,6 +164,52 @@ impl PipelineConfig {
             ..PipelineConfig::default0()
         }
     }
+
+    /// Checks every parameter range. Called on artifact load (a hand-edited
+    /// or corrupted artifact can carry out-of-range values that would only
+    /// explode deep inside training or fusion) and before training.
+    pub fn validate(&self) -> Result<(), DomdError> {
+        let bad = |message: String| Err(DomdError::Config { message });
+        if self.k == 0 {
+            return bad("feature set size k must be at least 1".into());
+        }
+        if !(self.grid_step > 0.0 && self.grid_step <= 100.0) {
+            return bad(format!("grid step {} outside (0, 100] percent", self.grid_step));
+        }
+        match self.loss {
+            Loss::Huber(d) | Loss::PseudoHuber(d) if !(d > 0.0 && d.is_finite()) => {
+                return bad(format!("Huber threshold {d} must be positive and finite"));
+            }
+            Loss::Quantile(q) if !(q > 0.0 && q < 1.0) => {
+                return bad(format!("quantile level {q} outside (0, 1)"));
+            }
+            _ => {}
+        }
+        if let Fusion::RecencyWeighted(g) = self.fusion {
+            if !(g > 0.0 && g <= 1.0) {
+                return bad(format!("recency decay {g} outside (0, 1]"));
+            }
+        }
+        if self.gbt.n_estimators == 0 {
+            return bad("GBT needs at least one estimator".into());
+        }
+        if !(self.gbt.learning_rate > 0.0 && self.gbt.learning_rate.is_finite()) {
+            return bad(format!("learning rate {} must be positive and finite", self.gbt.learning_rate));
+        }
+        if !(self.gbt.subsample > 0.0 && self.gbt.subsample <= 1.0) {
+            return bad(format!("subsample {} outside (0, 1]", self.gbt.subsample));
+        }
+        if !(self.gbt.colsample_bytree > 0.0 && self.gbt.colsample_bytree <= 1.0) {
+            return bad(format!("colsample {} outside (0, 1]", self.gbt.colsample_bytree));
+        }
+        if !(self.enet.alpha >= 0.0 && self.enet.alpha.is_finite()) {
+            return bad(format!("elastic-net alpha {} must be non-negative", self.enet.alpha));
+        }
+        if !(0.0..=1.0).contains(&self.enet.l1_ratio) {
+            return bad(format!("elastic-net l1_ratio {} outside [0, 1]", self.enet.l1_ratio));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +276,32 @@ mod tests {
         // Manual check for gamma = 0.5: (9*1 + 4*0.5 + 2*0.25) / 1.75.
         let want = (9.0 + 2.0 + 0.5) / 1.75;
         assert!((Fusion::RecencyWeighted(0.5).fuse(&p) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_shipped_configs_and_rejects_bad_ranges() {
+        assert!(PipelineConfig::default0().validate().is_ok());
+        assert!(PipelineConfig::paper_final().validate().is_ok());
+
+        let mut c = PipelineConfig::paper_final();
+        c.k = 0;
+        assert!(matches!(c.validate(), Err(DomdError::Config { .. })));
+
+        let mut c = PipelineConfig::paper_final();
+        c.grid_step = 0.0;
+        assert!(matches!(c.validate(), Err(DomdError::Config { .. })));
+
+        let mut c = PipelineConfig::paper_final();
+        c.loss = Loss::Quantile(1.5);
+        assert!(matches!(c.validate(), Err(DomdError::Config { .. })));
+
+        let mut c = PipelineConfig::paper_final();
+        c.fusion = Fusion::RecencyWeighted(0.0);
+        assert!(matches!(c.validate(), Err(DomdError::Config { .. })));
+
+        let mut c = PipelineConfig::paper_final();
+        c.gbt.learning_rate = f64::NAN;
+        assert!(matches!(c.validate(), Err(DomdError::Config { .. })));
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! The unified error taxonomy of the ingest→train→serve path.
+//!
+//! The deployed pipeline "retrains on raw data in the Navy environment
+//! without human intervention" (Abstract), so every failure the
+//! environment can produce — unreadable extracts, malformed rows,
+//! truncated or stale artifacts, non-finite model output — must surface
+//! as a *typed*, operator-actionable error rather than a panic or an
+//! anonymous `String`. [`DomdError`] is that taxonomy; the CLI maps each
+//! variant to a distinct process exit code, and lenient ingest downgrades
+//! row-level instances of these failures into a
+//! [`QuarantineReport`](domd_data::quarantine::QuarantineReport) instead.
+
+use domd_data::csv::CsvError;
+use domd_data::date::DateError;
+use domd_ml::persist::PersistError;
+use std::fmt;
+
+/// Every failure class of the ingest→train→serve path.
+#[derive(Debug)]
+pub enum DomdError {
+    /// The filesystem or OS failed (unreadable extract, unwritable
+    /// artifact). Carries the underlying [`std::io::Error`] as source.
+    Io {
+        /// What was being read or written (path or operation).
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A row or record could not be parsed.
+    Parse {
+        /// 1-based line number in the offending text (0 when unknown).
+        line: usize,
+        /// The field or column being parsed, when known.
+        column: Option<String>,
+        /// What went wrong.
+        message: String,
+    },
+    /// The overall shape of an input is wrong (missing or mismatched
+    /// header, wrong table) — no single row is at fault.
+    Schema {
+        /// What was expected vs. found.
+        message: String,
+    },
+    /// A persisted pipeline artifact is unusable: version mismatch,
+    /// truncation, or internal inconsistency.
+    Artifact {
+        /// The version recorded in the artifact, when one was readable.
+        found_version: Option<u32>,
+        /// The version this binary understands.
+        expected: u32,
+        /// Details plus remediation ("re-train with `domd train`…").
+        message: String,
+    },
+    /// A non-finite value (NaN/±Inf) reached a place that requires finite
+    /// numbers — a feature column, a model parameter, or a prediction.
+    NonFinite {
+        /// The feature, parameter, or value that was non-finite.
+        feature: String,
+        /// The pipeline step or stage where it surfaced.
+        step: String,
+    },
+    /// An operation that needs data received none (every row quarantined,
+    /// no closed avails, empty training split).
+    EmptyDataset {
+        /// Which operation found the dataset empty.
+        context: String,
+    },
+    /// A configuration or command-line input is invalid.
+    Config {
+        /// What was wrong with the configuration.
+        message: String,
+    },
+}
+
+impl fmt::Display for DomdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomdError::Io { context, source } => write!(f, "I/O error {context}: {source}"),
+            DomdError::Parse { line, column, message } => {
+                write!(f, "parse error")?;
+                if *line > 0 {
+                    write!(f, " at line {line}")?;
+                }
+                if let Some(c) = column {
+                    write!(f, " (field {c})")?;
+                }
+                write!(f, ": {message}")
+            }
+            DomdError::Schema { message } => write!(f, "schema error: {message}"),
+            DomdError::Artifact { found_version, expected, message } => {
+                write!(f, "artifact error: {message}")?;
+                if let Some(v) = found_version {
+                    write!(f, " (artifact version {v}, this binary reads version {expected})")?;
+                }
+                Ok(())
+            }
+            DomdError::NonFinite { feature, step } => {
+                write!(f, "non-finite value in {feature} at {step}")
+            }
+            DomdError::EmptyDataset { context } => {
+                write!(f, "no usable data: {context}")
+            }
+            DomdError::Config { message } => write!(f, "configuration error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DomdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DomdError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl DomdError {
+    /// Shorthand for an [`DomdError::Io`] with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        DomdError::Io { context: context.into(), source }
+    }
+
+    /// Shorthand for a [`DomdError::Config`].
+    pub fn config(message: impl Into<String>) -> Self {
+        DomdError::Config { message: message.into() }
+    }
+
+    /// Shorthand for a [`DomdError::Schema`].
+    pub fn schema(message: impl Into<String>) -> Self {
+        DomdError::Schema { message: message.into() }
+    }
+
+    /// Short machine-readable name of the variant (used in logs and by
+    /// the CLI's exit-code mapping).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DomdError::Io { .. } => "io",
+            DomdError::Parse { .. } => "parse",
+            DomdError::Schema { .. } => "schema",
+            DomdError::Artifact { .. } => "artifact",
+            DomdError::NonFinite { .. } => "non-finite",
+            DomdError::EmptyDataset { .. } => "empty-dataset",
+            DomdError::Config { .. } => "config",
+        }
+    }
+}
+
+impl From<std::io::Error> for DomdError {
+    fn from(source: std::io::Error) -> Self {
+        DomdError::Io { context: "unspecified operation".into(), source }
+    }
+}
+
+impl From<CsvError> for DomdError {
+    fn from(e: CsvError) -> Self {
+        if e.is_structural() {
+            DomdError::Schema { message: e.message }
+        } else {
+            DomdError::Parse { line: e.line, column: e.field.map(String::from), message: e.message }
+        }
+    }
+}
+
+impl From<PersistError> for DomdError {
+    fn from(e: PersistError) -> Self {
+        DomdError::Parse { line: e.line, column: None, message: e.message }
+    }
+}
+
+impl From<DateError> for DomdError {
+    fn from(e: DateError) -> Self {
+        DomdError::Parse { line: 0, column: None, message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_names_the_failure_site() {
+        let e = DomdError::Parse { line: 7, column: Some("amount".into()), message: "bad".into() };
+        let s = e.to_string();
+        assert!(s.contains("line 7") && s.contains("amount") && s.contains("bad"), "{s}");
+
+        let e = DomdError::Artifact {
+            found_version: Some(9),
+            expected: 1,
+            message: "unsupported format".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("version 9") && s.contains("version 1"), "{s}");
+
+        let e = DomdError::NonFinite { feature: "prediction".into(), step: "t*=50".into() };
+        assert!(e.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn io_chains_its_source() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = DomdError::io("reading avails.csv", inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("avails.csv"));
+        assert_eq!(e.kind(), "io");
+    }
+
+    #[test]
+    fn csv_errors_map_by_structure() {
+        let row = CsvError::at_field(3, "amount", "bad amount");
+        match DomdError::from(row) {
+            DomdError::Parse { line: 3, column: Some(c), .. } => assert_eq!(c, "amount"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        let structural = CsvError::structural("missing header");
+        match DomdError::from(structural) {
+            DomdError::Schema { message } => assert!(message.contains("header")),
+            other => panic!("expected Schema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn persist_errors_become_parse() {
+        let e = PersistError { line: 12, message: "unexpected end of artifact".into() };
+        match DomdError::from(e) {
+            DomdError::Parse { line: 12, .. } => {}
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            DomdError::io("x", std::io::Error::new(std::io::ErrorKind::Other, "y")).kind(),
+            DomdError::Parse { line: 0, column: None, message: String::new() }.kind(),
+            DomdError::schema("s").kind(),
+            DomdError::Artifact { found_version: None, expected: 1, message: String::new() }
+                .kind(),
+            DomdError::NonFinite { feature: String::new(), step: String::new() }.kind(),
+            DomdError::EmptyDataset { context: String::new() }.kind(),
+            DomdError::config("c").kind(),
+        ];
+        let mut unique: Vec<&str> = kinds.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

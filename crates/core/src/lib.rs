@@ -33,6 +33,7 @@
 pub mod backtest;
 pub mod config;
 pub mod drift;
+pub mod error;
 pub mod evaluate;
 pub mod explain;
 pub mod intervals;
@@ -44,6 +45,7 @@ pub mod timeline;
 pub use backtest::{backtest, BacktestConfig, BacktestPoint};
 pub use config::{Fusion, ModelFamily, PipelineConfig};
 pub use drift::{psi, DriftMonitor, DriftReport};
+pub use error::DomdError;
 pub use intervals::{DelayBand, IntervalPipeline};
 pub use persist::{load_pipeline, save_pipeline};
 pub use evaluate::{EvalRow, EvalTable};
@@ -55,5 +57,6 @@ pub use optimizer::{
 };
 pub use query::{DomdAnswer, DomdEstimate, DomdQueryEngine};
 pub use timeline::{
-    timeline_mae_series, timeline_validation_mae, PipelineInputs, StepModel, TrainedPipeline,
+    timeline_mae_series, timeline_validation_mae, OnlinePrediction, PipelineInputs, StepModel,
+    TrainedPipeline,
 };

@@ -8,6 +8,7 @@
 //! intervention (Abstract).
 
 use crate::config::{Fusion, ModelFamily, PipelineConfig};
+use crate::error::DomdError;
 use crate::timeline::{StepModel, TrainedPipeline};
 use domd_ml::persist::{fmt_f64, put_line, PersistError, Reader};
 use domd_ml::{ElasticNetParams, GbtParams, Loss, SelectionMethod, TrainedModel};
@@ -19,11 +20,11 @@ fn selection_token(s: SelectionMethod) -> &'static str {
     s.name()
 }
 
-fn selection_from(tok: &str) -> Result<SelectionMethod, String> {
+fn selection_from(r: &Reader<'_>, tok: &str) -> Result<SelectionMethod, PersistError> {
     SelectionMethod::ALL
         .into_iter()
         .find(|m| m.name() == tok)
-        .ok_or_else(|| format!("unknown selection method {tok:?}"))
+        .ok_or_else(|| r.err(format!("unknown selection method {tok:?}")))
 }
 
 fn fusion_tokens(f: Fusion) -> Vec<String> {
@@ -36,7 +37,7 @@ fn fusion_tokens(f: Fusion) -> Vec<String> {
     }
 }
 
-fn fusion_from(toks: &[&str]) -> Result<Fusion, String> {
+fn fusion_from(r: &Reader<'_>, toks: &[&str]) -> Result<Fusion, PersistError> {
     match toks.first() {
         Some(&"none") => Ok(Fusion::None),
         Some(&"min") => Ok(Fusion::Min),
@@ -45,15 +46,15 @@ fn fusion_from(toks: &[&str]) -> Result<Fusion, String> {
         Some(&"recency") => {
             let g: f64 = toks
                 .get(1)
-                .ok_or("missing recency decay")?
+                .ok_or_else(|| r.err("missing recency decay".to_string()))?
                 .parse()
-                .map_err(|e| format!("bad recency decay: {e}"))?;
+                .map_err(|e| r.err(format!("bad recency decay: {e}")))?;
             if !(g > 0.0 && g <= 1.0) {
-                return Err(format!("recency decay {g} outside (0, 1]"));
+                return Err(r.err(format!("recency decay {g} outside (0, 1]")));
             }
             Ok(Fusion::RecencyWeighted(g))
         }
-        other => Err(format!("unknown fusion {other:?}")),
+        other => Err(r.err(format!("unknown fusion {other:?}"))),
     }
 }
 
@@ -107,7 +108,7 @@ pub fn write_config(c: &PipelineConfig, out: &mut String) {
 pub fn read_config(r: &mut Reader<'_>) -> Result<PipelineConfig, PersistError> {
     let toks = r.tagged("config")?;
     let toks2 = r.exactly(&toks, 6)?;
-    let selection = selection_from(toks2[0]).map_err(|e| r.err(e))?;
+    let selection = selection_from(r, toks2[0])?;
     let k: usize = r.parse(toks2[1], "k")?;
     let family = match toks2[2] {
         "gbt" => ModelFamily::Gbt,
@@ -119,9 +120,9 @@ pub fn read_config(r: &mut Reader<'_>) -> Result<PipelineConfig, PersistError> {
     let seed: u64 = r.parse(toks2[5], "seed")?;
 
     let loss_toks = r.tagged("loss")?;
-    let loss = Loss::from_tokens(&loss_toks).map_err(|e| r.err(e))?;
+    let loss = Loss::from_tokens(&loss_toks).map_err(|e| r.err(e.message))?;
     let fusion_toks = r.tagged("fusion")?;
-    let fusion = fusion_from(&fusion_toks).map_err(|e| r.err(e))?;
+    let fusion = fusion_from(r, &fusion_toks)?;
 
     let g = r.tagged("gbt-params")?;
     let g = r.exactly(&g, 9)?;
@@ -176,19 +177,57 @@ pub fn save_pipeline(p: &TrainedPipeline) -> String {
     out
 }
 
+/// Remediation appended to every artifact error — the operator's way out
+/// is always the same: regenerate the artifact with the current binary.
+const REMEDIATION: &str = "re-train with `domd train --out <path>` to regenerate the artifact";
+
+/// Wraps a low-level read failure as a typed artifact error.
+fn artifact_error(e: PersistError) -> DomdError {
+    DomdError::Artifact {
+        found_version: None,
+        expected: FORMAT_VERSION,
+        message: format!("artifact line {}: {}; {REMEDIATION}", e.line, e.message),
+    }
+}
+
 /// Reconstructs a pipeline from artifact text.
-pub fn load_pipeline(text: &str) -> Result<TrainedPipeline, PersistError> {
+///
+/// A version mismatch yields [`DomdError::Artifact`] carrying the found
+/// and expected versions; truncation or garbling anywhere in the file
+/// yields [`DomdError::Artifact`] naming the offending line. Never panics.
+pub fn load_pipeline(text: &str) -> Result<TrainedPipeline, DomdError> {
     let mut r = Reader::new(text);
+    let version = read_version(&mut r).map_err(artifact_error)?;
+    if version != FORMAT_VERSION {
+        return Err(DomdError::Artifact {
+            found_version: Some(version),
+            expected: FORMAT_VERSION,
+            message: format!("unsupported artifact format; {REMEDIATION}"),
+        });
+    }
+    let pipeline = read_body(&mut r).map_err(artifact_error)?;
+    // A parseable artifact can still carry out-of-range parameters (a
+    // hand-edited file, or garbling that happens to parse); catch those
+    // here rather than deep inside prediction.
+    pipeline.config.validate().map_err(|e| DomdError::Artifact {
+        found_version: Some(FORMAT_VERSION),
+        expected: FORMAT_VERSION,
+        message: format!("artifact carries an invalid configuration: {e}; {REMEDIATION}"),
+    })?;
+    Ok(pipeline)
+}
+
+fn read_version(r: &mut Reader<'_>) -> Result<u32, PersistError> {
     let v = r.tagged("domd-pipeline")?;
     let v = r.exactly(&v, 1)?;
-    let version: u32 = r.parse(v[0], "format version")?;
-    if version != FORMAT_VERSION {
-        return Err(r.err(format!("unsupported format version {version}")));
-    }
-    let config = read_config(&mut r)?;
+    r.parse(v[0], "format version")
+}
+
+fn read_body(r: &mut Reader<'_>) -> Result<TrainedPipeline, PersistError> {
+    let config = read_config(r)?;
     let sm = r.tagged("static-model")?;
     let static_model = match sm.first() {
-        Some(&"present") => Some(TrainedModel::read_text(&mut r)?),
+        Some(&"present") => Some(TrainedModel::read_text(r)?),
         Some(&"absent") => None,
         other => return Err(r.err(format!("bad static-model flag {other:?}"))),
     };
@@ -202,7 +241,7 @@ pub fn load_pipeline(text: &str) -> Result<TrainedPipeline, PersistError> {
         let t_star: f64 = r.parse(t[0], "t*")?;
         let sel = r.tagged("selected")?;
         let selected: Vec<usize> = r.parse_all(&sel, "selected column")?;
-        let model = TrainedModel::read_text(&mut r)?;
+        let model = TrainedModel::read_text(r)?;
         steps.push(StepModel { t_star, selected, model });
     }
     let fn_head = r.tagged("feature-names")?;
@@ -264,18 +303,51 @@ mod tests {
     }
 
     #[test]
-    fn version_mismatch_rejected() {
+    fn version_mismatch_is_a_typed_artifact_error() {
         let (_, _, p) = trained(false);
         let text = save_pipeline(&p).replacen("domd-pipeline 1", "domd-pipeline 9", 1);
-        let err = load_pipeline(&text).unwrap_err();
-        assert!(err.message.contains("format version"));
+        match load_pipeline(&text).unwrap_err() {
+            DomdError::Artifact { found_version, expected, message } => {
+                assert_eq!(found_version, Some(9));
+                assert_eq!(expected, FORMAT_VERSION);
+                assert!(message.contains("re-train"), "no remediation in {message:?}");
+            }
+            other => panic!("expected Artifact, got {other:?}"),
+        }
     }
 
     #[test]
-    fn truncated_artifact_rejected() {
+    fn truncated_artifact_is_a_typed_artifact_error() {
         let (_, _, p) = trained(false);
         let text = save_pipeline(&p);
-        let cut = &text[..text.len() / 2];
-        assert!(load_pipeline(cut).is_err());
+        match load_pipeline(&text[..text.len() / 2]).unwrap_err() {
+            DomdError::Artifact { found_version: None, message, .. } => {
+                assert!(message.contains("artifact line"), "{message:?}");
+                assert!(message.contains("re-train"), "{message:?}");
+            }
+            other => panic!("expected Artifact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_line_boundary_never_panics() {
+        let (_, _, p) = trained(false);
+        let text = save_pipeline(&p);
+        // Cut after each line in turn; every prefix short of the full
+        // artifact must come back as a typed artifact error — not Ok, and
+        // above all not a panic.
+        let mut cut = 0;
+        for line in text.lines() {
+            cut += line.len() + 1;
+            if cut >= text.len() {
+                break;
+            }
+            match load_pipeline(&text[..cut]) {
+                Err(DomdError::Artifact { .. }) => {}
+                Ok(_) => panic!("prefix of {cut} bytes parsed as a full artifact"),
+                Err(other) => panic!("expected Artifact at cut {cut}, got {other:?}"),
+            }
+        }
+        assert!(load_pipeline(&text).is_ok());
     }
 }

@@ -27,6 +27,14 @@ pub struct DomdAnswer {
     pub t_star_now: f64,
     /// Estimates at `0, x, 2x, …` up to `t_star_now` (clamped to 100%).
     pub estimates: Vec<DomdEstimate>,
+    /// True when the pipeline had to repair a serving-time fault (missing
+    /// base model, non-finite step prediction) to produce this answer.
+    /// Degraded answers are still served — the operator sees a number with
+    /// a caveat instead of an outage — but should be treated as lower
+    /// confidence.
+    pub degraded: bool,
+    /// One message per repair; empty when `degraded` is false.
+    pub warnings: Vec<String>,
 }
 
 impl DomdAnswer {
@@ -71,16 +79,25 @@ impl<'a> DomdQueryEngine<'a> {
     }
 
     /// Answers a DoMD query at a logical timestamp directly. Returns
-    /// `None` when the avail is not in the bound dataset.
+    /// `None` when the avail is not in the bound dataset. Serving-time
+    /// faults degrade the answer (see [`DomdAnswer::degraded`]) rather
+    /// than panicking or dropping the query.
     pub fn query_logical(&self, avail: AvailId, t_star: f64) -> Option<DomdAnswer> {
         self.dataset.avail(avail)?;
-        let estimates = self
-            .pipeline
-            .predict_online(self.dataset, &self.features, avail, t_star)
+        let online =
+            self.pipeline.predict_online_checked(self.dataset, &self.features, avail, t_star);
+        let estimates = online
+            .estimates
             .into_iter()
             .map(|(t, e)| DomdEstimate { t_star: t, estimated_delay: e })
             .collect();
-        Some(DomdAnswer { avail, t_star_now: t_star, estimates })
+        Some(DomdAnswer {
+            avail,
+            t_star_now: t_star,
+            estimates,
+            degraded: !online.warnings.is_empty(),
+            warnings: online.warnings,
+        })
     }
 
     /// Answers a query for a whole set `A_q` of avails at physical time
@@ -152,6 +169,35 @@ mod tests {
         // regime as the truth rather than wild.
         assert!(est.is_finite());
         assert!((est - truth).abs() < 400.0, "estimate {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn healthy_answers_are_not_degraded() {
+        let (ds, p) = setup();
+        let engine = DomdQueryEngine::new(&ds, &p);
+        let ans = engine.query_logical(ds.avails()[0].id, 55.0).expect("known avail");
+        assert!(!ans.degraded);
+        assert!(ans.warnings.is_empty());
+    }
+
+    #[test]
+    fn broken_base_model_degrades_but_still_answers() {
+        let ds = generate(&GeneratorConfig { n_avails: 40, target_rccs: 3000, scale: 1, seed: 12 });
+        let inputs = PipelineInputs::build(&ds, 25.0);
+        let split = ds.split(5);
+        let mut cfg = PipelineConfig::paper_final();
+        cfg.gbt.n_estimators = 50;
+        cfg.k = 10;
+        cfg.grid_step = 25.0;
+        cfg.stacked = true;
+        let mut p = TrainedPipeline::fit(&inputs, &split.train, &cfg);
+        p.static_model = None; // a mangled artifact lost the base model
+        let engine = DomdQueryEngine::new(&ds, &p);
+        let ans = engine.query_logical(ds.avails()[0].id, 55.0).expect("known avail");
+        assert!(ans.degraded);
+        assert!(!ans.warnings.is_empty());
+        assert!(!ans.estimates.is_empty());
+        assert!(ans.estimates.iter().all(|e| e.estimated_delay.is_finite()));
     }
 
     #[test]

@@ -85,6 +85,18 @@ pub struct StepModel {
     pub model: TrainedModel,
 }
 
+/// The result of a degradation-aware online prediction: the fused
+/// estimates per reached grid point, plus one warning per serving-time
+/// repair. An empty warning list means the pipeline served at full
+/// fidelity; a non-empty one marks the answer as degraded.
+#[derive(Debug, Clone)]
+pub struct OnlinePrediction {
+    /// `(grid point, fused estimate)` pairs, every estimate finite.
+    pub estimates: Vec<(f64, f64)>,
+    /// What had to be repaired to serve this answer.
+    pub warnings: Vec<String>,
+}
+
 /// A fully trained timeline pipeline.
 #[derive(Debug, Clone)]
 pub struct TrainedPipeline {
@@ -204,6 +216,9 @@ impl TrainedPipeline {
     /// Predicts for one (possibly ongoing) avail directly from the dataset
     /// at an arbitrary logical time, fusing across the reached grid points.
     /// Returns `(grid point, fused estimate)` pairs per Problem 1.
+    ///
+    /// Convenience wrapper over [`TrainedPipeline::predict_online_checked`]
+    /// that discards the degradation warnings.
     pub fn predict_online(
         &self,
         dataset: &Dataset,
@@ -211,13 +226,72 @@ impl TrainedPipeline {
         avail: AvailId,
         t_star: f64,
     ) -> Vec<(f64, f64)> {
-        let a = dataset.avail(avail).expect("avail exists");
+        self.predict_online_checked(dataset, engine, avail, t_star).estimates
+    }
+
+    /// As [`TrainedPipeline::predict_online`], but degradation-aware: a
+    /// serving-time fault never panics and never leaks a non-finite
+    /// estimate. Instead the answer is repaired and each repair recorded:
+    ///
+    /// * a stacked pipeline whose static base model is missing (or
+    ///   produces a non-finite base prediction) serves with a `0.0` base
+    ///   prediction;
+    /// * a step whose model emits NaN/±Inf is replaced by the nearest
+    ///   (by grid index) step that produced a finite prediction;
+    /// * when *every* reached step is non-finite, or the pipeline has no
+    ///   step models at all, the answer carries no estimates.
+    pub fn predict_online_checked(
+        &self,
+        dataset: &Dataset,
+        engine: &FeatureEngine,
+        avail: AvailId,
+        t_star: f64,
+    ) -> OnlinePrediction {
+        let mut warnings = Vec::new();
+        let Some(a) = dataset.avail(avail) else {
+            return OnlinePrediction {
+                estimates: Vec::new(),
+                warnings: vec![format!("avail {avail} is not in the bound dataset")],
+            };
+        };
+        if self.steps.is_empty() {
+            return OnlinePrediction {
+                estimates: Vec::new(),
+                warnings: vec!["pipeline has no trained step models".to_string()],
+            };
+        }
         let static_row: Vec<f64> = domd_features::static_row(a).to_vec();
         let statics = DenseMatrix::from_vec_of_rows(std::slice::from_ref(&static_row));
-        let static_pred = self.static_model.as_ref().map(|m| m.predict(&statics)[0]);
+        let static_pred = if self.config.stacked {
+            match &self.static_model {
+                Some(m) => {
+                    let p = m.predict(&statics)[0];
+                    if p.is_finite() {
+                        Some(p)
+                    } else {
+                        warnings.push(format!(
+                            "static base model produced a non-finite prediction ({p}); \
+                             serving with 0.0 base prediction"
+                        ));
+                        Some(0.0)
+                    }
+                }
+                None => {
+                    warnings.push(
+                        "stacked pipeline is missing its static base model; \
+                         serving with 0.0 base prediction"
+                            .to_string(),
+                    );
+                    Some(0.0)
+                }
+            }
+        } else {
+            None
+        };
 
+        // Raw per-step predictions for every reached grid point.
         let mut raw = Vec::new();
-        let mut out = Vec::new();
+        let mut reached = Vec::new();
         for step in &self.steps {
             if step.t_star > t_star && !raw.is_empty() {
                 break;
@@ -225,16 +299,45 @@ impl TrainedPipeline {
             let feats = engine.features_for_avail_at(dataset, avail, step.t_star);
             let rcc: Vec<f64> = step.selected.iter().map(|&j| feats[j]).collect();
             let mut row = Vec::with_capacity(static_row.len() + rcc.len() + 1);
-            if self.config.stacked {
-                row.push(static_pred.expect("stacked pipeline has a base model"));
+            if let Some(base) = static_pred {
+                row.push(base);
             } else {
                 row.extend_from_slice(&static_row);
             }
             row.extend_from_slice(&rcc);
             raw.push(step.model.predict_row(&row));
-            out.push((step.t_star, self.config.fusion.fuse(&raw)));
+            reached.push(step.t_star);
         }
-        out
+
+        // Repair non-finite steps from the nearest finite neighbour.
+        let finite: Vec<usize> =
+            raw.iter().enumerate().filter(|(_, v)| v.is_finite()).map(|(i, _)| i).collect();
+        if finite.is_empty() {
+            warnings.push(format!(
+                "all {} reached step predictions were non-finite; no estimate available",
+                raw.len()
+            ));
+            return OnlinePrediction { estimates: Vec::new(), warnings };
+        }
+        if finite.len() < raw.len() {
+            for i in 0..raw.len() {
+                if !raw[i].is_finite() {
+                    let nearest =
+                        *finite.iter().min_by_key(|&&j| i.abs_diff(j)).expect("finite non-empty");
+                    warnings.push(format!(
+                        "step t*={} produced a non-finite prediction; \
+                         substituted nearest trained step t*={}",
+                        reached[i], reached[nearest]
+                    ));
+                    raw[i] = raw[nearest];
+                }
+            }
+        }
+
+        let estimates = (0..raw.len())
+            .map(|s| (reached[s], self.config.fusion.fuse(&raw[..=s])))
+            .collect();
+        OnlinePrediction { estimates, warnings }
     }
 
     /// Human-readable names of the features offered to the model at `step`:
@@ -436,6 +539,70 @@ mod tests {
         assert_eq!(series.len(), 5);
         let avg = series.iter().sum::<f64>() / 5.0;
         assert!((avg - mae).abs() < 1e-9);
+    }
+
+    /// A model that predicts NaN for any input row: elastic net fit on a
+    /// NaN target keeps zero coefficients and a NaN intercept.
+    fn nan_model() -> TrainedModel {
+        let x = DenseMatrix::from_vec_of_rows(std::slice::from_ref(&vec![1.0]));
+        ModelSpec::ElasticNet(domd_ml::ElasticNetParams::default()).fit(&x, &[f64::NAN])
+    }
+
+    #[test]
+    fn degraded_serving_repairs_non_finite_step_from_nearest_neighbour() {
+        let (ds, inputs) = setup();
+        let split = ds.split(1);
+        let mut cfg = quick_config();
+        cfg.fusion = crate::config::Fusion::Average;
+        let mut p = TrainedPipeline::fit(&inputs, &split.train, &cfg);
+        p.steps[2].model = nan_model();
+        let engine = FeatureEngine::default();
+        let victim = split.validation[0];
+        let out = p.predict_online_checked(&ds, &engine, victim, 100.0);
+        assert_eq!(out.estimates.len(), 5);
+        assert!(out.estimates.iter().all(|(_, e)| e.is_finite()), "{:?}", out.estimates);
+        assert_eq!(out.warnings.len(), 1, "{:?}", out.warnings);
+        assert!(out.warnings[0].contains("t*=50"), "{:?}", out.warnings);
+        assert!(out.warnings[0].contains("nearest trained step"), "{:?}", out.warnings);
+        // The healthy steps are untouched: estimate at step 0 matches the
+        // unrepaired pipeline's.
+        let healthy = TrainedPipeline::fit(&inputs, &split.train, &cfg);
+        let clean = healthy.predict_online_checked(&ds, &engine, victim, 100.0);
+        assert!(clean.warnings.is_empty());
+        assert_eq!(out.estimates[0], clean.estimates[0]);
+    }
+
+    #[test]
+    fn degraded_serving_survives_missing_base_model() {
+        let (ds, inputs) = setup();
+        let split = ds.split(1);
+        let mut cfg = quick_config();
+        cfg.stacked = true;
+        let mut p = TrainedPipeline::fit(&inputs, &split.train, &cfg);
+        p.static_model = None;
+        let engine = FeatureEngine::default();
+        let out = p.predict_online_checked(&ds, &engine, split.validation[0], 100.0);
+        assert_eq!(out.estimates.len(), 5);
+        assert!(out.estimates.iter().all(|(_, e)| e.is_finite()));
+        assert!(out.warnings.iter().any(|w| w.contains("base model")), "{:?}", out.warnings);
+    }
+
+    #[test]
+    fn degraded_serving_with_all_steps_broken_returns_no_estimates() {
+        let (ds, inputs) = setup();
+        let split = ds.split(1);
+        let mut p = TrainedPipeline::fit(&inputs, &split.train, &quick_config());
+        for s in &mut p.steps {
+            s.model = nan_model();
+        }
+        let engine = FeatureEngine::default();
+        let out = p.predict_online_checked(&ds, &engine, split.validation[0], 100.0);
+        assert!(out.estimates.is_empty());
+        assert!(out.warnings.iter().any(|w| w.contains("non-finite")), "{:?}", out.warnings);
+        // Unknown avail: warning instead of panic.
+        let missing = p.predict_online_checked(&ds, &engine, AvailId(424242), 50.0);
+        assert!(missing.estimates.is_empty());
+        assert!(!missing.warnings.is_empty());
     }
 
     #[test]

@@ -7,10 +7,22 @@
 //! in a plain CSV layout (no quoting needed: every field is numeric, a
 //! date, or a code), so a deployment can swap the synthetic generator for
 //! real extracts without touching the pipeline.
+//!
+//! Two ingest modes:
+//! * **strict** ([`read_avails`] / [`read_rccs`] / [`read_dataset`]) —
+//!   the first malformed row aborts the whole extract; right for curated
+//!   inputs where any defect means the export job itself is broken;
+//! * **lenient** ([`read_avails_lenient`] / [`read_rccs_lenient`], and
+//!   [`read_dataset_lenient`](crate::quarantine::read_dataset_lenient)
+//!   for the full semantic pass) — malformed rows are collected into a
+//!   [`QuarantinedRow`](crate::quarantine::QuarantinedRow) list and the
+//!   remaining rows survive; right for unattended retraining where one
+//!   bad row must not take down the pipeline.
 
 use crate::avail::{Avail, AvailId, ShipId, StaticAttrs};
 use crate::dataset::Dataset;
 use crate::date::Date;
+use crate::quarantine::QuarantinedRow;
 use crate::rcc::{Rcc, RccId, RccType, Swlin};
 use std::fmt::Write as _;
 
@@ -22,25 +34,55 @@ ship_class,rmc_id,ship_age_years,prior_avail_count,prior_avg_delay";
 pub const RCC_HEADER: &str = "rcc_id,avail_id,rcc_type,swlin,created,settled,amount";
 
 /// Error produced when parsing a CSV extract.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsvError {
-    /// 1-based line number (0 for structural problems).
+    /// 1-based line number (0 for structural problems — see
+    /// [`CsvError::is_structural`]).
     pub line: usize,
+    /// The field being parsed when the error occurred, if any.
+    pub field: Option<&'static str>,
     /// What went wrong.
     pub message: String,
 }
 
+impl CsvError {
+    /// A whole-file problem (missing or mismatched header): no single
+    /// line is at fault.
+    pub fn structural(message: impl Into<String>) -> CsvError {
+        CsvError { line: 0, field: None, message: message.into() }
+    }
+
+    /// A row-shape problem on one line (wrong field count).
+    pub fn at_line(line: usize, message: impl Into<String>) -> CsvError {
+        CsvError { line, field: None, message: message.into() }
+    }
+
+    /// A value problem in one named field of one line.
+    pub fn at_field(line: usize, field: &'static str, message: impl Into<String>) -> CsvError {
+        CsvError { line, field: Some(field), message: message.into() }
+    }
+
+    /// True for whole-file problems that no row-level quarantine can
+    /// work around (the lenient readers refuse the extract too).
+    pub fn is_structural(&self) -> bool {
+        self.line == 0
+    }
+}
+
 impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CSV line {}: {}", self.line, self.message)
+        if self.is_structural() {
+            write!(f, "CSV structure: {}", self.message)
+        } else {
+            match self.field {
+                Some(field) => write!(f, "CSV line {} (field {field}): {}", self.line, self.message),
+                None => write!(f, "CSV line {}: {}", self.line, self.message),
+            }
+        }
     }
 }
 
 impl std::error::Error for CsvError {}
-
-fn err(line: usize, message: impl Into<String>) -> CsvError {
-    CsvError { line, message: message.into() }
-}
 
 /// Serializes the avail table.
 pub fn write_avails(dataset: &Dataset) -> String {
@@ -86,85 +128,164 @@ pub fn write_rccs(dataset: &Dataset) -> String {
 fn fields(line: &str, want: usize, line_no: usize) -> Result<Vec<&str>, CsvError> {
     let f: Vec<&str> = line.split(',').collect();
     if f.len() != want {
-        return Err(err(line_no, format!("expected {want} fields, got {}", f.len())));
+        return Err(CsvError::at_line(line_no, format!("expected {want} fields, got {}", f.len())));
     }
     Ok(f)
 }
 
-fn parse<T: std::str::FromStr>(s: &str, what: &str, line_no: usize) -> Result<T, CsvError>
+fn parse<T: std::str::FromStr>(s: &str, what: &'static str, line_no: usize) -> Result<T, CsvError>
 where
     T::Err: std::fmt::Display,
 {
-    s.trim().parse().map_err(|e| err(line_no, format!("bad {what} {s:?}: {e}")))
+    s.trim().parse().map_err(|e| CsvError::at_field(line_no, what, format!("bad value {s:?}: {e}")))
 }
 
-/// Parses an avail table CSV (as produced by [`write_avails`]).
+fn parse_finite(s: &str, what: &'static str, line_no: usize) -> Result<f64, CsvError> {
+    let v: f64 = parse(s, what, line_no)?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(CsvError::at_field(line_no, what, format!("non-finite value {s:?}")))
+    }
+}
+
+fn check_header(
+    lines: &mut std::iter::Enumerate<std::str::Lines<'_>>,
+    expected: &str,
+    table: &str,
+) -> Result<(), CsvError> {
+    match lines.next() {
+        Some((_, h)) if h.trim() == expected => Ok(()),
+        Some((_, h)) => Err(CsvError::structural(format!(
+            "{table} header mismatch: expected {expected:?}, found {h:?}"
+        ))),
+        None => Err(CsvError::structural(format!("empty input: missing {table} header"))),
+    }
+}
+
+/// Parses one avail-table data row.
+fn parse_avail_row(line: &str, line_no: usize) -> Result<Avail, CsvError> {
+    let f = fields(line, 11, line_no)?;
+    let actual_end: Option<Date> = if f[5].trim().is_empty() {
+        None
+    } else {
+        Some(parse(f[5], "actual_end", line_no)?)
+    };
+    Ok(Avail {
+        id: AvailId(parse(f[0], "avail_id", line_no)?),
+        ship: ShipId(parse(f[1], "ship_id", line_no)?),
+        plan_start: parse(f[2], "plan_start", line_no)?,
+        plan_end: parse(f[3], "plan_end", line_no)?,
+        actual_start: parse(f[4], "actual_start", line_no)?,
+        actual_end,
+        statics: StaticAttrs {
+            ship_class: parse(f[6], "ship_class", line_no)?,
+            rmc_id: parse(f[7], "rmc_id", line_no)?,
+            ship_age_years: parse_finite(f[8], "ship_age_years", line_no)?,
+            prior_avail_count: parse(f[9], "prior_avail_count", line_no)?,
+            prior_avg_delay: parse_finite(f[10], "prior_avg_delay", line_no)?,
+        },
+    })
+}
+
+/// Parses one RCC-table data row.
+fn parse_rcc_row(line: &str, line_no: usize) -> Result<Rcc, CsvError> {
+    let f = fields(line, 7, line_no)?;
+    let rcc_type: RccType = f[2]
+        .trim()
+        .parse()
+        .map_err(|e| CsvError::at_field(line_no, "rcc_type", format!("{e}")))?;
+    let swlin: Swlin =
+        f[3].trim().parse().map_err(|e| CsvError::at_field(line_no, "swlin", format!("{e}")))?;
+    Ok(Rcc {
+        id: RccId(parse(f[0], "rcc_id", line_no)?),
+        avail: AvailId(parse(f[1], "avail_id", line_no)?),
+        rcc_type,
+        swlin,
+        created: parse(f[4], "created", line_no)?,
+        settled: parse(f[5], "settled", line_no)?,
+        amount: parse_finite(f[6], "amount", line_no)?,
+    })
+}
+
+fn read_table<T>(
+    text: &str,
+    header: &str,
+    table: &str,
+    parse_row: impl Fn(&str, usize) -> Result<T, CsvError>,
+) -> Result<Vec<T>, CsvError> {
+    let mut lines = text.lines().enumerate();
+    check_header(&mut lines, header, table)?;
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_row(line, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Rows that survived a lenient table read, each with its 1-based line
+/// number, plus the rows that did not.
+#[derive(Debug, Clone)]
+pub struct LenientTable<T> {
+    /// Successfully parsed rows as `(line number, row)` pairs.
+    pub rows: Vec<(usize, T)>,
+    /// Rows that failed to parse, with the reason and raw text.
+    pub quarantined: Vec<QuarantinedRow>,
+}
+
+fn read_table_lenient<T>(
+    text: &str,
+    header: &str,
+    table: &'static str,
+    parse_row: impl Fn(&str, usize) -> Result<T, CsvError>,
+) -> Result<LenientTable<T>, CsvError> {
+    let mut lines = text.lines().enumerate();
+    check_header(&mut lines, header, table)?;
+    let mut rows = Vec::new();
+    let mut quarantined = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        match parse_row(line, line_no) {
+            Ok(row) => rows.push((line_no, row)),
+            Err(e) => quarantined.push(QuarantinedRow {
+                table,
+                line: line_no,
+                field: e.field,
+                reason: e.message,
+                raw: line.to_string(),
+            }),
+        }
+    }
+    Ok(LenientTable { rows, quarantined })
+}
+
+/// Parses an avail table CSV (as produced by [`write_avails`]), failing
+/// on the first malformed row.
 pub fn read_avails(text: &str) -> Result<Vec<Avail>, CsvError> {
-    let mut lines = text.lines().enumerate();
-    match lines.next() {
-        Some((_, h)) if h.trim() == AVAIL_HEADER => {}
-        _ => return Err(err(0, "missing or wrong avail header")),
-    }
-    let mut out = Vec::new();
-    for (i, line) in lines {
-        let line_no = i + 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let f = fields(line, 11, line_no)?;
-        let actual_end: Option<Date> = if f[5].trim().is_empty() {
-            None
-        } else {
-            Some(parse(f[5], "actual_end", line_no)?)
-        };
-        out.push(Avail {
-            id: AvailId(parse(f[0], "avail_id", line_no)?),
-            ship: ShipId(parse(f[1], "ship_id", line_no)?),
-            plan_start: parse(f[2], "plan_start", line_no)?,
-            plan_end: parse(f[3], "plan_end", line_no)?,
-            actual_start: parse(f[4], "actual_start", line_no)?,
-            actual_end,
-            statics: StaticAttrs {
-                ship_class: parse(f[6], "ship_class", line_no)?,
-                rmc_id: parse(f[7], "rmc_id", line_no)?,
-                ship_age_years: parse(f[8], "ship_age_years", line_no)?,
-                prior_avail_count: parse(f[9], "prior_avail_count", line_no)?,
-                prior_avg_delay: parse(f[10], "prior_avg_delay", line_no)?,
-            },
-        });
-    }
-    Ok(out)
+    read_table(text, AVAIL_HEADER, "avail", parse_avail_row)
 }
 
-/// Parses an RCC table CSV (as produced by [`write_rccs`]).
+/// Parses an RCC table CSV (as produced by [`write_rccs`]), failing on
+/// the first malformed row.
 pub fn read_rccs(text: &str) -> Result<Vec<Rcc>, CsvError> {
-    let mut lines = text.lines().enumerate();
-    match lines.next() {
-        Some((_, h)) if h.trim() == RCC_HEADER => {}
-        _ => return Err(err(0, "missing or wrong RCC header")),
-    }
-    let mut out = Vec::new();
-    for (i, line) in lines {
-        let line_no = i + 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let f = fields(line, 7, line_no)?;
-        let rcc_type: RccType =
-            f[2].trim().parse().map_err(|e| err(line_no, format!("bad rcc_type: {e}")))?;
-        let swlin: Swlin =
-            f[3].trim().parse().map_err(|e| err(line_no, format!("bad swlin: {e}")))?;
-        out.push(Rcc {
-            id: RccId(parse(f[0], "rcc_id", line_no)?),
-            avail: AvailId(parse(f[1], "avail_id", line_no)?),
-            rcc_type,
-            swlin,
-            created: parse(f[4], "created", line_no)?,
-            settled: parse(f[5], "settled", line_no)?,
-            amount: parse(f[6], "amount", line_no)?,
-        });
-    }
-    Ok(out)
+    read_table(text, RCC_HEADER, "RCC", parse_rcc_row)
+}
+
+/// Lenient counterpart of [`read_avails`]: malformed rows are quarantined
+/// instead of aborting the extract. Header problems are still fatal.
+pub fn read_avails_lenient(text: &str) -> Result<LenientTable<Avail>, CsvError> {
+    read_table_lenient(text, AVAIL_HEADER, "avail", parse_avail_row)
+}
+
+/// Lenient counterpart of [`read_rccs`].
+pub fn read_rccs_lenient(text: &str) -> Result<LenientTable<Rcc>, CsvError> {
+    read_table_lenient(text, RCC_HEADER, "RCC", parse_rcc_row)
 }
 
 /// Serializes both tables and reassembles a [`Dataset`] from the pair.
@@ -208,25 +329,54 @@ mod tests {
     }
 
     #[test]
+    fn structural_errors_render_without_line_zero() {
+        let e = read_avails("nope\n").unwrap_err();
+        assert!(e.is_structural());
+        let s = e.to_string();
+        assert!(s.starts_with("CSV structure:"), "{s}");
+        assert!(!s.contains("line 0"), "{s}");
+        // The offending header text is included for the operator.
+        assert!(s.contains("\"nope\""), "{s}");
+        assert!(s.contains("avail_id"), "expected header named in {s}");
+
+        let empty = read_rccs("").unwrap_err();
+        assert!(empty.is_structural());
+        assert!(empty.to_string().contains("empty input"), "{empty}");
+    }
+
+    #[test]
     fn reports_line_numbers() {
         let mut text = String::from(AVAIL_HEADER);
         text.push_str("\n1,2,1/1/20,6/1/20,1/1/20,,0,0,10.0,1,5.0\nbad,row\n");
         let e = read_avails(&text).unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.message.contains("expected 11 fields"));
+        assert!(!e.is_structural());
     }
 
     #[test]
-    fn rejects_bad_values() {
+    fn rejects_bad_values_naming_the_field() {
         let mut text = String::from(RCC_HEADER);
         text.push('\n');
         text.push_str("1,5,G,434-11-001,3/22/20,6/16/20,notanumber\n");
         let e = read_rccs(&text).unwrap_err();
-        assert!(e.message.contains("bad amount"));
+        assert_eq!(e.field, Some("amount"));
+        assert!(e.to_string().contains("field amount"), "{e}");
         let mut text2 = String::from(RCC_HEADER);
         text2.push('\n');
         text2.push_str("1,5,ZZ,434-11-001,3/22/20,6/16/20,5.0\n");
-        assert!(read_rccs(&text2).unwrap_err().message.contains("rcc_type"));
+        assert_eq!(read_rccs(&text2).unwrap_err().field, Some("rcc_type"));
+    }
+
+    #[test]
+    fn rejects_non_finite_amounts() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!("{RCC_HEADER}\n1,5,G,434-11-001,3/22/20,6/16/20,{bad}\n");
+            let e = read_rccs(&text).unwrap_err();
+            assert_eq!(e.field, Some("amount"), "{bad}: {e}");
+        }
+        let text = format!("{AVAIL_HEADER}\n1,2,1/1/20,6/1/20,1/1/20,,0,0,NaN,1,5.0\n");
+        assert_eq!(read_avails(&text).unwrap_err().field, Some("ship_age_years"));
     }
 
     #[test]
@@ -235,5 +385,38 @@ mod tests {
         let mut text = write_avails(&ds);
         text.push_str("\n\n");
         assert_eq!(read_avails(&text).unwrap().len(), ds.avails().len());
+    }
+
+    #[test]
+    fn lenient_keeps_good_rows_and_quarantines_bad_ones() {
+        let mut text = String::from(AVAIL_HEADER);
+        text.push_str("\n1,2,1/1/20,6/1/20,1/1/20,,0,0,10.0,1,5.0\n");
+        text.push_str("bad,row\n");
+        text.push_str("3,4,2/1/20,8/1/20,2/1/20,9/1/20,1,1,12.0,0,0.0\n");
+        text.push_str("4,4,2/1/20,8/1/20,2/1/20,9/1/20,1,1,twelve,0,0.0\n");
+        let out = read_avails_lenient(&text).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].0, 2); // line numbers preserved
+        assert_eq!(out.rows[1].0, 4);
+        assert_eq!(out.quarantined.len(), 2);
+        assert_eq!(out.quarantined[0].line, 3);
+        assert_eq!(out.quarantined[0].raw, "bad,row");
+        assert_eq!(out.quarantined[1].field, Some("ship_age_years"));
+    }
+
+    #[test]
+    fn lenient_still_rejects_structural_problems() {
+        assert!(read_avails_lenient("totally,wrong,header\n1,2,3\n")
+            .unwrap_err()
+            .is_structural());
+        assert!(read_rccs_lenient("").unwrap_err().is_structural());
+    }
+
+    #[test]
+    fn lenient_on_clean_extract_quarantines_nothing() {
+        let ds = small();
+        let out = read_rccs_lenient(&write_rccs(&ds)).unwrap();
+        assert!(out.quarantined.is_empty());
+        assert_eq!(out.rows.len(), ds.rccs().len());
     }
 }

@@ -1,0 +1,280 @@
+//! Seeded fault injection for robustness testing.
+//!
+//! The pipeline must survive whatever a real deployment environment can
+//! hand it: truncated files, mangled fields, NaN/Inf in numeric columns,
+//! duplicated or dangling identifiers, reordered headers. This module
+//! produces those corruptions *deterministically from a seed*, so the
+//! fault-injection property suite (`tests/fault_injection.rs` at the
+//! workspace root) can replay any failing scenario from its seed alone.
+//!
+//! The corruptions are text-level and format-agnostic: they apply to the
+//! CSV extracts and to persisted pipeline artifacts alike. A private
+//! SplitMix64 generator keeps the module free of the `rand` dependency
+//! so corruption streams stay stable regardless of rand upgrades.
+
+use std::fmt;
+
+/// The corruption families the harness draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Cut the text at an arbitrary byte (a partial download / full disk).
+    TruncateBytes,
+    /// Replace one field of one data line with garbage.
+    MangleField,
+    /// Replace one field with `NaN`, `inf`, or `-inf`.
+    InjectNonFinite,
+    /// Duplicate one data line verbatim (a double-exported row).
+    DuplicateLine,
+    /// Point an id-like field at a non-existent id.
+    DanglingRef,
+    /// Swap two fields of the first line (a reordered export header).
+    ShuffleHeader,
+}
+
+impl FaultKind {
+    /// Every corruption family, in a fixed order (the seed picks one).
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::TruncateBytes,
+        FaultKind::MangleField,
+        FaultKind::InjectNonFinite,
+        FaultKind::DuplicateLine,
+        FaultKind::DanglingRef,
+        FaultKind::ShuffleHeader,
+    ];
+
+    /// Short name for scenario logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TruncateBytes => "truncate-bytes",
+            FaultKind::MangleField => "mangle-field",
+            FaultKind::InjectNonFinite => "inject-non-finite",
+            FaultKind::DuplicateLine => "duplicate-line",
+            FaultKind::DanglingRef => "dangling-ref",
+            FaultKind::ShuffleHeader => "shuffle-header",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deterministic SplitMix64 stream — the corruption source of truth.
+#[derive(Debug, Clone)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        FaultRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// One element of a non-empty slice.
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+}
+
+/// Garbage replacements for [`FaultKind::MangleField`]: empty, non-ASCII,
+/// overlong, wrong-type, and almost-right values.
+const GARBAGE: [&str; 8] =
+    ["", "x!x", "999999999999999999999999999", "-", "12/40/2020", "🦀", "1.2.3", "NULL"];
+
+/// Non-finite injections for [`FaultKind::InjectNonFinite`].
+const NON_FINITE: [&str; 4] = ["NaN", "inf", "-inf", "nan"];
+
+/// Applies the seeded corruption for `seed` to `text`, returning the
+/// corrupted text and which fault family was applied. The same
+/// `(text, seed)` pair always produces the same corruption.
+///
+/// Line-oriented faults need at least one data line; when the text is too
+/// small for the drawn fault, truncation is applied instead (it is always
+/// possible), so every seed corrupts *something*.
+pub fn corrupt_text(text: &str, seed: u64) -> (String, FaultKind) {
+    let mut rng = FaultRng::new(seed);
+    let kind = *rng.pick(&FaultKind::ALL);
+    match apply(text, kind, &mut rng) {
+        Some(corrupted) => (corrupted, kind),
+        None => (truncate(text, &mut rng), FaultKind::TruncateBytes),
+    }
+}
+
+fn truncate(text: &str, rng: &mut FaultRng) -> String {
+    if text.is_empty() {
+        return String::new();
+    }
+    // Cut at a char boundary so the result is still a valid String (a raw
+    // byte cut would model the same failure; readers see the same prefix).
+    let mut cut = rng.below(text.len());
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    text[..cut].to_string()
+}
+
+/// Splits into lines, remembering whether the text ended with a newline.
+fn lines_of(text: &str) -> (Vec<String>, bool) {
+    (text.lines().map(String::from).collect(), text.ends_with('\n'))
+}
+
+fn join(lines: Vec<String>, trailing_newline: bool) -> String {
+    let mut out = lines.join("\n");
+    if trailing_newline {
+        out.push('\n');
+    }
+    out
+}
+
+/// Picks a non-header line index with at least one comma-separated field.
+fn pick_data_line(lines: &[String], rng: &mut FaultRng) -> Option<usize> {
+    if lines.len() < 2 {
+        return None;
+    }
+    Some(1 + rng.below(lines.len() - 1))
+}
+
+fn apply(text: &str, kind: FaultKind, rng: &mut FaultRng) -> Option<String> {
+    match kind {
+        FaultKind::TruncateBytes => Some(truncate(text, rng)),
+        FaultKind::MangleField => {
+            let (mut lines, nl) = lines_of(text);
+            let i = pick_data_line(&lines, rng)?;
+            let mut fields: Vec<String> = lines[i].split(',').map(String::from).collect();
+            let j = rng.below(fields.len());
+            fields[j] = rng.pick(&GARBAGE).to_string();
+            lines[i] = fields.join(",");
+            Some(join(lines, nl))
+        }
+        FaultKind::InjectNonFinite => {
+            let (mut lines, nl) = lines_of(text);
+            let i = pick_data_line(&lines, rng)?;
+            let mut fields: Vec<String> = lines[i].split(',').map(String::from).collect();
+            let j = rng.below(fields.len());
+            fields[j] = rng.pick(&NON_FINITE).to_string();
+            lines[i] = fields.join(",");
+            Some(join(lines, nl))
+        }
+        FaultKind::DuplicateLine => {
+            let (mut lines, nl) = lines_of(text);
+            let i = pick_data_line(&lines, rng)?;
+            let dup = lines[i].clone();
+            lines.insert(i + 1, dup);
+            Some(join(lines, nl))
+        }
+        FaultKind::DanglingRef => {
+            let (mut lines, nl) = lines_of(text);
+            let i = pick_data_line(&lines, rng)?;
+            let mut fields: Vec<String> = lines[i].split(',').map(String::from).collect();
+            // Id-like columns sit at the front of both tables; retarget
+            // one of the first two fields at an id no extract contains.
+            let j = rng.below(2.min(fields.len()));
+            fields[j] = "999999999".to_string();
+            lines[i] = fields.join(",");
+            Some(join(lines, nl))
+        }
+        FaultKind::ShuffleHeader => {
+            let (mut lines, nl) = lines_of(text);
+            let header = lines.first()?;
+            let mut fields: Vec<String> = header.split(',').map(String::from).collect();
+            if fields.len() < 2 {
+                return None;
+            }
+            let a = rng.below(fields.len());
+            let b = (a + 1 + rng.below(fields.len() - 1)) % fields.len();
+            fields.swap(a, b);
+            lines[0] = fields.join(",");
+            Some(join(lines, nl))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "id,name,amount\n1,alpha,10.0\n2,beta,20.0\n3,gamma,30.0\n";
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        for seed in 0..50 {
+            let (a, ka) = corrupt_text(SAMPLE, seed);
+            let (b, kb) = corrupt_text(SAMPLE, seed);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(ka, kb, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_fault_kind_is_reachable() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..200 {
+            let (_, kind) = corrupt_text(SAMPLE, seed);
+            seen.insert(kind.name());
+        }
+        for kind in FaultKind::ALL {
+            assert!(seen.contains(kind.name()), "{kind} never drawn in 200 seeds");
+        }
+    }
+
+    #[test]
+    fn corruption_changes_the_text_or_truncates_to_prefix() {
+        for seed in 0..200 {
+            let (out, kind) = corrupt_text(SAMPLE, seed);
+            match kind {
+                FaultKind::TruncateBytes => {
+                    assert!(SAMPLE.starts_with(&out), "seed {seed} not a prefix")
+                }
+                _ => assert_ne!(out, SAMPLE, "seed {seed} ({kind}) left text unchanged"),
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back_to_truncation() {
+        for seed in 0..40 {
+            let (out, kind) = corrupt_text("only-header\n", seed);
+            // Only truncation and header shuffling have anything to work
+            // with; everything else degrades to truncation.
+            match kind {
+                FaultKind::TruncateBytes => assert!("only-header\n".starts_with(&out)),
+                FaultKind::ShuffleHeader => assert!(!out.is_empty()),
+                other => panic!("seed {seed}: unexpected kind {other}"),
+            }
+        }
+        let (out, kind) = corrupt_text("", 7);
+        assert_eq!(out, "");
+        assert_eq!(kind, FaultKind::TruncateBytes);
+    }
+
+    #[test]
+    fn shuffle_header_only_touches_the_first_line() {
+        for seed in 0..400 {
+            let (out, kind) = corrupt_text(SAMPLE, seed);
+            if kind == FaultKind::ShuffleHeader {
+                let orig: Vec<&str> = SAMPLE.lines().skip(1).collect();
+                let got: Vec<&str> = out.lines().skip(1).collect();
+                assert_eq!(orig, got);
+                assert_ne!(out.lines().next(), SAMPLE.lines().next());
+                return;
+            }
+        }
+        panic!("shuffle-header never drawn");
+    }
+}

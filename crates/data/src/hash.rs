@@ -1,0 +1,101 @@
+//! A fast, non-cryptographic hasher for the hot ingest paths.
+//!
+//! Lenient ingest and semantic validation hash every RCC row (id dedup,
+//! avail-reference checks) — with the standard library's SipHash that
+//! hashing alone costs a measurable slice of a full-extract parse. This
+//! is the Fx multiply-rotate scheme (as used by rustc) implemented
+//! locally so the workspace stays dependency-free; it is *not* DoS
+//! resistant, which is fine for ids we parse ourselves.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher over machine words.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Knuth's 64-bit multiplicative-hash constant.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_ids_hash_distinctly() {
+        let mut set = FxHashSet::default();
+        for i in 0u32..10_000 {
+            assert!(set.insert(i));
+        }
+        assert_eq!(set.len(), 10_000);
+        assert!(set.contains(&42));
+        assert!(!set.contains(&10_000));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(7, "seven");
+        map.insert(7, "seven again");
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(&7), Some(&"seven again"));
+    }
+
+    #[test]
+    fn hash_depends_on_input() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let build: BuildHasherDefault<FxHasher> = Default::default();
+        let a = build.hash_one(1u32);
+        let b = build.hash_one(2u32);
+        assert_ne!(a, b);
+    }
+}

@@ -26,17 +26,22 @@ pub mod csv;
 pub mod dataset;
 pub mod date;
 pub mod distributions;
+pub mod fault;
 pub mod generator;
+pub mod hash;
 pub mod logical_time;
 pub mod obfuscate;
+pub mod quarantine;
 pub mod rcc;
 pub mod validate;
 
 pub use avail::{Avail, AvailId, AvailStatus, ShipId, StaticAttrs};
 pub use dataset::{Dataset, Split, Stats};
 pub use date::Date;
+pub use fault::{corrupt_text, FaultKind};
 pub use generator::{censor_ongoing, generate, generate_with_truth, GeneratorConfig};
 pub use logical_time::{logical_time, physical_time, LogicalTime, TimeGrid};
 pub use obfuscate::{obfuscate, ObfuscationKey};
+pub use quarantine::{read_dataset_lenient, QuarantineReport, QuarantinedRow};
 pub use rcc::{status_at, Rcc, RccId, RccStatus, RccType, Swlin};
 pub use validate::{validate, Finding, Severity, ValidationReport};

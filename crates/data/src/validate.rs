@@ -8,7 +8,7 @@
 
 use crate::avail::AvailId;
 use crate::dataset::Dataset;
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 use std::fmt;
 
 /// Severity of a finding.
@@ -79,7 +79,11 @@ pub fn validate(dataset: &Dataset) -> ValidationReport {
     let mut report = ValidationReport::default();
 
     // --- avail table -------------------------------------------------------
-    let mut seen: HashMap<AvailId, usize> = HashMap::new();
+    // Doubles as the id → row index for the RCC reference checks below —
+    // `Dataset::avail` is a linear scan, far too slow per-RCC at full
+    // extract size.
+    let mut seen: FxHashMap<AvailId, usize> =
+        FxHashMap::with_capacity_and_hasher(dataset.avails().len(), Default::default());
     for (i, a) in dataset.avails().iter().enumerate() {
         if let Some(prev) = seen.insert(a.id, i) {
             report.push(
@@ -113,7 +117,16 @@ pub fn validate(dataset: &Dataset) -> ValidationReport {
                 );
             }
         }
-        if a.statics.ship_age_years < 0.0 || a.statics.ship_age_years > 80.0 {
+        if !a.statics.ship_age_years.is_finite() || !a.statics.prior_avg_delay.is_finite() {
+            report.push(
+                Severity::Error,
+                "statics-finite",
+                format!(
+                    "avail {}: non-finite statics (ship age {}, prior avg delay {})",
+                    a.id, a.statics.ship_age_years, a.statics.prior_avg_delay
+                ),
+            );
+        } else if a.statics.ship_age_years < 0.0 || a.statics.ship_age_years > 80.0 {
             report.push(
                 Severity::Warning,
                 "ship-age-range",
@@ -124,7 +137,7 @@ pub fn validate(dataset: &Dataset) -> ValidationReport {
 
     // --- RCC table ----------------------------------------------------------
     for r in dataset.rccs() {
-        let Some(a) = dataset.avail(r.avail) else {
+        let Some(a) = seen.get(&r.avail).map(|&i| &dataset.avails()[i]) else {
             report.push(
                 Severity::Error,
                 "rcc-avail-ref",
@@ -139,7 +152,13 @@ pub fn validate(dataset: &Dataset) -> ValidationReport {
                 format!("RCC {} settled {} before created {}", r.id.0, r.settled, r.created),
             );
         }
-        if r.amount < 0.0 {
+        if !r.amount.is_finite() {
+            report.push(
+                Severity::Error,
+                "rcc-amount-finite",
+                format!("RCC {} has non-finite amount {}", r.id.0, r.amount),
+            );
+        } else if r.amount < 0.0 {
             report.push(
                 Severity::Error,
                 "rcc-amount",
@@ -170,6 +189,15 @@ pub fn validate(dataset: &Dataset) -> ValidationReport {
         Severity::Warning => 1,
     });
     report
+}
+
+impl Dataset {
+    /// Validates this dataset against every semantic invariant — the
+    /// method form of [`validate`], for call sites that already hold a
+    /// [`Dataset`] (the CLI and the fault-injection harness).
+    pub fn validate(&self) -> ValidationReport {
+        validate(self)
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +291,26 @@ mod tests {
         assert_eq!(errors, 0);
         assert!(warnings >= 1);
         assert!(report.findings[0].to_string().contains("WARN"));
+    }
+
+    #[test]
+    fn detects_non_finite_values() {
+        let mut a = base_avail(1);
+        a.statics.ship_age_years = f64::NAN;
+        let r = Rcc {
+            id: RccId(1),
+            avail: AvailId(1),
+            rcc_type: RccType::Growth,
+            swlin: "123-45-678".parse().unwrap(),
+            created: a.plan_start + 10,
+            settled: a.plan_start + 15,
+            amount: f64::INFINITY,
+        };
+        let report = Dataset::new(vec![a], vec![r]).validate();
+        assert!(!report.is_usable());
+        let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"statics-finite"), "{rules:?}");
+        assert!(rules.contains(&"rcc-amount-finite"), "{rules:?}");
     }
 
     #[test]

@@ -238,13 +238,16 @@ impl Loss {
         }
     }
 
-    /// Parses tokens written by [`Loss::to_tokens`].
-    pub fn from_tokens(toks: &[&str]) -> Result<Loss, String> {
-        let param = || -> Result<f64, String> {
+    /// Parses tokens written by [`Loss::to_tokens`]. The error's line is 0
+    /// (tokens carry no position); callers with a [`crate::persist::Reader`]
+    /// re-anchor it to the current line.
+    pub fn from_tokens(toks: &[&str]) -> Result<Loss, crate::persist::PersistError> {
+        let fail = |message: String| crate::persist::PersistError { line: 0, message };
+        let param = || -> Result<f64, crate::persist::PersistError> {
             toks.get(1)
-                .ok_or_else(|| "missing loss parameter".to_string())?
+                .ok_or_else(|| fail("missing loss parameter".to_string()))?
                 .parse()
-                .map_err(|e| format!("bad loss parameter: {e}"))
+                .map_err(|e| fail(format!("bad loss parameter: {e}")))
         };
         match toks.first() {
             Some(&"squared") => Ok(Loss::Squared),
@@ -252,7 +255,7 @@ impl Loss {
             Some(&"huber") => Ok(Loss::Huber(param()?)),
             Some(&"pseudo-huber") => Ok(Loss::PseudoHuber(param()?)),
             Some(&"quantile") => Ok(Loss::Quantile(param()?)),
-            other => Err(format!("unknown loss {other:?}")),
+            other => Err(fail(format!("unknown loss {other:?}"))),
         }
     }
 }

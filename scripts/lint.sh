@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Workspace lint gate: clippy across every target, warnings promoted to
+# errors. Run before sending a change; CI treats any output as a failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings

@@ -15,38 +15,89 @@
 //! ```
 //!
 //! `generate` writes `avails.csv` and `rccs.csv`; the other commands read
-//! the same two files, so a deployment can swap in real extracts.
+//! the same two files, so a deployment can swap in real extracts. Commands
+//! that ingest extracts accept `--lenient true`: bad rows are quarantined
+//! (summarized on stderr) instead of failing the whole run.
+//!
+//! Every failure maps to a distinct exit code by [`DomdError`] variant,
+//! so operator scripts can branch on the failure class:
+//!
+//! | code | failure class                                |
+//! |------|----------------------------------------------|
+//! | 2    | usage / configuration (`Config`)             |
+//! | 3    | filesystem (`Io`)                            |
+//! | 4    | row-level parse (`Parse`)                    |
+//! | 5    | header / table shape (`Schema`)              |
+//! | 6    | pipeline artifact (`Artifact`)               |
+//! | 7    | non-finite value (`NonFinite`)               |
+//! | 8    | nothing left to work on (`EmptyDataset`)     |
 
-use domd::core::{
-    DomdQueryEngine, EvalTable, PipelineConfig, PipelineInputs, TrainedPipeline,
-};
+use domd::core::{DomdQueryEngine, EvalTable, PipelineConfig, PipelineInputs, TrainedPipeline};
 use domd::data::csv as nmd_csv;
-use domd::data::{generate, Dataset, Date, GeneratorConfig};
+use domd::data::{generate, read_dataset_lenient, Dataset, Date, GeneratorConfig};
+use domd::DomdError;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use domd::cli::Args;
 
-/// Rejects a grid step outside the domain `TimeGrid` accepts, so a bad
-/// `--grid-step` is a clean CLI error instead of a library assert.
-fn check_grid_step(x: f64) -> Result<f64, String> {
-    if x > 0.0 && x <= 100.0 {
-        Ok(x)
-    } else {
-        Err(format!("--grid-step must be in (0, 100], got {x}"))
+/// One exit code per failure class (documented in the crate header).
+fn exit_code(e: &DomdError) -> u8 {
+    match e {
+        DomdError::Config { .. } => 2,
+        DomdError::Io { .. } => 3,
+        DomdError::Parse { .. } => 4,
+        DomdError::Schema { .. } => 5,
+        DomdError::Artifact { .. } => 6,
+        DomdError::NonFinite { .. } => 7,
+        DomdError::EmptyDataset { .. } => 8,
     }
 }
 
-fn load_dataset(dir: &str) -> Result<Dataset, String> {
-    let dir = Path::new(dir);
-    let avails = std::fs::read_to_string(dir.join("avails.csv"))
-        .map_err(|e| format!("reading {}: {e}", dir.join("avails.csv").display()))?;
-    let rccs = std::fs::read_to_string(dir.join("rccs.csv"))
-        .map_err(|e| format!("reading {}: {e}", dir.join("rccs.csv").display()))?;
-    nmd_csv::read_dataset(&avails, &rccs).map_err(|e| e.to_string())
+/// Rejects a grid step outside the domain `TimeGrid` accepts, so a bad
+/// `--grid-step` is a clean CLI error instead of a library assert.
+fn check_grid_step(x: f64) -> Result<f64, DomdError> {
+    if x > 0.0 && x <= 100.0 {
+        Ok(x)
+    } else {
+        Err(DomdError::config(format!("--grid-step must be in (0, 100], got {x}")))
+    }
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn read_file(path: &Path) -> Result<String, DomdError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| DomdError::io(format!("reading {}", path.display()), e))
+}
+
+/// Loads both extracts from `--data-dir`. With `--lenient true`, bad rows
+/// are quarantined and summarized on stderr instead of failing the load;
+/// strict mode (the default) fails fast on the first bad row.
+fn load_dataset(args: &Args) -> Result<Dataset, DomdError> {
+    let dir = Path::new(args.require("data-dir")?);
+    let avails = read_file(&dir.join("avails.csv"))?;
+    let rccs = read_file(&dir.join("rccs.csv"))?;
+    if args.parse_opt("lenient", false)? {
+        let (ds, report) = read_dataset_lenient(&avails, &rccs)?;
+        if !report.is_empty() {
+            eprintln!("{}", report.summary());
+        }
+        if ds.avails().is_empty() {
+            return Err(DomdError::EmptyDataset {
+                context: "every avail row was quarantined by lenient ingest".into(),
+            });
+        }
+        Ok(ds)
+    } else {
+        Ok(nmd_csv::read_dataset(&avails, &rccs)?)
+    }
+}
+
+fn write_file(path: &Path, text: String) -> Result<(), DomdError> {
+    std::fs::write(path, text)
+        .map_err(|e| DomdError::io(format!("writing {}", path.display()), e))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), DomdError> {
     let out_dir = PathBuf::from(args.require("out-dir")?);
     let config = GeneratorConfig {
         n_avails: args.parse_opt("avails", 200usize)?,
@@ -55,35 +106,36 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         seed: args.parse_opt("seed", 0xD0_4Du64)?,
     };
     if config.n_avails == 0 {
-        return Err("--avails must be at least 1".into());
+        return Err(DomdError::config("--avails must be at least 1"));
     }
     if config.scale == 0 {
-        return Err("--scale must be at least 1".into());
+        return Err(DomdError::config("--scale must be at least 1"));
     }
     let ds = generate(&config);
-    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
-    std::fs::write(out_dir.join("avails.csv"), nmd_csv::write_avails(&ds))
-        .map_err(|e| e.to_string())?;
-    std::fs::write(out_dir.join("rccs.csv"), nmd_csv::write_rccs(&ds)).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| DomdError::io(format!("creating {}", out_dir.display()), e))?;
+    write_file(&out_dir.join("avails.csv"), nmd_csv::write_avails(&ds))?;
+    write_file(&out_dir.join("rccs.csv"), nmd_csv::write_rccs(&ds))?;
     let st = ds.stats();
-    println!(
-        "wrote {} avails and {} RCCs to {}",
-        st.n_avails,
-        st.n_rccs,
-        out_dir.display()
-    );
+    println!("wrote {} avails and {} RCCs to {}", st.n_avails, st.n_rccs, out_dir.display());
     Ok(())
 }
 
-fn cmd_train(args: &Args) -> Result<(), String> {
-    let ds = load_dataset(args.require("data-dir")?)?;
+fn cmd_train(args: &Args) -> Result<(), DomdError> {
+    let ds = load_dataset(args)?;
     let out = PathBuf::from(args.require("out")?);
     let grid_step = check_grid_step(args.parse_opt("grid-step", 10.0)?)?;
     let seed: u64 = args.parse_opt("split-seed", 7u64)?;
 
     let mut config = PipelineConfig::paper_final();
     config.grid_step = grid_step;
+    config.validate()?;
     let split = ds.split(seed);
+    if split.train.is_empty() {
+        return Err(DomdError::EmptyDataset {
+            context: "training split is empty (too few closed avails)".into(),
+        });
+    }
     eprintln!(
         "training on {} avails ({} timeline models, config: {} k={} {} fusion={})...",
         split.train.len(),
@@ -95,18 +147,18 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     );
     let inputs = PipelineInputs::build(&ds, grid_step);
     let pipeline = TrainedPipeline::fit(&inputs, &split.train, &config);
-    std::fs::write(&out, domd::core::save_pipeline(&pipeline)).map_err(|e| e.to_string())?;
+    write_file(&out, domd::core::save_pipeline(&pipeline))?;
     println!("saved pipeline artifact to {}", out.display());
     Ok(())
 }
 
-fn load_pipeline_file(path: &str) -> Result<TrainedPipeline, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    domd::core::load_pipeline(&text).map_err(|e| e.to_string())
+fn load_pipeline_file(path: &str) -> Result<TrainedPipeline, DomdError> {
+    let text = read_file(Path::new(path))?;
+    domd::core::load_pipeline(&text)
 }
 
-fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let ds = load_dataset(args.require("data-dir")?)?;
+fn cmd_evaluate(args: &Args) -> Result<(), DomdError> {
+    let ds = load_dataset(args)?;
     let pipeline = load_pipeline_file(args.require("model")?)?;
     let seed: u64 = args.parse_opt("split-seed", 7u64)?;
     let split = ds.split(seed);
@@ -117,38 +169,48 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(args: &Args) -> Result<(), String> {
-    let ds = load_dataset(args.require("data-dir")?)?;
+fn cmd_query(args: &Args) -> Result<(), DomdError> {
+    let ds = load_dataset(args)?;
     let pipeline = load_pipeline_file(args.require("model")?)?;
-    let avail = domd::data::AvailId(args.require("avail")?.parse().map_err(|e| format!("bad --avail: {e}"))?);
+    let avail = domd::data::AvailId(
+        args.require("avail")?
+            .parse()
+            .map_err(|e| DomdError::config(format!("bad --avail: {e}")))?,
+    );
     let engine = DomdQueryEngine::new(&ds, &pipeline);
 
     let answer = if let Some(date) = args.get("date") {
-        let t: Date = date.parse().map_err(|e: domd::data::date::DateError| e.to_string())?;
-        engine
-            .query_at(avail, t)
-            .ok_or_else(|| format!("avail {avail} unknown or not started by {t}"))?
+        let t: Date = date.parse()?;
+        engine.query_at(avail, t).ok_or_else(|| {
+            DomdError::config(format!("avail {avail} unknown or not started by {t}"))
+        })?
     } else {
         let t_star: f64 = args.parse_opt("t-star", 100.0)?;
-        engine
-            .query_logical(avail, t_star)
-            .ok_or_else(|| format!("avail {avail} not present in the dataset"))?
+        engine.query_logical(avail, t_star).ok_or_else(|| {
+            DomdError::config(format!("avail {avail} not present in the dataset"))
+        })?
     };
 
+    for w in &answer.warnings {
+        eprintln!("warning: {w}");
+    }
     println!("DoMD estimates for {avail} (t* now = {:.1}%):", answer.t_star_now);
     for e in &answer.estimates {
         println!("  at {:>5.1}% of planned duration: {:>8.1} days", e.t_star, e.estimated_delay);
     }
     match answer.latest() {
-        Some(latest) => println!("headline estimate: {:.1} days", latest.estimated_delay),
+        Some(latest) => {
+            let caveat = if answer.degraded { " (degraded answer, see warnings)" } else { "" };
+            println!("headline estimate: {:.1} days{caveat}", latest.estimated_delay);
+        }
         None => println!("no timeline anchor reached yet"),
     }
     Ok(())
 }
 
-fn cmd_optimize(args: &Args) -> Result<(), String> {
+fn cmd_optimize(args: &Args) -> Result<(), DomdError> {
     use domd::core::{optimize, OptimizerSettings};
-    let ds = load_dataset(args.require("data-dir")?)?;
+    let ds = load_dataset(args)?;
     let grid_step = check_grid_step(args.parse_opt("grid-step", 10.0)?)?;
     let quick: bool = args.parse_opt("quick", true)?;
     let settings = if quick {
@@ -170,15 +232,15 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
     print!("{}", report.render());
     if let Some(out) = args.get("out") {
         let pipeline = TrainedPipeline::fit(&inputs, &splits[0].train, &report.final_config);
-        std::fs::write(out, domd::core::save_pipeline(&pipeline)).map_err(|e| e.to_string())?;
+        write_file(Path::new(out), domd::core::save_pipeline(&pipeline))?;
         println!("saved optimized pipeline artifact to {out}");
     }
     Ok(())
 }
 
-fn cmd_validate(args: &Args) -> Result<(), String> {
-    let ds = load_dataset(args.require("data-dir")?)?;
-    let report = domd::data::validate(&ds);
+fn cmd_validate(args: &Args) -> Result<(), DomdError> {
+    let ds = load_dataset(args)?;
+    let report = ds.validate();
     let (errors, warnings) = report.counts();
     for f in report.findings.iter().take(50) {
         println!("{f}");
@@ -191,19 +253,19 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
         println!("dataset is usable for training");
         Ok(())
     } else {
-        Err("dataset failed validation".into())
+        Err(DomdError::schema(format!("dataset failed validation with {errors} error(s)")))
     }
 }
 
-fn cmd_obfuscate(args: &Args) -> Result<(), String> {
-    let ds = load_dataset(args.require("data-dir")?)?;
+fn cmd_obfuscate(args: &Args) -> Result<(), DomdError> {
+    let ds = load_dataset(args)?;
     let out_dir = PathBuf::from(args.require("out-dir")?);
     let key = domd::data::ObfuscationKey::new(args.parse_opt("key", 0xD0_4Du64)?);
     let ob = domd::data::obfuscate(&ds, &key);
-    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
-    std::fs::write(out_dir.join("avails.csv"), nmd_csv::write_avails(&ob))
-        .map_err(|e| e.to_string())?;
-    std::fs::write(out_dir.join("rccs.csv"), nmd_csv::write_rccs(&ob)).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| DomdError::io(format!("creating {}", out_dir.display()), e))?;
+    write_file(&out_dir.join("avails.csv"), nmd_csv::write_avails(&ob))?;
+    write_file(&out_dir.join("rccs.csv"), nmd_csv::write_rccs(&ob))?;
     println!(
         "wrote obfuscated export ({} avails, {} RCCs; dates shifted {} days, amounts x{:.3}) to {}",
         ob.avails().len(),
@@ -216,7 +278,7 @@ fn cmd_obfuscate(args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]"
+    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing)"
 }
 
 fn main() -> ExitCode {
@@ -233,13 +295,13 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(&args),
         "obfuscate" => cmd_obfuscate(&args),
         "optimize" => cmd_optimize(&args),
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        other => Err(DomdError::config(format!("unknown command {other:?}\n{}", usage()))),
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
+            eprintln!("error [{}]: {e}", e.kind());
+            ExitCode::from(exit_code(&e))
         }
     }
 }

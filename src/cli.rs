@@ -2,7 +2,10 @@
 //!
 //! The CLI's flag grammar is deliberately tiny (every option is a
 //! `--name value` pair), so a dependency-free parser keeps the deployment
-//! binary self-contained.
+//! binary self-contained. Every parse failure is a typed
+//! [`DomdError::Config`], which the binary maps to the usage exit code.
+
+use domd_core::DomdError;
 
 /// Parsed `--flag value` pairs, in order of appearance.
 #[derive(Debug)]
@@ -12,40 +15,50 @@ pub struct Args {
 
 impl Args {
     /// Parses raw arguments; every token must be a `--flag` followed by a
-    /// value.
-    pub fn parse(raw: &[String]) -> Result<Args, String> {
-        let mut values = Vec::new();
+    /// value, and each flag may appear at most once (a repeated flag is
+    /// almost always a shell-history editing accident, and silently taking
+    /// one occurrence hides which value actually applied).
+    pub fn parse(raw: &[String]) -> Result<Args, DomdError> {
+        let mut values: Vec<(String, String)> = Vec::new();
         let mut it = raw.iter();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {
-                return Err(format!("expected --flag, found {flag:?}"));
+                return Err(DomdError::config(format!("expected --flag, found {flag:?}")));
             };
             let Some(value) = it.next() else {
-                return Err(format!("flag --{name} is missing its value"));
+                return Err(DomdError::config(format!("flag --{name} is missing its value")));
             };
+            if let Some((_, prev)) = values.iter().find(|(n, _)| n == name) {
+                return Err(DomdError::config(format!(
+                    "flag --{name} given twice ({prev:?} and {value:?}); pass it once"
+                )));
+            }
             values.push((name.to_string(), value.clone()));
         }
         Ok(Args { values })
     }
 
-    /// The value of `--name`, if given (first occurrence wins).
+    /// The value of `--name`, if given.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.values.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// The value of `--name`, or an error naming the missing flag.
-    pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    pub fn require(&self, name: &str) -> Result<&str, DomdError> {
+        self.get(name)
+            .ok_or_else(|| DomdError::config(format!("missing required flag --{name}")))
     }
 
     /// Parses `--name` into `T`, falling back to `default` when absent.
-    pub fn parse_opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    pub fn parse_opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, DomdError>
     where
         T::Err: std::fmt::Display,
     {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|e| format!("bad --{name} {v:?}: {e}")),
+            Some(v) => {
+                v.parse().map_err(|e| DomdError::config(format!("bad --{name} {v:?}: {e}")))
+            }
         }
     }
 }
@@ -54,7 +67,7 @@ impl Args {
 mod tests {
     use super::*;
 
-    fn args(raw: &[&str]) -> Result<Args, String> {
+    fn args(raw: &[&str]) -> Result<Args, DomdError> {
         Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
@@ -70,21 +83,27 @@ mod tests {
     #[test]
     fn rejects_bare_tokens_and_dangling_flags() {
         assert!(args(&["value-without-flag"]).is_err());
-        assert!(args(&["--flag"]).unwrap_err().contains("missing its value"));
+        let e = args(&["--flag"]).unwrap_err();
+        assert!(e.to_string().contains("missing its value"));
+        assert_eq!(e.kind(), "config");
     }
 
     #[test]
     fn reports_missing_and_malformed() {
         let a = args(&["--n", "notanumber"]).unwrap();
-        assert!(a.require("absent").unwrap_err().contains("--absent"));
+        assert!(a.require("absent").unwrap_err().to_string().contains("--absent"));
         let e = a.parse_opt::<u32>("n", 1).unwrap_err();
-        assert!(e.contains("bad --n"));
+        assert!(e.to_string().contains("bad --n"));
+        assert_eq!(e.kind(), "config");
     }
 
     #[test]
-    fn first_occurrence_wins() {
-        let a = args(&["--k", "1", "--k", "2"]).unwrap();
-        assert_eq!(a.get("k"), Some("1"));
+    fn duplicate_flags_are_rejected() {
+        let e = args(&["--k", "1", "--k", "2"]).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("--k") && msg.contains("twice"), "{msg}");
+        assert!(msg.contains("\"1\"") && msg.contains("\"2\""), "{msg}");
+        assert!(matches!(e, DomdError::Config { .. }));
     }
 
     #[test]

@@ -27,3 +27,6 @@ pub use domd_data as data;
 pub use domd_features as features;
 pub use domd_index as index;
 pub use domd_ml as ml;
+
+pub use domd_core::DomdError;
+pub use domd_data::{QuarantineReport, QuarantinedRow};
