@@ -127,9 +127,21 @@ impl TrainedPipeline {
     /// Feature selection runs per step on the training rows only (no
     /// leakage); statics are always included, bypassing selection. The
     /// per-step models are independent given the (sequentially trained)
-    /// static base model, so they train on parallel threads; per-step
-    /// seeding keeps the result identical to the sequential order.
+    /// static base model, so they train on the shared bounded worker pool
+    /// ([`domd_runtime`]); per-step seeding keeps the result identical to
+    /// the sequential order for every thread count.
     pub fn fit(inputs: &PipelineInputs, train_ids: &[AvailId], config: &PipelineConfig) -> Self {
+        TrainedPipeline::fit_threaded(inputs, train_ids, config, domd_runtime::threads())
+    }
+
+    /// As [`TrainedPipeline::fit`] with an explicit worker cap (`1` =
+    /// fully sequential).
+    pub fn fit_threaded(
+        inputs: &PipelineInputs,
+        train_ids: &[AvailId],
+        config: &PipelineConfig,
+        threads: usize,
+    ) -> Self {
         let rows = inputs.rows_for(train_ids);
         let y = inputs.targets_of(&rows);
         let statics_train = inputs.statics.select_rows(&rows);
@@ -157,15 +169,11 @@ impl TrainedPipeline {
             StepModel { t_star, selected, model }
         };
 
+        // Bounded pool instead of one thread per grid point: a fine grid
+        // (e.g. `--grid-step 1` = 101 models) no longer spawns 101 threads.
         let grid = inputs.grid();
-        let steps: Vec<StepModel> = std::thread::scope(|scope| {
-            let handles: Vec<_> = grid
-                .iter()
-                .enumerate()
-                .map(|(s, &t_star)| scope.spawn(move || fit_step(s, t_star)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("step training panicked")).collect()
-        });
+        let steps: Vec<StepModel> =
+            domd_runtime::par_map(threads, grid, |s, &t_star| fit_step(s, t_star));
 
         TrainedPipeline {
             config: config.clone(),
@@ -176,18 +184,34 @@ impl TrainedPipeline {
     }
 
     /// Raw per-step predictions for the given avails: a matrix with one row
-    /// per avail and one column per grid point.
+    /// per avail and one column per grid point. Steps evaluate on the
+    /// shared worker pool; see [`TrainedPipeline::predict_steps_threaded`].
     pub fn predict_steps(&self, inputs: &PipelineInputs, ids: &[AvailId]) -> DenseMatrix {
+        self.predict_steps_threaded(inputs, ids, domd_runtime::threads())
+    }
+
+    /// As [`TrainedPipeline::predict_steps`] with an explicit worker cap.
+    /// Each step's predictions are independent; columns merge back in step
+    /// order, so the matrix is bit-identical to sequential evaluation.
+    pub fn predict_steps_threaded(
+        &self,
+        inputs: &PipelineInputs,
+        ids: &[AvailId],
+        threads: usize,
+    ) -> DenseMatrix {
         let rows = inputs.rows_for(ids);
         let statics = inputs.statics.select_rows(&rows);
         let static_preds: Option<Vec<f64>> =
             self.static_model.as_ref().map(|m| m.predict(&statics));
-        let mut out = DenseMatrix::zeros(ids.len(), self.steps.len());
-        for (s, step) in self.steps.iter().enumerate() {
+        let cols: Vec<Vec<f64>> = domd_runtime::par_map(threads, &self.steps, |s, step| {
             let rcc = inputs.tensor.slice(s).select_rows(&rows).select_cols(&step.selected);
             let x = assemble(&statics, static_preds.as_deref(), &rcc, self.config.stacked);
-            for i in 0..ids.len() {
-                out.set(i, s, step.model.predict_row(x.row(i)));
+            (0..ids.len()).map(|i| step.model.predict_row(x.row(i))).collect()
+        });
+        let mut out = DenseMatrix::zeros(ids.len(), self.steps.len());
+        for (s, col) in cols.iter().enumerate() {
+            for (i, v) in col.iter().enumerate() {
+                out.set(i, s, *v);
             }
         }
         out

@@ -1,0 +1,65 @@
+//! Determinism contract of pooled pipeline training and prediction: a
+//! pipeline fitted (and evaluated) with any worker cap must be
+//! bit-identical to `threads = 1`. The serialized artifact is the
+//! strictest available equality — every threshold, leaf value, and gain
+//! round-trips through the canonical text format.
+
+use domd_core::{save_pipeline, PipelineConfig, PipelineInputs, TrainedPipeline};
+use domd_data::{generate, GeneratorConfig};
+
+fn quick_config(seed: u64) -> PipelineConfig {
+    let mut c = PipelineConfig::default0();
+    c.seed = seed;
+    c.k = 8;
+    c.grid_step = 25.0; // 5 timeline models
+    c.gbt.n_estimators = 15;
+    c
+}
+
+#[test]
+fn pooled_step_training_is_bit_identical_across_thread_counts() {
+    let ds = generate(&GeneratorConfig { n_avails: 30, target_rccs: 2500, scale: 1, seed: 2 });
+    let inputs = PipelineInputs::build(&ds, 25.0);
+    let split = ds.split(1);
+    for seed in [0u64, 11] {
+        let cfg = quick_config(seed);
+        let reference =
+            save_pipeline(&TrainedPipeline::fit_threaded(&inputs, &split.train, &cfg, 1));
+        for threads in [2usize, 3, 5, 16] {
+            let pooled =
+                save_pipeline(&TrainedPipeline::fit_threaded(&inputs, &split.train, &cfg, threads));
+            assert_eq!(reference, pooled, "seed {seed} threads {threads}: artifacts diverge");
+        }
+    }
+}
+
+#[test]
+fn pooled_prediction_is_bit_identical_across_thread_counts() {
+    let ds = generate(&GeneratorConfig { n_avails: 30, target_rccs: 2500, scale: 1, seed: 4 });
+    let inputs = PipelineInputs::build(&ds, 25.0);
+    let split = ds.split(1);
+    let pipeline = TrainedPipeline::fit_threaded(&inputs, &split.train, &quick_config(0), 1);
+    let ids = inputs.avail_ids().to_vec();
+    let reference = pipeline.predict_steps_threaded(&inputs, &ids, 1);
+    for threads in [2usize, 4, 9] {
+        let pooled = pipeline.predict_steps_threaded(&inputs, &ids, threads);
+        let same = reference
+            .as_slice()
+            .iter()
+            .zip(pooled.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "threads {threads}: predictions diverge");
+    }
+}
+
+#[test]
+fn stacked_pipeline_is_bit_identical_too() {
+    let ds = generate(&GeneratorConfig { n_avails: 30, target_rccs: 2500, scale: 1, seed: 6 });
+    let inputs = PipelineInputs::build(&ds, 25.0);
+    let split = ds.split(1);
+    let mut cfg = quick_config(3);
+    cfg.stacked = true;
+    let reference = save_pipeline(&TrainedPipeline::fit_threaded(&inputs, &split.train, &cfg, 1));
+    let pooled = save_pipeline(&TrainedPipeline::fit_threaded(&inputs, &split.train, &cfg, 4));
+    assert_eq!(reference, pooled, "stacked artifacts diverge");
+}

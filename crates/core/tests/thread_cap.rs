@@ -1,0 +1,31 @@
+//! The bounded-pool contract: step training must never run more concurrent
+//! workers than the configured cap, regardless of grid size. Before PR 2,
+//! `TrainedPipeline::fit` spawned one OS thread per grid point (a
+//! `--grid-step 1` run spawned 101 threads at once).
+//!
+//! This lives in its own integration-test binary so no other test's pool
+//! usage can inflate the process-wide high-water mark.
+
+use domd_core::{PipelineConfig, PipelineInputs, TrainedPipeline};
+use domd_data::{generate, GeneratorConfig};
+
+#[test]
+fn step_training_never_exceeds_the_worker_cap() {
+    let ds = generate(&GeneratorConfig { n_avails: 25, target_rccs: 2000, scale: 1, seed: 8 });
+    // grid_step 5 => 21 timeline models, far more work items than workers.
+    let inputs = PipelineInputs::build(&ds, 5.0);
+    let split = ds.split(1);
+    let mut cfg = PipelineConfig::default0();
+    cfg.k = 6;
+    cfg.grid_step = 5.0;
+    cfg.gbt.n_estimators = 5;
+
+    for cap in [2usize, 4] {
+        domd_runtime::reset_peak_workers();
+        let p = TrainedPipeline::fit_threaded(&inputs, &split.train, &cfg, cap);
+        assert_eq!(p.steps.len(), 21);
+        let peak = domd_runtime::peak_workers();
+        assert!(peak <= cap, "peak concurrent workers {peak} exceeded the cap {cap}");
+        assert!(peak >= 2, "pool never actually ran concurrently (peak {peak})");
+    }
+}

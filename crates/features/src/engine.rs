@@ -192,50 +192,104 @@ impl FeatureEngine {
     }
 
     /// Generates the full tensor for `avail_ids` over the logical grid via
-    /// one incremental sweep (the fast path used in training).
+    /// incremental sweeps (the fast path used in training), sharded across
+    /// the process-wide worker cap ([`domd_runtime::threads`]).
     pub fn generate_tensor(
         &self,
         dataset: &Dataset,
         avail_ids: &[AvailId],
         grid: &[f64],
     ) -> FeatureTensor {
+        self.generate_tensor_threaded(dataset, avail_ids, grid, domd_runtime::threads())
+    }
+
+    /// As [`FeatureEngine::generate_tensor`] with an explicit worker cap.
+    ///
+    /// The avails are partitioned into contiguous shards, each shard runs
+    /// its own dual-AVL incremental sweep, and the per-step shard matrices
+    /// are merged in shard order. Because every group cell belongs to
+    /// exactly one avail and the AVL index visits rows in `(key, id)` order
+    /// regardless of which rows it holds, each cell sees the identical
+    /// accumulation sequence as in the single full sweep — the tensor is
+    /// bit-identical for every thread count.
+    pub fn generate_tensor_threaded(
+        &self,
+        dataset: &Dataset,
+        avail_ids: &[AvailId],
+        grid: &[f64],
+        threads: usize,
+    ) -> FeatureTensor {
         let n_avails = avail_ids.len();
         let n_features = self.catalog.len();
         let space = CellSpace { depth: self.catalog.depth() };
         let cells = space.cells_per_avail();
         let projected = project_dataset(dataset);
-        // Rows of the selected avails only; group = avail-pos x type x prefix.
+        let shards = domd_runtime::chunk_ranges(n_avails, threads.max(1));
+        // Rows of the selected avails only, bucketed by shard; the group of
+        // a row is shard-local: (avail pos within shard) x type x prefix.
+        // Rows of different shards never meet in one sweep, so the single
+        // shared `groups` column can hold shard-local values.
         let mut avail_pos = std::collections::HashMap::with_capacity(n_avails);
         for (i, id) in avail_ids.iter().enumerate() {
             avail_pos.insert(*id, i);
         }
+        let shard_of_pos: Vec<usize> = {
+            let mut v = vec![0usize; n_avails];
+            for (s, range) in shards.iter().enumerate() {
+                for slot in &mut v[range.clone()] {
+                    *slot = s;
+                }
+            }
+            v
+        };
         let rccs = dataset.rccs();
-        let mut selected = Vec::new();
+        let mut selected_by_shard = vec![Vec::new(); shards.len()];
         let mut groups = vec![0usize; rccs.len()];
         for (i, lr) in projected.iter().enumerate() {
             if let Some(&pos) = avail_pos.get(&lr.avail) {
                 let r = &rccs[i];
-                groups[i] = pos * cells + space.cell_of(rcc_type_slot(r.rcc_type), r.swlin);
-                selected.push(*lr);
+                let s = shard_of_pos[pos];
+                let local = pos - shards[s].start;
+                groups[i] = local * cells + space.cell_of(rcc_type_slot(r.rcc_type), r.swlin);
+                selected_by_shard[s].push(*lr);
             }
         }
         let amounts: Vec<f64> = rccs.iter().map(|r| r.amount).collect();
         let durations: Vec<f64> = rccs.iter().map(|r| f64::from(r.duration_days())).collect();
         let cols = RowColumns { amounts: &amounts, durations: &durations, groups: &groups };
 
-        let index = AvlIndex::build(&selected);
+        // One independent index + sweep per shard, fanned over the pool.
+        let shard_slices: Vec<Vec<DenseMatrix>> =
+            domd_runtime::par_map(threads, &shards, |s, range| {
+                let shard_avails = range.len();
+                let index = AvlIndex::build(&selected_by_shard[s]);
+                let mut slices: Vec<DenseMatrix> = Vec::with_capacity(grid.len());
+                sweep_incremental(&index, cols, shard_avails * cells, grid, |_, t, st| {
+                    let mut m = DenseMatrix::zeros(shard_avails, n_features);
+                    for a in 0..shard_avails {
+                        let rollup = Rollup::from_cells(space, st, a * cells);
+                        let row = m.row_mut(a);
+                        for (j, spec) in self.catalog.specs().iter().enumerate() {
+                            row[j] = eval_spec(spec, &rollup, t);
+                        }
+                    }
+                    slices.push(m);
+                });
+                slices
+            });
+
+        // Stitch each step's shard matrices back together in shard order,
+        // restoring the original avail row order.
         let mut slices: Vec<DenseMatrix> = Vec::with_capacity(grid.len());
-        sweep_incremental(&index, cols, n_avails * cells, grid, |_, t, st| {
+        for step in 0..grid.len() {
             let mut m = DenseMatrix::zeros(n_avails, n_features);
-            for a in 0..n_avails {
-                let rollup = Rollup::from_cells(space, st, a * cells);
-                let row = m.row_mut(a);
-                for (j, spec) in self.catalog.specs().iter().enumerate() {
-                    row[j] = eval_spec(spec, &rollup, t);
+            for (shard, range) in shards.iter().enumerate() {
+                for (local, global) in range.clone().enumerate() {
+                    m.row_mut(global).copy_from_slice(shard_slices[shard][step].row(local));
                 }
             }
             slices.push(m);
-        });
+        }
         FeatureTensor::new(avail_ids.to_vec(), grid.to_vec(), self.catalog.names(), slices)
     }
 

@@ -1,0 +1,69 @@
+//! Determinism contract of the sharded feature sweep: for every shard
+//! count, the tensor produced by `generate_tensor_threaded` must be
+//! bit-identical to the single-sweep (`threads = 1`) tensor — same shards,
+//! same cells, same accumulation order per cell.
+
+use domd_data::{generate, AvailId, GeneratorConfig};
+use domd_features::{FeatureCatalog, FeatureEngine, FeatureTensor};
+
+fn assert_bit_identical(a: &FeatureTensor, b: &FeatureTensor, label: &str) {
+    assert_eq!(a.n_steps(), b.n_steps(), "{label}: step count");
+    for s in 0..a.n_steps() {
+        let xs = a.slice(s).as_slice();
+        let ys = b.slice(s).as_slice();
+        assert_eq!(xs.len(), ys.len(), "{label}: slice {s} size");
+        for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{label}: slice {s} flat index {i}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_sweep_is_bit_identical_across_seeds_and_shard_counts() {
+    let grid: Vec<f64> = (0..=10).map(|i| f64::from(i) * 10.0).collect();
+    for seed in [3u64, 17, 99] {
+        let ds =
+            generate(&GeneratorConfig { n_avails: 13, target_rccs: 1100, scale: 1, seed });
+        let ids: Vec<AvailId> = ds.avails().iter().map(|a| a.id).collect();
+        let engine = FeatureEngine::default();
+        let reference = engine.generate_tensor_threaded(&ds, &ids, &grid, 1);
+        // 13 avails: 2/3/5 give uneven shards, 13 one avail per shard,
+        // 64 clamps to 13.
+        for threads in [2usize, 3, 5, 13, 64] {
+            let sharded = engine.generate_tensor_threaded(&ds, &ids, &grid, threads);
+            assert_bit_identical(&reference, &sharded, &format!("seed {seed} threads {threads}"));
+        }
+    }
+}
+
+#[test]
+fn sharded_sweep_matches_at_module_depth() {
+    // The extended catalog exercises the lvl2 rollup path.
+    let ds = generate(&GeneratorConfig { n_avails: 7, target_rccs: 600, scale: 1, seed: 29 });
+    let ids: Vec<AvailId> = ds.avails().iter().map(|a| a.id).collect();
+    let engine = FeatureEngine::new(FeatureCatalog::extended());
+    let reference = engine.generate_tensor_threaded(&ds, &ids, &[0.0, 40.0, 100.0], 1);
+    for threads in [2usize, 4, 7] {
+        let sharded = engine.generate_tensor_threaded(&ds, &ids, &[0.0, 40.0, 100.0], threads);
+        assert_bit_identical(&reference, &sharded, &format!("module depth threads {threads}"));
+    }
+}
+
+#[test]
+fn sharded_sweep_handles_subsets_and_empty_selection() {
+    let ds = generate(&GeneratorConfig { n_avails: 10, target_rccs: 800, scale: 1, seed: 5 });
+    let all: Vec<AvailId> = ds.avails().iter().map(|a| a.id).collect();
+    let engine = FeatureEngine::default();
+    let subset = &all[2..7];
+    let reference = engine.generate_tensor_threaded(&ds, subset, &[50.0], 1);
+    let sharded = engine.generate_tensor_threaded(&ds, subset, &[50.0], 4);
+    assert_bit_identical(&reference, &sharded, "subset");
+    // Zero avails: every thread count must yield the same empty shape.
+    let empty = engine.generate_tensor_threaded(&ds, &[], &[50.0], 4);
+    assert_eq!(empty.n_steps(), 1);
+    assert_eq!(empty.slice(0).n_rows(), 0);
+}

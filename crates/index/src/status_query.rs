@@ -139,6 +139,21 @@ impl<I: LogicalTimeIndex> StatusQueryEngine<I> {
     }
 }
 
+impl<I: LogicalTimeIndex + Sync> StatusQueryEngine<I> {
+    /// Executes a batch of Status Queries on the shared worker pool,
+    /// returning one result per query in input order. Queries are
+    /// read-only and independent, so the batch output is identical to
+    /// mapping [`StatusQueryEngine::execute`] sequentially.
+    pub fn execute_batch(&self, queries: &[StatusQuery], threads: usize) -> Vec<Vec<RowId>> {
+        domd_runtime::par_map(threads, queries, |_, q| self.execute(q))
+    }
+
+    /// Batched [`StatusQueryEngine::aggregate`], results in input order.
+    pub fn aggregate_batch(&self, queries: &[StatusQuery], threads: usize) -> Vec<StatusAggregate> {
+        domd_runtime::par_map(threads, queries, |_, q| self.aggregate(q))
+    }
+}
+
 impl<I: HeapSize> HeapSize for StatusQueryEngine<I> {
     fn heap_bytes(&self) -> usize {
         self.index.heap_bytes()
@@ -252,6 +267,28 @@ mod tests {
         assert!((agg.sum_amount - manual_amt).abs() < 1e-6);
         assert!(agg.avg_amount() > 0.0);
         assert!(agg.avg_duration() > 0.0);
+    }
+
+    #[test]
+    fn batch_execution_matches_sequential_for_every_thread_count() {
+        let (_, eng) = engine::<AvlIndex>();
+        let mut queries = Vec::new();
+        for t in 0..40u32 {
+            for status in RccStatus::FEATURE_STATUSES {
+                queries.push(StatusQuery {
+                    rcc_type: if t % 3 == 0 { Some(RccType::Growth) } else { None },
+                    swlin_prefix: if t % 2 == 0 { Some((4 + t % 5, 1)) } else { None },
+                    status,
+                    t_star: f64::from(t) * 2.5,
+                });
+            }
+        }
+        let seq_rows: Vec<Vec<RowId>> = queries.iter().map(|q| eng.execute(q)).collect();
+        let seq_aggs: Vec<StatusAggregate> = queries.iter().map(|q| eng.aggregate(q)).collect();
+        for threads in [1, 2, 3, 7] {
+            assert_eq!(eng.execute_batch(&queries, threads), seq_rows, "threads={threads}");
+            assert_eq!(eng.aggregate_batch(&queries, threads), seq_aggs, "threads={threads}");
+        }
     }
 
     #[test]

@@ -52,9 +52,27 @@ pub struct ForestModel {
     gains: Vec<f64>,
 }
 
+/// Decorrelates per-tree RNG streams derived from `seed + tree index`
+/// (splitmix64 finalizer): adjacent seeds must not yield overlapping
+/// bootstrap sequences.
+fn mix_seed(seed: u64, tree: u64) -> u64 {
+    let mut z = seed ^ tree.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl ForestModel {
-    /// Fits the forest on `x` against targets `y`.
+    /// Fits the forest on `x` against targets `y` with the process-wide
+    /// worker cap ([`domd_runtime::threads`]). Trees are independent given
+    /// their per-tree RNG stream, so pooled fitting is bit-identical to
+    /// sequential for every thread count.
     pub fn fit(x: &DenseMatrix, y: &[f64], params: &ForestParams) -> Self {
+        ForestModel::fit_threaded(x, y, params, domd_runtime::threads())
+    }
+
+    /// As [`ForestModel::fit`] with an explicit worker cap.
+    pub fn fit_threaded(x: &DenseMatrix, y: &[f64], params: &ForestParams, threads: usize) -> Self {
         assert_eq!(x.n_rows(), y.len(), "x and y row counts differ");
         assert!(x.n_rows() > 0, "cannot fit on an empty matrix");
         assert!(params.max_features > 0.0 && params.max_features <= 1.0);
@@ -75,25 +93,30 @@ impl ForestModel {
         let n_sample = ((n as f64 * params.sample_fraction).round() as usize).clamp(1, n);
         let n_feats = ((p as f64 * params.max_features).round() as usize).clamp(1, p);
 
-        let mut rng = SmallRng::seed_from_u64(params.seed);
-        let mut trees = Vec::with_capacity(params.n_trees);
-        let mut gains = vec![0.0; p];
-        let mut feat_pool: Vec<usize> = (0..p).collect();
-        for _ in 0..params.n_trees {
+        // Each tree draws from its own seeded stream (rather than one RNG
+        // threaded through the loop), making trees independent work items:
+        // the pooled and sequential fits produce identical forests.
+        let tree_ids: Vec<u64> = (0..params.n_trees as u64).collect();
+        let trees: Vec<RegressionTree> = domd_runtime::par_map(threads, &tree_ids, |_, &k| {
+            let mut rng = SmallRng::seed_from_u64(mix_seed(params.seed, k));
             // Bootstrap rows (with replacement).
             let rows: Vec<usize> = (0..n_sample).map(|_| rng.gen_range(0..n)).collect();
             // Feature subset (without replacement).
+            let mut feat_pool: Vec<usize> = (0..p).collect();
             for i in 0..n_feats {
                 let j = rng.gen_range(i..p);
                 feat_pool.swap(i, j);
             }
             let mut feats: Vec<usize> = feat_pool[..n_feats].to_vec();
             feats.sort_unstable();
-            let tree = RegressionTree::fit(x, &grad, &hess, &rows, &feats, tree_params);
+            RegressionTree::fit(x, &grad, &hess, &rows, &feats, tree_params)
+        });
+        // Gains merge in tree order, so the sum sees one float sequence.
+        let mut gains = vec![0.0; p];
+        for tree in &trees {
             for (j, g) in tree.feature_gains().iter().enumerate() {
                 gains[j] += g;
             }
-            trees.push(tree);
         }
         ForestModel { trees, gains }
     }

@@ -67,9 +67,22 @@ pub struct GbtModel {
     gains: Vec<f64>,
 }
 
+/// Minimum row count before the per-round prediction refresh is chunked
+/// across the pool; below this the chunk bookkeeping outweighs the work.
+const PAR_PREDICT_MIN_ROWS: usize = 4096;
+
 impl GbtModel {
-    /// Fits the ensemble on `x` (rows = instances) against targets `y`.
+    /// Fits the ensemble on `x` (rows = instances) against targets `y`,
+    /// using the process-wide worker cap ([`domd_runtime::threads`]).
+    /// Boosting rounds are inherently sequential; parallelism lives inside
+    /// each round (split search, prediction refresh) and is bit-identical
+    /// to `threads = 1`.
     pub fn fit(x: &DenseMatrix, y: &[f64], params: &GbtParams) -> Self {
+        GbtModel::fit_threaded(x, y, params, domd_runtime::threads())
+    }
+
+    /// As [`GbtModel::fit`] with an explicit worker cap.
+    pub fn fit_threaded(x: &DenseMatrix, y: &[f64], params: &GbtParams, threads: usize) -> Self {
         assert_eq!(x.n_rows(), y.len(), "x and y row counts differ");
         assert!(x.n_rows() > 0, "cannot fit on an empty matrix");
         assert!(params.subsample > 0.0 && params.subsample <= 1.0);
@@ -124,9 +137,24 @@ impl GbtModel {
             } else {
                 &all_cols
             };
-            let tree = RegressionTree::fit(x, &grad, &hess, rows, cols, tree_params);
-            for (i, p) in preds.iter_mut().enumerate() {
-                *p += params.learning_rate * tree.predict_row(x.row(i));
+            let tree = RegressionTree::fit_threaded(x, &grad, &hess, rows, cols, tree_params, threads);
+            if threads > 1 && n >= PAR_PREDICT_MIN_ROWS {
+                // Chunked refresh: each worker evaluates a contiguous row
+                // range; the per-row arithmetic is unchanged, so results
+                // match the sequential loop bit for bit.
+                let chunks = domd_runtime::chunk_ranges(n, threads);
+                let deltas = domd_runtime::par_map(threads, &chunks, |_, range| {
+                    range.clone().map(|i| tree.predict_row(x.row(i))).collect::<Vec<f64>>()
+                });
+                for (range, delta) in chunks.iter().zip(&deltas) {
+                    for (i, d) in range.clone().zip(delta) {
+                        preds[i] += params.learning_rate * d;
+                    }
+                }
+            } else {
+                for (i, p) in preds.iter_mut().enumerate() {
+                    *p += params.learning_rate * tree.predict_row(x.row(i));
+                }
             }
             for (j, g) in tree.feature_gains().iter().enumerate() {
                 gains[j] += g;

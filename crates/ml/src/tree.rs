@@ -49,14 +49,24 @@ struct Builder<'a> {
     hess: &'a [f64],
     features: &'a [usize],
     params: TreeParams,
+    /// Worker cap for the per-feature split search (1 = sequential).
+    threads: usize,
     nodes: Vec<Node>,
     gains: Vec<f64>,
 }
 
+/// Minimum row count, and minimum `rows × features` work, before the split
+/// search fans out across the pool: below these, thread startup costs more
+/// than the scan itself (the paper's ~150-row modeling population always
+/// stays sequential).
+const PAR_SPLIT_MIN_ROWS: usize = 1024;
+const PAR_SPLIT_MIN_WORK: usize = 16_384;
+
 impl RegressionTree {
     /// Fits a tree to the current gradients/hessians over the rows `rows`
     /// of `x`, considering only the columns in `features` (column
-    /// subsampling is the caller's job).
+    /// subsampling is the caller's job). Sequential split search; see
+    /// [`RegressionTree::fit_threaded`] for the pooled variant.
     pub fn fit(
         x: &DenseMatrix,
         grad: &[f64],
@@ -64,6 +74,24 @@ impl RegressionTree {
         rows: &[usize],
         features: &[usize],
         params: TreeParams,
+    ) -> Self {
+        RegressionTree::fit_threaded(x, grad, hess, rows, features, params, 1)
+    }
+
+    /// As [`RegressionTree::fit`], with the per-feature split search fanned
+    /// out over at most `threads` pool workers on nodes large enough to
+    /// amortize the fan-out. The chosen split is bit-identical to the
+    /// sequential search for every thread count: per-feature scans are
+    /// independent and the winning split is reduced in feature order with
+    /// the same strict-improvement tie-break.
+    pub fn fit_threaded(
+        x: &DenseMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        features: &[usize],
+        params: TreeParams,
+        threads: usize,
     ) -> Self {
         assert_eq!(grad.len(), x.n_rows());
         assert_eq!(hess.len(), x.n_rows());
@@ -74,6 +102,7 @@ impl RegressionTree {
             hess,
             features,
             params,
+            threads: threads.max(1),
             nodes: Vec::new(),
             gains: vec![0.0; x.n_cols()],
         };
@@ -172,53 +201,90 @@ impl Builder<'_> {
     }
 
     fn best_split(&self, rows: &[usize], g_sum: f64, h_sum: f64) -> Option<BestSplit> {
+        let fan_out = self.threads > 1
+            && rows.len() >= PAR_SPLIT_MIN_ROWS
+            && rows.len() * self.features.len() >= PAR_SPLIT_MIN_WORK;
+
+        let per_feature: Vec<Option<BestSplit>> = if fan_out {
+            domd_runtime::par_map(self.threads, self.features, |_, &f| {
+                let mut order = Vec::with_capacity(rows.len());
+                self.scan_feature(f, rows, g_sum, h_sum, &mut order)
+            })
+        } else {
+            let mut order: Vec<usize> = Vec::with_capacity(rows.len());
+            self.features
+                .iter()
+                .map(|&f| self.scan_feature(f, rows, g_sum, h_sum, &mut order))
+                .collect()
+        };
+
+        // Reduce in feature order with the same strict-improvement rule as
+        // the flat sequential scan (earliest feature wins ties), so the
+        // pooled and sequential searches pick the identical split.
+        let mut best: Option<BestSplit> = None;
+        for cand in per_feature.into_iter().flatten() {
+            if best.as_ref().is_none_or(|b| cand.gain > b.gain) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+
+    /// Exact greedy scan of a single feature, returning its best admissible
+    /// split. Pure in `(f, rows, g_sum, h_sum)`; `order` is only a reusable
+    /// scratch buffer.
+    fn scan_feature(
+        &self,
+        f: usize,
+        rows: &[usize],
+        g_sum: f64,
+        h_sum: f64,
+        order: &mut Vec<usize>,
+    ) -> Option<BestSplit> {
         let lambda = self.params.lambda;
         let parent_score = g_sum * g_sum / (h_sum + lambda);
         let mut best: Option<BestSplit> = None;
-        let mut order: Vec<usize> = Vec::with_capacity(rows.len());
 
-        for &f in self.features {
-            order.clear();
-            order.extend_from_slice(rows);
-            order.sort_by(|&a, &b| self.x.get(a, f).total_cmp(&self.x.get(b, f)));
+        order.clear();
+        order.extend_from_slice(rows);
+        order.sort_by(|&a, &b| self.x.get(a, f).total_cmp(&self.x.get(b, f)));
 
-            let mut gl = 0.0;
-            let mut hl = 0.0;
-            for w in 0..order.len() - 1 {
-                let r = order[w];
-                gl += self.grad[r];
-                hl += self.hess[r];
-                let v = self.x.get(r, f);
-                let v_next = self.x.get(order[w + 1], f);
-                if v == v_next {
-                    continue; // cannot separate equal values
-                }
-                let gr = g_sum - gl;
-                let hr = h_sum - hl;
-                // Child support: hessian mass (XGBoost semantics) *or*
-                // sample count (LightGBM's min_child_samples). Robust
-                // losses have near-zero hessians on large residuals; a
-                // hessian-only constraint would forbid every split that
-                // isolates the outlier group, structurally preventing
-                // pseudo-Huber/Huber from ever fitting a heavy tail.
-                let nl = (w + 1) as f64;
-                let nr = (order.len() - w - 1) as f64;
-                let mcw = self.params.min_child_weight;
-                if (hl < mcw && nl < mcw) || (hr < mcw && nr < mcw) {
-                    continue;
-                }
-                let gain = 0.5
-                    * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
-                    - self.params.gamma;
-                if gain > 0.0 && best.as_ref().is_none_or(|b| gain > b.gain) {
-                    best = Some(BestSplit {
-                        feature: f,
-                        // Midpoint threshold generalizes better than the
-                        // left value itself.
-                        threshold: 0.5 * (v + v_next),
-                        gain,
-                    });
-                }
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        for w in 0..order.len() - 1 {
+            let r = order[w];
+            gl += self.grad[r];
+            hl += self.hess[r];
+            let v = self.x.get(r, f);
+            let v_next = self.x.get(order[w + 1], f);
+            if v == v_next {
+                continue; // cannot separate equal values
+            }
+            let gr = g_sum - gl;
+            let hr = h_sum - hl;
+            // Child support: hessian mass (XGBoost semantics) *or*
+            // sample count (LightGBM's min_child_samples). Robust
+            // losses have near-zero hessians on large residuals; a
+            // hessian-only constraint would forbid every split that
+            // isolates the outlier group, structurally preventing
+            // pseudo-Huber/Huber from ever fitting a heavy tail.
+            let nl = (w + 1) as f64;
+            let nr = (order.len() - w - 1) as f64;
+            let mcw = self.params.min_child_weight;
+            if (hl < mcw && nl < mcw) || (hr < mcw && nr < mcw) {
+                continue;
+            }
+            let gain = 0.5
+                * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                - self.params.gamma;
+            if gain > 0.0 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(BestSplit {
+                    feature: f,
+                    // Midpoint threshold generalizes better than the
+                    // left value itself.
+                    threshold: 0.5 * (v + v_next),
+                    gain,
+                });
             }
         }
         best

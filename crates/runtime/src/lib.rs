@@ -1,0 +1,239 @@
+//! # domd-runtime
+//!
+//! The deterministic parallel execution layer shared by every hot path of
+//! the framework: the sharded feature-engine sweep, pooled per-step model
+//! training, GBT/forest split search, and batch Status Query execution.
+//!
+//! Design contract (enforced by the equivalence tests of each consumer):
+//!
+//! * **Bounded** — [`par_map`] runs at most `threads` concurrent workers
+//!   (the calling thread participates, so at most `threads - 1` OS threads
+//!   are spawned per call), never one thread per item.
+//! * **Deterministic** — results are merged back in input order, so the
+//!   output of `par_map(t, items, f)` is bit-identical to the sequential
+//!   `items.iter().enumerate().map(f)` for every `t`, provided `f` is a
+//!   pure function of its arguments.
+//! * **Non-nesting** — a `par_map` issued from inside a pool worker runs
+//!   sequentially on that worker. Depth-1 parallelism keeps the global
+//!   concurrency at the configured cap even when parallel code calls into
+//!   other parallel code (e.g. pooled step training calling GBT fits).
+//! * **Configurable** — the effective thread count resolves, in order:
+//!   an explicit argument, [`set_threads`] (the CLI's `--threads`), the
+//!   `DOMD_THREADS` environment variable, then
+//!   `std::thread::available_parallelism()`. `threads = 1` is the exact
+//!   sequential fallback on every path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global override installed by `--threads` / [`set_threads`]. 0 = auto.
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Concurrently live pool workers (all pools), and the high-water mark.
+/// Test instrumentation for the "never exceeds the cap" guarantee.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+static PEAK_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while the current thread is executing inside a pool worker;
+    /// nested [`par_map`] calls then degrade to sequential execution.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Hardware parallelism (1 when undetectable).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Installs a process-wide thread-count override (the CLI's `--threads`).
+/// `0` restores auto-detection.
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker cap: [`set_threads`] override, else `DOMD_THREADS`,
+/// else [`available_threads`]. Always at least 1.
+pub fn threads() -> usize {
+    let configured = CONFIGURED.load(Ordering::SeqCst);
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(v) = std::env::var("DOMD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    available_threads()
+}
+
+/// Resets the worker high-water mark (see [`peak_workers`]).
+pub fn reset_peak_workers() {
+    PEAK_WORKERS.store(0, Ordering::SeqCst);
+}
+
+/// The maximum number of pool workers that were ever live at once since the
+/// last [`reset_peak_workers`], across all `par_map` calls in the process.
+pub fn peak_workers() -> usize {
+    PEAK_WORKERS.load(Ordering::SeqCst)
+}
+
+/// RAII registration of one live worker in the concurrency accounting.
+struct WorkerGuard {
+    was_in_pool: bool,
+}
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        let live = ACTIVE_WORKERS.fetch_add(1, Ordering::SeqCst) + 1;
+        PEAK_WORKERS.fetch_max(live, Ordering::SeqCst);
+        let was_in_pool = IN_POOL.with(|f| f.replace(true));
+        WorkerGuard { was_in_pool }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        IN_POOL.with(|f| f.set(self.was_in_pool));
+        ACTIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Maps `f` over `items` with at most `threads` concurrent workers and
+/// returns the results in input order.
+///
+/// Work distribution is dynamic (an atomic cursor hands out items), but the
+/// merge is by original index, so the output is independent of scheduling:
+/// bit-identical to the sequential map for any thread count. `threads <= 1`,
+/// a single item, or a call from inside another pool worker all take the
+/// purely sequential path with zero thread spawns.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    if workers == 1 || n <= 1 || IN_POOL.with(|flag| flag.get()) {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers - 1)
+            .map(|_| scope.spawn(|| run_worker(&cursor, items, &f)))
+            .collect();
+        // The calling thread is the final worker.
+        let mut parts = vec![run_worker(&cursor, items, &f)];
+        parts.extend(handles.into_iter().map(|h| h.join().expect("pool worker panicked")));
+        parts
+    });
+
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for part in &mut parts {
+        for (i, r) in part.drain(..) {
+            debug_assert!(out[i].is_none(), "item {i} produced twice");
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter().map(|r| r.expect("every item visited exactly once")).collect()
+}
+
+fn run_worker<T, R, F>(cursor: &AtomicUsize, items: &[T], f: &F) -> Vec<(usize, R)>
+where
+    F: Fn(usize, &T) -> R,
+{
+    let _guard = WorkerGuard::enter();
+    let mut out = Vec::new();
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= items.len() {
+            return out;
+        }
+        out.push((i, f(i, &items[i])));
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous, near-equal, non-empty
+/// ranges — the shard layout used when work must stay contiguous (e.g. the
+/// feature sweep shards whole avail ranges so merged rows keep their
+/// original order).
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 3 + i as u64).collect();
+        for t in [1, 2, 3, 8, 1000] {
+            let par = par_map(t, &items, |i, x| x * 3 + i as u64);
+            assert_eq!(par, seq, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(4, &[] as &[u8], |_, x| *x), Vec::<u8>::new());
+        assert_eq!(par_map(4, &[9u8], |i, x| (i, *x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn nested_par_map_runs_sequentially() {
+        // Outer parallelism 2, inner requests 8: the inner calls must not
+        // spawn (they run inside pool workers), so the peak stays <= 2.
+        reset_peak_workers();
+        let outer: Vec<usize> = (0..4).collect();
+        let sums = par_map(2, &outer, |_, &o| {
+            let inner: Vec<usize> = (0..64).collect();
+            par_map(8, &inner, |_, &x| x + o).iter().sum::<usize>()
+        });
+        assert_eq!(sums.len(), 4);
+        assert!(peak_workers() <= 2, "peak {} exceeded the cap", peak_workers());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 100] {
+            for parts in [1usize, 2, 3, 64] {
+                let ranges = chunk_ranges(n, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                assert!(ranges.len() <= parts.max(1));
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threads_resolution_prefers_override() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Benchmarks the deterministic parallel execution layer (PR 2) at 1x and 4x
+# RCC scale and records machine-readable results in BENCH_pr2.json:
+# per-path wall-clock (sequential vs pooled), thread count, and speedup.
+# Every parallel timing is bit-identity-checked against sequential first.
+#
+#   THREADS=8 OUT=BENCH_pr2.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="${THREADS:-0}"        # 0 = auto-detect
+SCALES="${SCALES:-1,4}"
+RUNS="${RUNS:-3}"
+OUT="${OUT:-BENCH_pr2.json}"
+
+cargo build --release -p domd-bench --bin bench_parallel
+
+ARGS=(--scales "$SCALES" --runs "$RUNS" --out "$OUT")
+if [ "$THREADS" != "0" ]; then
+  ARGS+=(--threads "$THREADS")
+fi
+target/release/bench_parallel "${ARGS[@]}"
+echo "bench results written to $OUT"

@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
-# Workspace lint gate: clippy across every target, warnings promoted to
-# errors. Run before sending a change; CI treats any output as a failure.
+# Workspace lint gate: clippy across every target (including the
+# domd-runtime pool), warnings promoted to errors, then a fast determinism
+# smoke test — the parallel-equivalence suites run under a 2-worker pool so
+# any scheduling-dependent output fails the gate quickly.
+# Run before sending a change; CI treats any output as a failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo clippy --workspace --all-targets -- -D warnings
+
+DOMD_THREADS=2 cargo test -q -p domd-runtime
+DOMD_THREADS=2 cargo test -q -p domd-features --test parallel_equivalence
+DOMD_THREADS=2 cargo test -q -p domd-core --test parallel_equivalence

@@ -278,7 +278,7 @@ fn cmd_obfuscate(args: &Args) -> Result<(), DomdError> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing)"
+    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
 }
 
 fn main() -> ExitCode {
@@ -287,7 +287,12 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
-    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+    let result = Args::parse(rest).and_then(|args| {
+        // Worker cap for every parallel path (sweep, training, batch
+        // queries). 0 = auto-detect; results are identical at any value.
+        let threads: usize = args.parse_opt("threads", 0usize)?;
+        domd::runtime::set_threads(threads);
+        match cmd.as_str() {
         "generate" => cmd_generate(&args),
         "train" => cmd_train(&args),
         "evaluate" => cmd_evaluate(&args),
@@ -296,6 +301,7 @@ fn main() -> ExitCode {
         "obfuscate" => cmd_obfuscate(&args),
         "optimize" => cmd_optimize(&args),
         other => Err(DomdError::config(format!("unknown command {other:?}\n{}", usage()))),
+        }
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -16,7 +16,10 @@
 //! * [`features`] — the 1490-feature transformation 𝒯 and the avail ×
 //!   feature × logical-time tensor;
 //! * [`core`] — the timeline pipeline, greedy optimizer, DoMD query
-//!   engine, evaluation, and explanations.
+//!   engine, evaluation, and explanations;
+//! * [`runtime`] — the deterministic parallel execution layer (bounded
+//!   worker pool, `--threads` / `DOMD_THREADS` configuration) shared by
+//!   the sweep, training, and batch-query hot paths.
 //!
 //! See `examples/quickstart.rs` for the three-minute tour.
 
@@ -27,6 +30,7 @@ pub use domd_data as data;
 pub use domd_features as features;
 pub use domd_index as index;
 pub use domd_ml as ml;
+pub use domd_runtime as runtime;
 
 pub use domd_core::DomdError;
 pub use domd_data::{QuarantineReport, QuarantinedRow};
