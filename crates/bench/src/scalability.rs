@@ -12,8 +12,9 @@
 use crate::util::{mb, mean_time_ms, scaled_dataset, time_ms};
 use domd_data::Dataset;
 use domd_index::{
-    project_dataset, sweep_from_scratch, sweep_incremental, AvlIndex, HeapSize,
-    IntervalTreeIndex, LogicalTimeIndex, NaiveJoinIndex, RowColumns, SortedArrayIndex,
+    project_dataset, sweep_from_scratch, sweep_incremental, AvlIndex, EytzingerIndex,
+    FlatAvlIndex, HeapSize, IntervalTreeIndex, LogicalTimeIndex, NaiveJoinIndex, RowColumns,
+    SortedArrayIndex,
 };
 
 /// The scaling factors of Table 6 / Figure 5.
@@ -104,6 +105,16 @@ pub fn measure(scales: &[u32]) -> Vec<ScaleRow> {
             });
             arms.push(("sorted-array".to_string(), sa_build, mb(sa.heap_bytes()), sa_query));
 
+            // Eytzinger (implicit BFS) event arrays: same static workload as
+            // the sorted array, cache-friendly descent instead of binary
+            // search hops.
+            let (ey, _) = time_ms(|| EytzingerIndex::build(&w.projected));
+            let ey_build = mean_time_ms(RUNS, || EytzingerIndex::build(&w.projected));
+            let ey_query = mean_time_ms(RUNS, || {
+                sweep_from_scratch(&ey, w.cols(), 30, &w.grid, |_, _, _| {})
+            });
+            arms.push(("eytzinger".to_string(), ey_build, mb(ey.heap_bytes()), ey_query));
+
             // Dual AVL + incremental computation (the paper's winner).
             let (avl, _) = time_ms(|| AvlIndex::build(&w.projected));
             let avl_build = mean_time_ms(RUNS, || AvlIndex::build(&w.projected));
@@ -111,6 +122,20 @@ pub fn measure(scales: &[u32]) -> Vec<ScaleRow> {
                 sweep_incremental(&avl, w.cols(), 30, &w.grid, |_, _, _| {})
             });
             arms.push(("avl+incremental".to_string(), avl_build, mb(avl.heap_bytes()), avl_query));
+
+            // Arena-backed dual AVL: identical algorithm in contiguous Vec
+            // storage with u32 child links (no per-node allocation).
+            let (favl, _) = time_ms(|| FlatAvlIndex::build(&w.projected));
+            let favl_build = mean_time_ms(RUNS, || FlatAvlIndex::build(&w.projected));
+            let favl_query = mean_time_ms(RUNS, || {
+                sweep_incremental(&favl, w.cols(), 30, &w.grid, |_, _, _| {})
+            });
+            arms.push((
+                "flat-avl+incr".to_string(),
+                favl_build,
+                mb(favl.heap_bytes()),
+                favl_query,
+            ));
 
             ScaleRow { scale, n_rccs: w.projected.len(), arms }
         })
@@ -177,17 +202,20 @@ mod tests {
         let rows = measure(&[1]);
         assert_eq!(rows.len(), 1);
         let r = &rows[0];
-        assert_eq!(r.arms.len(), 4);
+        assert_eq!(r.arms.len(), 6);
         // Memory ordering of Table 6: both trees well under the join.
         let naive_mb = r.arms[0].2;
         let itree_mb = r.arms[1].2;
-        let avl_mb = r.arms[3].2;
+        let avl_mb = r.arms[4].2;
+        let flat_avl_mb = r.arms[5].2;
         assert!(avl_mb < naive_mb * 0.7, "AVL {avl_mb} vs naive {naive_mb}");
         assert!(itree_mb < naive_mb * 0.7, "interval {itree_mb} vs naive {naive_mb}");
-        // The extension arm is the most compact of all.
-        assert!(r.arms[2].2 < avl_mb, "sorted array must be smallest");
-        // Incremental queries beat per-step rescans.
-        assert!(r.arms[3].3 < r.arms[0].3, "incremental must beat naive rescan");
+        // The flat layouts stay in the compact band: no pointer overhead.
+        assert!(r.arms[2].2 < avl_mb, "sorted array must beat pointer AVL");
+        assert!(flat_avl_mb <= avl_mb * 1.05, "flat AVL {flat_avl_mb} vs AVL {avl_mb}");
+        // Incremental queries beat per-step rescans (both AVL variants).
+        assert!(r.arms[4].3 < r.arms[0].3, "incremental must beat naive rescan");
+        assert!(r.arms[5].3 < r.arms[0].3, "flat incremental must beat naive rescan");
     }
 
     #[test]

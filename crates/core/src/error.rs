@@ -231,7 +231,7 @@ mod tests {
     #[test]
     fn kinds_are_distinct() {
         let kinds = [
-            DomdError::io("x", std::io::Error::new(std::io::ErrorKind::Other, "y")).kind(),
+            DomdError::io("x", std::io::Error::other("y")).kind(),
             DomdError::Parse { line: 0, column: None, message: String::new() }.kind(),
             DomdError::schema("s").kind(),
             DomdError::Artifact { found_version: None, expected: 1, message: String::new() }

@@ -7,7 +7,9 @@
 use crate::timeline::TrainedPipeline;
 use domd_data::dataset::Dataset;
 use domd_data::{AvailId, Date};
-use domd_features::FeatureEngine;
+use domd_features::{FeatureCache, FeatureEngine};
+use domd_index::CacheStats;
+use std::cell::RefCell;
 
 /// One estimate in a DoMD answer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +51,9 @@ pub struct DomdQueryEngine<'a> {
     dataset: &'a Dataset,
     pipeline: &'a TrainedPipeline,
     features: FeatureEngine,
+    /// Memoized per-anchor feature snapshots; `None` serves cold every
+    /// query. Interior mutability keeps the query API `&self`.
+    cache: Option<RefCell<FeatureCache>>,
 }
 
 impl<'a> DomdQueryEngine<'a> {
@@ -64,7 +69,34 @@ impl<'a> DomdQueryEngine<'a> {
         pipeline: &'a TrainedPipeline,
         features: FeatureEngine,
     ) -> Self {
-        DomdQueryEngine { dataset, pipeline, features }
+        DomdQueryEngine { dataset, pipeline, features, cache: None }
+    }
+
+    /// Enables snapshot memoization with room for `capacity` feature
+    /// vectors (0 disables). Cached answers are bit-identical to cold
+    /// ones — the cache stores exactly what the cold path computed — so
+    /// this is purely a latency knob for repeated queries on the same
+    /// dataset snapshot.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = if capacity == 0 {
+            None
+        } else {
+            Some(RefCell::new(FeatureCache::new(capacity)))
+        };
+        self
+    }
+
+    /// Declares the bound dataset snapshot changed: every memoized feature
+    /// snapshot is invalidated (epoch bump). No-op without a cache.
+    pub fn invalidate_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.borrow_mut().invalidate();
+        }
+    }
+
+    /// Hit/miss/eviction counters of the snapshot cache, when enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.borrow().stats())
     }
 
     /// Answers a DoMD query for one avail at physical time `t`.
@@ -84,8 +116,18 @@ impl<'a> DomdQueryEngine<'a> {
     /// than panicking or dropping the query.
     pub fn query_logical(&self, avail: AvailId, t_star: f64) -> Option<DomdAnswer> {
         self.dataset.avail(avail)?;
-        let online =
-            self.pipeline.predict_online_checked(self.dataset, &self.features, avail, t_star);
+        let online = match &self.cache {
+            Some(cache) => self.pipeline.predict_online_cached(
+                self.dataset,
+                &self.features,
+                &mut cache.borrow_mut(),
+                avail,
+                t_star,
+            ),
+            None => {
+                self.pipeline.predict_online_checked(self.dataset, &self.features, avail, t_star)
+            }
+        };
         let estimates = online
             .estimates
             .into_iter()
@@ -198,6 +240,51 @@ mod tests {
         assert!(!ans.warnings.is_empty());
         assert!(!ans.estimates.is_empty());
         assert!(ans.estimates.iter().all(|e| e.estimated_delay.is_finite()));
+    }
+
+    #[test]
+    fn cached_answers_are_bit_identical_to_cold() {
+        let (ds, p) = setup();
+        let cold = DomdQueryEngine::new(&ds, &p);
+        let warm = DomdQueryEngine::new(&ds, &p).with_cache(256);
+        for &t_star in &[15.0, 55.0, 80.0, 100.0] {
+            for a in ds.avails().iter().take(6) {
+                let c = cold.query_logical(a.id, t_star).expect("known");
+                // Twice: the second answer is served from the cache.
+                let w1 = warm.query_logical(a.id, t_star).expect("known");
+                let w2 = warm.query_logical(a.id, t_star).expect("known");
+                for (x, y) in c.estimates.iter().zip(&w1.estimates) {
+                    assert_eq!(x.estimated_delay.to_bits(), y.estimated_delay.to_bits());
+                }
+                for (x, y) in w1.estimates.iter().zip(&w2.estimates) {
+                    assert_eq!(x.estimated_delay.to_bits(), y.estimated_delay.to_bits());
+                }
+            }
+        }
+        let stats = warm.cache_stats().expect("cache enabled");
+        assert!(stats.hits > 0, "repeat queries must hit: {stats:?}");
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables() {
+        let (ds, p) = setup();
+        let engine = DomdQueryEngine::new(&ds, &p).with_cache(0);
+        assert!(engine.cache_stats().is_none());
+        assert!(engine.query_logical(ds.avails()[0].id, 55.0).is_some());
+    }
+
+    #[test]
+    fn invalidate_cache_bumps_epoch_and_recomputes() {
+        let (ds, p) = setup();
+        let engine = DomdQueryEngine::new(&ds, &p).with_cache(256);
+        let a = ds.avails()[0].id;
+        engine.query_logical(a, 55.0).expect("known");
+        let before = engine.cache_stats().unwrap();
+        engine.invalidate_cache();
+        engine.query_logical(a, 55.0).expect("known");
+        let after = engine.cache_stats().unwrap();
+        assert_eq!(after.hits, before.hits, "post-invalidate walk must not hit");
+        assert!(after.misses > before.misses);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::config::{ModelFamily, PipelineConfig};
 use domd_data::dataset::Dataset;
 use domd_data::logical_time::TimeGrid;
 use domd_data::AvailId;
-use domd_features::{static_matrix, FeatureEngine, FeatureTensor, STATIC_FEATURE_NAMES};
+use domd_features::{static_matrix, FeatureCache, FeatureEngine, FeatureTensor, STATIC_FEATURE_NAMES};
 use domd_ml::{DenseMatrix, GbtParams, ModelSpec, TrainedModel};
 
 /// Everything the pipeline needs to train and evaluate: the feature tensor,
@@ -271,6 +271,38 @@ impl TrainedPipeline {
         avail: AvailId,
         t_star: f64,
     ) -> OnlinePrediction {
+        self.predict_online_impl(dataset, avail, t_star, &mut |t| {
+            engine.features_for_avail_at(dataset, avail, t).into()
+        })
+    }
+
+    /// As [`TrainedPipeline::predict_online_checked`], but memoizing the
+    /// per-anchor feature snapshots in `cache`. A warm cache answers the
+    /// whole timeline walk without touching the Status-Query layer; hits
+    /// return the exact vectors the cold path stored, so cached and
+    /// uncached serving emit identical bits.
+    pub fn predict_online_cached(
+        &self,
+        dataset: &Dataset,
+        engine: &FeatureEngine,
+        cache: &mut FeatureCache,
+        avail: AvailId,
+        t_star: f64,
+    ) -> OnlinePrediction {
+        self.predict_online_impl(dataset, avail, t_star, &mut |t| {
+            cache.features_at(engine, dataset, avail, t)
+        })
+    }
+
+    /// Shared serving body; `features_at` yields the feature snapshot for
+    /// one timeline anchor (cold compute or cache, caller's choice).
+    fn predict_online_impl(
+        &self,
+        dataset: &Dataset,
+        avail: AvailId,
+        t_star: f64,
+        features_at: &mut dyn FnMut(f64) -> std::sync::Arc<[f64]>,
+    ) -> OnlinePrediction {
         let mut warnings = Vec::new();
         let Some(a) = dataset.avail(avail) else {
             return OnlinePrediction {
@@ -320,7 +352,7 @@ impl TrainedPipeline {
             if step.t_star > t_star && !raw.is_empty() {
                 break;
             }
-            let feats = engine.features_for_avail_at(dataset, avail, step.t_star);
+            let feats = features_at(step.t_star);
             let rcc: Vec<f64> = step.selected.iter().map(|&j| feats[j]).collect();
             let mut row = Vec::with_capacity(static_row.len() + rcc.len() + 1);
             if let Some(base) = static_pred {

@@ -194,9 +194,9 @@ fn parse_rcc_row(line: &str, line_no: usize) -> Result<Rcc, CsvError> {
     let rcc_type: RccType = f[2]
         .trim()
         .parse()
-        .map_err(|e| CsvError::at_field(line_no, "rcc_type", format!("{e}")))?;
+        .map_err(|e| CsvError::at_field(line_no, "rcc_type", e))?;
     let swlin: Swlin =
-        f[3].trim().parse().map_err(|e| CsvError::at_field(line_no, "swlin", format!("{e}")))?;
+        f[3].trim().parse().map_err(|e| CsvError::at_field(line_no, "swlin", e))?;
     Ok(Rcc {
         id: RccId(parse(f[0], "rcc_id", line_no)?),
         avail: AvailId(parse(f[1], "avail_id", line_no)?),

@@ -377,6 +377,6 @@ mod tests {
         assert_eq!(reported, mangled);
         assert_eq!(back.rccs().len(), n_rows - mangled.len());
         assert_eq!(back.avails().len(), ds.avails().len());
-        assert!(back.split(1).len() > 0, "surviving dataset must still split");
+        assert!(!back.split(1).is_empty(), "surviving dataset must still split");
     }
 }

@@ -280,15 +280,15 @@ impl FeatureEngine {
 
         // Stitch each step's shard matrices back together in shard order,
         // restoring the original avail row order.
-        let mut slices: Vec<DenseMatrix> = Vec::with_capacity(grid.len());
-        for step in 0..grid.len() {
-            let mut m = DenseMatrix::zeros(n_avails, n_features);
-            for (shard, range) in shards.iter().enumerate() {
+        let mut slices: Vec<DenseMatrix> =
+            (0..grid.len()).map(|_| DenseMatrix::zeros(n_avails, n_features)).collect();
+        for (shard, range) in shards.iter().enumerate() {
+            for (step, shard_step) in shard_slices[shard].iter().enumerate() {
+                let m = &mut slices[step];
                 for (local, global) in range.clone().enumerate() {
-                    m.row_mut(global).copy_from_slice(shard_slices[shard][step].row(local));
+                    m.row_mut(global).copy_from_slice(shard_step.row(local));
                 }
             }
-            slices.push(m);
         }
         FeatureTensor::new(avail_ids.to_vec(), grid.to_vec(), self.catalog.names(), slices)
     }

@@ -10,13 +10,17 @@
 //! * [`static_features`] — the 8 static features `F_i^S`;
 //! * [`engine`] — tensor generation via one incremental Status Query sweep,
 //!   plus the online single-avail path for live DoMD queries;
+//! * [`cache`] — a memoizing LRU over the online per-avail feature
+//!   snapshots with epoch-based invalidation;
 //! * [`tensor`] — the materialized tensor with per-grid-point slices.
 
+pub mod cache;
 pub mod engine;
 pub mod spec;
 pub mod static_features;
 pub mod tensor;
 
+pub use cache::{FeatureCache, FeatureKey};
 pub use engine::FeatureEngine;
 pub use spec::{Aggregation, FeatureCatalog, FeatureSpec, StatusFilter, SwlinGroup, TypeFilter};
 pub use static_features::{static_matrix, static_row, N_STATIC, STATIC_FEATURE_NAMES};

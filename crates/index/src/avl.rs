@@ -11,7 +11,7 @@
 //! per-node allocation, compact memory (relevant to Table 6), and O(log n)
 //! insert/delete for the dynamic-maintenance story of Section 4.1.
 
-use crate::traits::LogicalTimeIndex;
+use crate::traits::{LogicalTimeIndex, MaintainableIndex};
 use crate::types::{HeapSize, LogicalRcc, RowId};
 
 const NIL: u32 = u32::MAX;
@@ -364,23 +364,37 @@ pub struct AvlIndex {
     starts: AvlTree,
     /// Keyed on logical end; `other` is the logical start.
     ends: AvlTree,
+    /// Bumped by every successful dynamic mutation; see [`AvlIndex::epoch`].
+    epoch: u64,
 }
 
 impl AvlIndex {
-    /// Inserts one RCC into both trees (O(log n) each).
+    /// Inserts one RCC into both trees (O(log n) each), bumping the epoch.
     pub fn insert(&mut self, rcc: &LogicalRcc) -> bool {
         let a = self.starts.insert(rcc.start, rcc.end, rcc.id);
         let b = self.ends.insert(rcc.end, rcc.start, rcc.id);
         debug_assert_eq!(a, b, "trees must stay in lockstep");
+        if a && b {
+            self.epoch += 1;
+        }
         a && b
     }
 
-    /// Removes one RCC from both trees (O(log n) each).
+    /// Removes one RCC from both trees (O(log n) each), bumping the epoch.
     pub fn remove(&mut self, rcc: &LogicalRcc) -> bool {
         let a = self.starts.remove(rcc.start, rcc.id);
         let b = self.ends.remove(rcc.end, rcc.id);
         debug_assert_eq!(a, b, "trees must stay in lockstep");
+        if a && b {
+            self.epoch += 1;
+        }
         a && b
+    }
+
+    /// Monotone mutation counter: snapshots cached under an older epoch are
+    /// stale and must never be served (the cache keys on this value).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Visits RCCs *created* in the window `lo < start <= hi`, passing
@@ -403,6 +417,16 @@ impl AvlIndex {
     /// Testing/inspection hook: arena sizes of the two trees.
     pub fn arena_lens(&self) -> (usize, usize) {
         (self.starts.arena_len(), self.ends.arena_len())
+    }
+}
+
+impl crate::traits::EventRangeScan for AvlIndex {
+    fn scan_created_in(&self, lo: f64, hi: f64, f: &mut dyn FnMut(f64, f64, RowId)) {
+        self.for_each_created_in(lo, hi, f);
+    }
+
+    fn scan_settled_in(&self, lo: f64, hi: f64, f: &mut dyn FnMut(f64, f64, RowId)) {
+        self.for_each_settled_in(lo, hi, f);
     }
 }
 
@@ -430,6 +454,7 @@ impl LogicalTimeIndex for AvlIndex {
         AvlIndex {
             starts: AvlTree::build_from_sorted(&by_start),
             ends: AvlTree::build_from_sorted(&by_end),
+            epoch: 0,
         }
     }
 
@@ -461,6 +486,20 @@ impl LogicalTimeIndex for AvlIndex {
         self.starts.for_each_leq(t_star, &mut |_s, _e, id| out.push(id));
         out.sort_unstable();
         out
+    }
+}
+
+impl MaintainableIndex for AvlIndex {
+    fn insert_logical(&mut self, rcc: &LogicalRcc) -> bool {
+        self.insert(rcc)
+    }
+
+    fn remove_logical(&mut self, rcc: &LogicalRcc) -> bool {
+        self.remove(rcc)
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

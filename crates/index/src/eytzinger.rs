@@ -1,0 +1,215 @@
+//! Eytzinger (implicit BFS) event-array index — the cache-friendly search
+//! variant of [`crate::sorted_array::SortedArrayIndex`].
+//!
+//! A classic binary search over a sorted array hops across the array with a
+//! cache miss per probe. The Eytzinger layout stores the same keys in
+//! breadth-first heap order (`children of slot k at 2k and 2k+1`), so the
+//! first few levels of every search share a handful of cache lines and the
+//! descent is a tight multiply-and-add loop with no unpredictable pointer
+//! loads. Each search slot carries its in-order rank, so the descent
+//! directly yields a *prefix length* into struct-of-arrays in-order columns
+//! (`keys`, `ids`), which the retrieval scans then stream sequentially —
+//! search in BFS order, scan in sorted order.
+//!
+//! Like the sorted array this is a static design: creation is two sorts,
+//! queries are search + prefix scan, and there is no O(log n) maintenance.
+
+use crate::traits::LogicalTimeIndex;
+use crate::types::{HeapSize, LogicalRcc, RowId};
+
+/// One event set: in-order key/id columns plus the implicit search tree.
+#[derive(Debug, Clone, Default)]
+struct EventColumn {
+    /// Event positions ascending by `(key, id)`.
+    keys: Vec<f64>,
+    /// Row id of each event, parallel to `keys`.
+    ids: Vec<RowId>,
+    /// `keys` rearranged into 1-based BFS (Eytzinger) order; slot 0 unused.
+    eyt: Vec<f64>,
+    /// In-order rank of each Eytzinger slot (parallel to `eyt`).
+    rank: Vec<u32>,
+}
+
+impl EventColumn {
+    fn build(mut events: Vec<(f64, RowId)>) -> Self {
+        events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let n = events.len();
+        let keys: Vec<f64> = events.iter().map(|e| e.0).collect();
+        let ids: Vec<RowId> = events.iter().map(|e| e.1).collect();
+        let mut eyt = vec![0.0; n + 1];
+        let mut rank = vec![0u32; n + 1];
+
+        /// In-order walk of the implicit tree assigning sorted keys to BFS
+        /// slots (slot `k` has children `2k` / `2k+1`).
+        fn fill(keys: &[f64], eyt: &mut [f64], rank: &mut [u32], k: usize, next: &mut usize) {
+            if k >= eyt.len() {
+                return;
+            }
+            fill(keys, eyt, rank, 2 * k, next);
+            eyt[k] = keys[*next];
+            rank[k] = *next as u32;
+            *next += 1;
+            fill(keys, eyt, rank, 2 * k + 1, next);
+        }
+        if n > 0 {
+            let mut next = 0usize;
+            fill(&keys, &mut eyt, &mut rank, 1, &mut next);
+            debug_assert_eq!(next, n);
+        }
+        EventColumn { keys, ids, eyt, rank }
+    }
+
+    /// Number of events with `key <= bound`: an Eytzinger descent tracking
+    /// the rank of the last slot entered rightward. Equals
+    /// `keys.partition_point(|k| k <= bound)` on the in-order column.
+    fn prefix_len(&self, bound: f64) -> usize {
+        let n = self.eyt.len();
+        let mut k = 1usize;
+        let mut res = 0usize;
+        while k < n {
+            if self.eyt[k] <= bound {
+                res = self.rank[k] as usize + 1;
+                k = 2 * k + 1;
+            } else {
+                k *= 2;
+            }
+        }
+        res
+    }
+}
+
+impl HeapSize for EventColumn {
+    fn heap_bytes(&self) -> usize {
+        self.keys.heap_bytes() + self.ids.heap_bytes() + self.eyt.heap_bytes() + self.rank.heap_bytes()
+    }
+}
+
+/// The Eytzinger-layout logical-time index.
+#[derive(Debug, Clone, Default)]
+pub struct EytzingerIndex {
+    /// Events keyed on logical start.
+    by_start: EventColumn,
+    /// Events keyed on logical end.
+    by_end: EventColumn,
+    /// `ends[i]` = logical end of row `i` (stab filter during start scans).
+    ends: Vec<f64>,
+}
+
+impl HeapSize for EytzingerIndex {
+    fn heap_bytes(&self) -> usize {
+        self.by_start.heap_bytes() + self.by_end.heap_bytes() + self.ends.heap_bytes()
+    }
+}
+
+impl LogicalTimeIndex for EytzingerIndex {
+    fn name(&self) -> &'static str {
+        "eytzinger"
+    }
+
+    fn build(rccs: &[LogicalRcc]) -> Self {
+        let by_start = EventColumn::build(rccs.iter().map(|r| (r.start, r.id)).collect());
+        let by_end = EventColumn::build(rccs.iter().map(|r| (r.end, r.id)).collect());
+        let max_id = rccs.iter().map(|r| r.id).max().map_or(0, |m| m as usize + 1);
+        let mut ends = vec![f64::NEG_INFINITY; max_id];
+        for r in rccs {
+            ends[r.id as usize] = r.end;
+        }
+        EytzingerIndex { by_start, by_end, ends }
+    }
+
+    fn len(&self) -> usize {
+        self.by_start.keys.len()
+    }
+
+    fn active_at(&self, t_star: f64) -> Vec<RowId> {
+        let n = self.by_start.prefix_len(t_star);
+        let mut out: Vec<RowId> = self.by_start.ids[..n]
+            .iter()
+            .filter(|&&id| self.ends[id as usize] > t_star)
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn settled_by(&self, t_star: f64) -> Vec<RowId> {
+        let n = self.by_end.prefix_len(t_star);
+        let mut out: Vec<RowId> = self.by_end.ids[..n].to_vec();
+        out.sort_unstable();
+        out
+    }
+
+    fn created_by(&self, t_star: f64) -> Vec<RowId> {
+        let n = self.by_start.prefix_len(t_star);
+        let mut out: Vec<RowId> = self.by_start.ids[..n].to_vec();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorted_array::SortedArrayIndex;
+    use domd_data::AvailId;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rccs(n: u32, seed: u64) -> Vec<LogicalRcc> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let s: f64 = rng.gen_range(0.0..100.0);
+                LogicalRcc { id: i, avail: AvailId(1), start: s, end: s + rng.gen_range(0.5..40.0) }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_len_matches_partition_point() {
+        for n in [0u32, 1, 2, 3, 7, 8, 100, 1023, 1024, 1777] {
+            let col = EventColumn::build((0..n).map(|i| (f64::from(i % 50), i)).collect());
+            for bound in [-1.0, 0.0, 10.5, 23.0, 49.0, 60.0] {
+                assert_eq!(
+                    col.prefix_len(bound),
+                    col.keys.partition_point(|&k| k <= bound),
+                    "n={n} bound={bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_sorted_array_on_random_data() {
+        let rccs = random_rccs(1500, 7);
+        let ey = EytzingerIndex::build(&rccs);
+        let sa = SortedArrayIndex::build(&rccs);
+        for t in [0.0, 13.7, 50.0, 88.8, 139.9, 200.0] {
+            assert_eq!(ey.active_at(t), sa.active_at(t), "active at {t}");
+            assert_eq!(ey.settled_by(t), sa.settled_by(t), "settled at {t}");
+            assert_eq!(ey.created_by(t), sa.created_by(t), "created at {t}");
+            assert_eq!(ey.not_created_by(t), sa.not_created_by(t), "not-created at {t}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_keys() {
+        // Many events share the same position: the descent must still count
+        // the full run of equal keys.
+        let rccs: Vec<LogicalRcc> = (0..64)
+            .map(|i| LogicalRcc { id: i, avail: AvailId(1), start: 10.0, end: 20.0 + f64::from(i % 3) })
+            .collect();
+        let ey = EytzingerIndex::build(&rccs);
+        assert_eq!(ey.created_by(10.0).len(), 64);
+        assert_eq!(ey.created_by(9.99).len(), 0);
+        assert_eq!(ey.settled_by(20.0).len(), 22); // i % 3 == 0 → end 20.0
+    }
+
+    #[test]
+    fn empty_index() {
+        let ey = EytzingerIndex::build(&[]);
+        assert!(ey.is_empty());
+        assert!(ey.active_at(50.0).is_empty());
+        assert!(ey.settled_by(50.0).is_empty());
+        assert_eq!(ey.heap_bytes() % 8, 0);
+    }
+}

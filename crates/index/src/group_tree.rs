@@ -35,6 +35,31 @@ impl RccTypeTree {
         &self.by_type[t.index()]
     }
 
+    /// Inserts one `(type, id)` pair, keeping the partition ascending.
+    /// `false` when the id is already present for that type.
+    pub fn insert(&mut self, t: RccType, id: RowId) -> bool {
+        let v = &mut self.by_type[t.index()];
+        match v.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                v.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Removes one `(type, id)` pair; `false` when absent.
+    pub fn remove(&mut self, t: RccType, id: RowId) -> bool {
+        let v = &mut self.by_type[t.index()];
+        match v.binary_search(&id) {
+            Ok(pos) => {
+                v.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Total rows indexed.
     pub fn len(&self) -> usize {
         self.by_type.iter().map(Vec::len).sum()
@@ -76,6 +101,31 @@ impl SwlinTree {
     /// True when nothing is indexed.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Inserts one `(swlin, id)` pair, keeping entries sorted. `false` when
+    /// the exact pair is already present.
+    pub fn insert(&mut self, swlin: Swlin, id: RowId) -> bool {
+        let entry = (swlin.packed(), id);
+        match self.entries.binary_search(&entry) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.entries.insert(pos, entry);
+                true
+            }
+        }
+    }
+
+    /// Removes one `(swlin, id)` pair; `false` when absent.
+    pub fn remove(&mut self, swlin: Swlin, id: RowId) -> bool {
+        let entry = (swlin.packed(), id);
+        match self.entries.binary_search(&entry) {
+            Ok(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// The contiguous entry range of the hierarchy node `prefix` at depth
@@ -184,6 +234,29 @@ mod tests {
         let t = SwlinTree::build([(w("434-11-001"), 7), (w("434-11-002"), 8)]);
         assert_eq!(t.ids_for_prefix(43411001, 8), vec![7]);
         assert_eq!(t.ids_for_prefix(43411002, 8), vec![8]);
+    }
+
+    #[test]
+    fn type_tree_dynamic_maintenance() {
+        let mut t = RccTypeTree::build([(RccType::Growth, 0), (RccType::Growth, 4)]);
+        assert!(t.insert(RccType::Growth, 2));
+        assert!(!t.insert(RccType::Growth, 2), "duplicate rejected");
+        assert_eq!(t.ids_of(RccType::Growth), &[0, 2, 4]);
+        assert!(t.remove(RccType::Growth, 0));
+        assert!(!t.remove(RccType::Growth, 0), "double remove rejected");
+        assert_eq!(t.ids_of(RccType::Growth), &[2, 4]);
+    }
+
+    #[test]
+    fn swlin_tree_dynamic_maintenance() {
+        let mut t = SwlinTree::build([(w("434-11-001"), 0), (w("911-90-001"), 1)]);
+        assert!(t.insert(w("435-00-000"), 2));
+        assert!(!t.insert(w("435-00-000"), 2), "duplicate rejected");
+        assert_eq!(t.ids_for_prefix(4, 1), vec![0, 2]);
+        assert!(t.remove(w("434-11-001"), 0));
+        assert!(!t.remove(w("434-11-001"), 0), "double remove rejected");
+        assert_eq!(t.ids_for_prefix(4, 1), vec![2]);
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

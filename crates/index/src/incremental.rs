@@ -13,8 +13,7 @@
 //! sweeper serves both the scalability study (groups = RCC type × SWLIN
 //! first digit) and feature engineering (groups = avail × type × subsystem).
 
-use crate::avl::AvlIndex;
-use crate::traits::LogicalTimeIndex;
+use crate::traits::{EventRangeScan, LogicalTimeIndex};
 use crate::types::{HeapSize, LogicalRcc, RowId};
 
 /// Running aggregates of one (group × status) cell. Supports removal
@@ -149,11 +148,11 @@ pub struct RowColumns<'a> {
     pub groups: &'a [usize],
 }
 
-/// Incremental sweeper over a logical-time grid backed by the dual-AVL
-/// index. Calls `visit(step, t*, &stats)` once per grid point, after the
-/// structure has been advanced to that point.
-pub fn sweep_incremental<F: FnMut(usize, f64, &StatStructure)>(
-    index: &AvlIndex,
+/// Incremental sweeper over a logical-time grid backed by either dual-AVL
+/// index (pointer-based or arena-backed). Calls `visit(step, t*, &stats)`
+/// once per grid point, after the structure has been advanced to it.
+pub fn sweep_incremental<I: EventRangeScan, F: FnMut(usize, f64, &StatStructure)>(
+    index: &I,
     cols: RowColumns<'_>,
     n_groups: usize,
     grid: &[f64],
@@ -164,13 +163,13 @@ pub fn sweep_incremental<F: FnMut(usize, f64, &StatStructure)>(
     for (step, &t) in grid.iter().enumerate() {
         debug_assert!(t >= prev, "grid must ascend");
         // Rows created inside (prev, t] enter the created and active sets.
-        index.for_each_created_in(prev, t, |_s, _e, id| {
+        index.scan_created_in(prev, t, &mut |_s, _e, id| {
             let (g, a, d) = row(cols, id);
             st.created[g].add(a, d);
             st.active[g].add(a, d);
         });
         // Rows settled inside (prev, t] move from active to settled.
-        index.for_each_settled_in(prev, t, |s, _e, id| {
+        index.scan_settled_in(prev, t, &mut |s, _e, id| {
             let (g, a, d) = row(cols, id);
             // A row both created and settled inside the window was just
             // added to active above; rows created before `prev` were added
@@ -244,6 +243,7 @@ pub fn columns_from<FG: Fn(&LogicalRcc) -> usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::avl::AvlIndex;
     use domd_data::AvailId;
 
     fn rcc(id: RowId, start: f64, end: f64) -> LogicalRcc {

@@ -6,13 +6,23 @@
 //! 3–6), restricted to GROUP BY subtrees over RCC type and the SWLIN
 //! hierarchy, and aggregates their amounts and durations.
 //!
-//! Three index designs answer the logical-time predicates:
+//! Index designs answering the logical-time predicates:
 //!
 //! * [`avl::AvlIndex`] — dual AVL trees keyed on logical start and end
 //!   positions (the paper's winning design; O(log n) dynamic maintenance);
+//! * [`flat_avl::FlatAvlIndex`] — the same dual-AVL semantics with
+//!   struct-of-arrays node columns (cache-friendly range scans);
 //! * [`interval_tree::IntervalTreeIndex`] — a centered interval tree;
+//! * [`sorted_array::SortedArrayIndex`] — static sorted event arrays;
+//! * [`eytzinger::EytzingerIndex`] — sorted event arrays searched through
+//!   an implicit-BFS (Eytzinger) layout;
 //! * [`naive::NaiveJoinIndex`] — the materialized avail ⋈ RCC join scanned
 //!   per query (the Pandas-merge baseline).
+//!
+//! [`arena::RccArena`] is the columnar (struct-of-arrays) RCC table every
+//! engine aggregates from, and [`cache::CachedStatusQueryEngine`] memoizes
+//! whole query snapshots keyed on `(t*, group node, status, index epoch)`
+//! with epoch-based invalidation on dynamic maintenance.
 //!
 //! [`group_tree`] holds the RCC-Type-Tree and SWLIN tree of Algorithm
 //! StatusQ; [`status_query`] implements the algorithm itself; and
@@ -20,7 +30,11 @@
 //! Section 4.3, which advances per-group aggregates across the logical
 //! timeline touching only the RCCs whose endpoints fall in each new window.
 
+pub mod arena;
 pub mod avl;
+pub mod cache;
+pub mod eytzinger;
+pub mod flat_avl;
 pub mod group_tree;
 pub mod incremental;
 pub mod interval_tree;
@@ -30,7 +44,13 @@ pub mod status_query;
 pub mod traits;
 pub mod types;
 
+pub use arena::RccArena;
 pub use avl::{AvlIndex, AvlTree};
+pub use cache::{
+    CacheStats, CachedStatusQueryEngine, LruCache, SnapshotKey, DEFAULT_CACHE_CAPACITY,
+};
+pub use eytzinger::EytzingerIndex;
+pub use flat_avl::{FlatAvlIndex, FlatAvlTree};
 pub use group_tree::{RccTypeTree, SwlinTree};
 pub use incremental::{
     sweep_from_scratch, sweep_incremental, Accum, RowColumns, StatStructure,
@@ -38,6 +58,6 @@ pub use incremental::{
 pub use interval_tree::IntervalTreeIndex;
 pub use naive::NaiveJoinIndex;
 pub use sorted_array::SortedArrayIndex;
-pub use status_query::{StatusAggregate, StatusQuery, StatusQueryEngine};
-pub use traits::LogicalTimeIndex;
+pub use status_query::{GroupRows, StatusAggregate, StatusQuery, StatusQueryEngine};
+pub use traits::{EventRangeScan, LogicalTimeIndex, MaintainableIndex};
 pub use types::{project_dataset, HeapSize, LogicalRcc, OrderedF64, RowId};

@@ -7,11 +7,14 @@
 //! `GROUP BY` clause — an RCC type and/or a SWLIN prefix — and aggregates
 //! their settled amounts and durations.
 
+use crate::arena::RccArena;
 use crate::group_tree::{RccTypeTree, SwlinTree};
-use crate::traits::LogicalTimeIndex;
+use crate::traits::{LogicalTimeIndex, MaintainableIndex};
 use crate::types::{HeapSize, LogicalRcc, RowId};
+use domd_data::avail::Avail;
 use domd_data::dataset::Dataset;
-use domd_data::rcc::{RccStatus, RccType};
+use domd_data::rcc::{Rcc, RccStatus, RccType};
+use std::sync::Arc;
 
 /// A parsed Status Query: group-by predicates + status + logical timestamp.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,32 +60,62 @@ impl StatusAggregate {
     }
 }
 
+/// Step-1 result of Algorithm StatusQ: the rows satisfying the group-by
+/// predicates, without forcing an allocation on paths that don't need one.
+///
+/// The type-only dispatch arm used to clone the whole type partition per
+/// query (`ids_of(t).to_vec()`); borrowing it instead makes the most common
+/// group-by shape allocation-free, and the no-predicate arm skips even the
+/// `0..n` materialization because every status row trivially qualifies.
+#[derive(Debug)]
+pub enum GroupRows<'a> {
+    /// Every row qualifies (no group-by predicates).
+    All,
+    /// A borrowed ascending partition (single type predicate).
+    Borrowed(&'a [RowId]),
+    /// A computed ascending id list (SWLIN subtree / intersection arms).
+    Owned(Vec<RowId>),
+}
+
+impl GroupRows<'_> {
+    /// Materializes the ascending id list, given the total row count
+    /// (needed only for the [`GroupRows::All`] arm).
+    pub fn to_vec(&self, n_rows: usize) -> Vec<RowId> {
+        match self {
+            GroupRows::All => (0..n_rows as RowId).collect(),
+            GroupRows::Borrowed(s) => s.to_vec(),
+            GroupRows::Owned(v) => v.clone(),
+        }
+    }
+}
+
 /// Executes Status Queries: owns the two group-by trees, a logical-time
-/// index `I`, and per-row attribute columns for aggregation.
+/// index `I`, and a shared columnar [`RccArena`] for aggregation.
 #[derive(Debug, Clone)]
 pub struct StatusQueryEngine<I> {
     index: I,
     type_tree: RccTypeTree,
     swlin_tree: SwlinTree,
-    /// Settled amount per row id.
-    amounts: Vec<f64>,
-    /// Duration (days) per row id.
-    durations: Vec<f64>,
+    /// Columnar RCC storage; `Arc` so feature/bench layers can share it
+    /// without cloning columns. Dynamic inserts copy-on-write via
+    /// [`Arc::make_mut`].
+    arena: Arc<RccArena>,
 }
 
 impl<I: LogicalTimeIndex> StatusQueryEngine<I> {
     /// Builds the engine for `dataset` using its logical projection
     /// (`projected[i]` must describe `dataset.rccs()[i]`).
     pub fn build(dataset: &Dataset, projected: &[LogicalRcc]) -> Self {
-        assert_eq!(dataset.rccs().len(), projected.len(), "projection must cover the RCC table");
-        let index = I::build(projected);
-        let type_tree =
-            RccTypeTree::build(dataset.rccs().iter().enumerate().map(|(i, r)| (r.rcc_type, i as RowId)));
-        let swlin_tree =
-            SwlinTree::build(dataset.rccs().iter().enumerate().map(|(i, r)| (r.swlin, i as RowId)));
-        let amounts = dataset.rccs().iter().map(|r| r.amount).collect();
-        let durations = dataset.rccs().iter().map(|r| f64::from(r.duration_days())).collect();
-        StatusQueryEngine { index, type_tree, swlin_tree, amounts, durations }
+        let arena = Arc::new(RccArena::from_projected(dataset, projected));
+        Self::from_arena(arena)
+    }
+
+    /// Builds the engine over an existing arena (shared, not copied).
+    pub fn from_arena(arena: Arc<RccArena>) -> Self {
+        let index = I::build(&arena.projected());
+        let type_tree = RccTypeTree::build(arena.type_rows());
+        let swlin_tree = SwlinTree::build(arena.swlin_rows());
+        StatusQueryEngine { index, type_tree, swlin_tree, arena }
     }
 
     /// The underlying logical-time index.
@@ -90,16 +123,22 @@ impl<I: LogicalTimeIndex> StatusQueryEngine<I> {
         &self.index
     }
 
+    /// The shared columnar RCC storage.
+    pub fn arena(&self) -> &Arc<RccArena> {
+        &self.arena
+    }
+
     /// Step 1 of Algorithm StatusQ: `R^M`, the rows satisfying the group-by
     /// predicates (intersection of the type partition and SWLIN subtree).
-    pub fn group_rows(&self, q: &StatusQuery) -> Vec<RowId> {
+    pub fn group_rows(&self, q: &StatusQuery) -> GroupRows<'_> {
         match (q.rcc_type, q.swlin_prefix) {
-            (None, None) => (0..self.amounts.len() as RowId).collect(),
-            (Some(t), None) => self.type_tree.ids_of(t).to_vec(),
-            (None, Some((p, l))) => self.swlin_tree.ids_for_prefix(p, l),
-            (Some(t), Some((p, l))) => {
-                intersect_sorted(self.type_tree.ids_of(t), &self.swlin_tree.ids_for_prefix(p, l))
-            }
+            (None, None) => GroupRows::All,
+            (Some(t), None) => GroupRows::Borrowed(self.type_tree.ids_of(t)),
+            (None, Some((p, l))) => GroupRows::Owned(self.swlin_tree.ids_for_prefix(p, l)),
+            (Some(t), Some((p, l))) => GroupRows::Owned(intersect_sorted(
+                self.type_tree.ids_of(t),
+                &self.swlin_tree.ids_for_prefix(p, l),
+            )),
         }
     }
 
@@ -115,9 +154,13 @@ impl<I: LogicalTimeIndex> StatusQueryEngine<I> {
 
     /// Full Algorithm StatusQ: ascending row ids answering the query.
     pub fn execute(&self, q: &StatusQuery) -> Vec<RowId> {
-        let groups = self.group_rows(q);
         let status = self.status_rows(q);
-        intersect_sorted(&groups, &status)
+        match self.group_rows(q) {
+            // Status rows are already a subset of all rows.
+            GroupRows::All => status,
+            GroupRows::Borrowed(s) => intersect_sorted(s, &status),
+            GroupRows::Owned(v) => intersect_sorted(&v, &status),
+        }
     }
 
     /// Executes and aggregates in one pass (the common pipeline call shape).
@@ -126,8 +169,8 @@ impl<I: LogicalTimeIndex> StatusQueryEngine<I> {
         let mut agg = StatusAggregate::default();
         for id in ids {
             agg.count += 1;
-            agg.sum_amount += self.amounts[id as usize];
-            agg.sum_duration += self.durations[id as usize];
+            agg.sum_amount += self.arena.amount(id);
+            agg.sum_duration += self.arena.duration(id);
         }
         agg
     }
@@ -136,6 +179,28 @@ impl<I: LogicalTimeIndex> StatusQueryEngine<I> {
     /// used by harnesses that enumerate group-by nodes.
     pub fn swlin_children(&self, prefix: u32, len: u32) -> Vec<u32> {
         self.swlin_tree.child_prefixes(prefix, len)
+    }
+}
+
+impl<I: MaintainableIndex> StatusQueryEngine<I> {
+    /// Dynamic maintenance (Section 4.1): appends one RCC to the arena and
+    /// inserts it into the logical index and both group trees, O(log n).
+    /// Bumps the index epoch, invalidating memoized snapshots. Returns the
+    /// new dense row id.
+    pub fn insert(&mut self, rcc: &Rcc, avail: &Avail) -> RowId {
+        let arena = Arc::make_mut(&mut self.arena);
+        let row = arena.push(rcc, avail);
+        let lr = arena.logical(row);
+        let inserted = self.index.insert_logical(&lr);
+        debug_assert!(inserted, "fresh row ids cannot collide");
+        self.type_tree.insert(rcc.rcc_type, row);
+        self.swlin_tree.insert(rcc.swlin, row);
+        row
+    }
+
+    /// The index mutation epoch (see [`MaintainableIndex::current_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.index.current_epoch()
     }
 }
 
@@ -159,8 +224,7 @@ impl<I: HeapSize> HeapSize for StatusQueryEngine<I> {
         self.index.heap_bytes()
             + self.type_tree.heap_bytes()
             + self.swlin_tree.heap_bytes()
-            + self.amounts.heap_bytes()
-            + self.durations.heap_bytes()
+            + self.arena.heap_bytes()
     }
 }
 
@@ -289,6 +353,72 @@ mod tests {
             assert_eq!(eng.execute_batch(&queries, threads), seq_rows, "threads={threads}");
             assert_eq!(eng.aggregate_batch(&queries, threads), seq_aggs, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn group_rows_avoids_allocation_on_hot_arms() {
+        let (ds, eng) = engine::<AvlIndex>();
+        let base = StatusQuery {
+            rcc_type: None,
+            swlin_prefix: None,
+            status: RccStatus::Created,
+            t_star: 50.0,
+        };
+        assert!(matches!(eng.group_rows(&base), GroupRows::All));
+        let by_type = StatusQuery { rcc_type: Some(RccType::Growth), ..base };
+        match eng.group_rows(&by_type) {
+            GroupRows::Borrowed(s) => {
+                // Borrowed straight from the type tree, not a copy.
+                let want: Vec<RowId> = ds
+                    .rccs()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.rcc_type == RccType::Growth)
+                    .map(|(i, _)| i as RowId)
+                    .collect();
+                assert_eq!(s, want.as_slice());
+            }
+            other => panic!("type-only arm must borrow, got {other:?}"),
+        }
+        assert!(matches!(
+            eng.group_rows(&StatusQuery { swlin_prefix: Some((4, 1)), ..base }),
+            GroupRows::Owned(_)
+        ));
+        // to_vec materializes the All arm over the full row universe.
+        assert_eq!(eng.group_rows(&base).to_vec(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dynamic_insert_updates_queries_and_epoch() {
+        use domd_data::rcc::{Rcc, RccId};
+        let (ds, mut eng) = engine::<AvlIndex>();
+        assert_eq!(eng.epoch(), 0);
+        let avail = ds.avails()[0].clone();
+        let rcc = Rcc {
+            id: RccId(9_000_001),
+            avail: avail.id,
+            rcc_type: RccType::Growth,
+            swlin: "434-11-001".parse().unwrap(),
+            created: avail.actual_start + 1,
+            settled: avail.actual_start + 40,
+            amount: 1234.5,
+        };
+        let n_before = eng.arena().len();
+        let q = StatusQuery {
+            rcc_type: Some(RccType::Growth),
+            swlin_prefix: Some((434, 3)),
+            status: RccStatus::Created,
+            t_star: 1e6, // far past every logical settlement
+        };
+        let before = eng.aggregate(&q);
+        let row = eng.insert(&rcc, &avail);
+        assert_eq!(row as usize, n_before);
+        assert_eq!(eng.epoch(), 1, "the O(log n) insert path must bump the epoch");
+        let ids = eng.execute(&q);
+        assert!(ids.contains(&row), "inserted row must answer matching queries");
+        let after = eng.aggregate(&q);
+        assert_eq!(after.count, before.count + 1);
+        assert!((after.sum_amount - before.sum_amount - 1234.5).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Cache-invalidation smoke test (run by `scripts/lint.sh`): dynamic
+//! maintenance must make every memoized snapshot unreachable — on the
+//! single-query path, on the sharded batch path, and in the feature-layer
+//! mirror of the same epoch discipline.
+
+use domd_data::rcc::{Rcc, RccId, RccStatus, RccType};
+use domd_data::{generate, GeneratorConfig};
+use domd_index::{project_dataset, AvlIndex, CachedStatusQueryEngine, StatusQuery};
+
+fn queries() -> Vec<StatusQuery> {
+    let mut out = Vec::new();
+    for t in 0..12 {
+        for status in [RccStatus::Active, RccStatus::Settled, RccStatus::Created] {
+            out.push(StatusQuery {
+                rcc_type: Some(RccType::Growth),
+                swlin_prefix: None,
+                status,
+                t_star: f64::from(t) * 9.0,
+            });
+        }
+    }
+    out
+}
+
+#[test]
+fn insert_bumps_epoch_and_retires_every_snapshot() {
+    let ds = generate(&GeneratorConfig { n_avails: 20, target_rccs: 2_000, scale: 1, seed: 17 });
+    let p = project_dataset(&ds);
+    let mut eng = CachedStatusQueryEngine::<AvlIndex>::build(&ds, &p, 1024);
+    let qs = queries();
+
+    // Warm both the single-query cache and the sharded batch caches.
+    let warm_single: Vec<_> = qs.iter().map(|q| eng.aggregate_cached(q)).collect();
+    let warm_batch = eng.aggregate_batch_cached(&qs, 3);
+    assert_eq!(warm_single, warm_batch, "paths must agree before mutation");
+
+    let epoch_before = eng.epoch();
+    let avail = ds.avails()[0].clone();
+    eng.insert(
+        &Rcc {
+            id: RccId(9_100_000),
+            avail: avail.id,
+            rcc_type: RccType::Growth,
+            swlin: "434-11-001".parse().unwrap(),
+            created: avail.actual_start + 1,
+            settled: avail.actual_start + 45,
+            amount: 1_000.0,
+        },
+        &avail,
+    );
+    assert_eq!(eng.epoch(), epoch_before + 1, "insert must bump the epoch");
+
+    // Recompute cold truth on the mutated engine, then check both cached
+    // paths serve it — a stale snapshot would differ on Growth/Created.
+    let cold: Vec<_> = qs.iter().map(|q| eng.engine().aggregate(q)).collect();
+    let single: Vec<_> = qs.iter().map(|q| eng.aggregate_cached(q)).collect();
+    let batch = eng.aggregate_batch_cached(&qs, 3);
+    assert_eq!(single, cold, "single path must never serve a stale snapshot");
+    assert_eq!(batch, cold, "batch path must never serve a stale snapshot");
+    let grew = qs
+        .iter()
+        .zip(warm_single.iter().zip(&single))
+        .any(|(q, (old, new))| q.status == RccStatus::Created && new.count == old.count + 1);
+    assert!(grew, "the inserted RCC must be visible post-epoch-bump");
+}

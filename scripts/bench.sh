@@ -1,23 +1,37 @@
 #!/usr/bin/env bash
 # Benchmarks the deterministic parallel execution layer (PR 2) at 1x and 4x
-# RCC scale and records machine-readable results in BENCH_pr2.json:
-# per-path wall-clock (sequential vs pooled), thread count, and speedup.
-# Every parallel timing is bit-identity-checked against sequential first.
+# RCC scale into BENCH_pr2.json, then the PR-3 layout-and-caching work
+# (flat index variants + memoizing snapshot cache, query latency and peak
+# heap at 1x-20x, cache hit rate) into BENCH_pr3.json. Every timing is
+# bit-identity-checked against its reference path first.
 #
-#   THREADS=8 OUT=BENCH_pr2.json scripts/bench.sh
+#   THREADS=8 scripts/bench.sh
+#   SUITE=layout SCALES=1,10 scripts/bench.sh     # PR-3 suite only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREADS="${THREADS:-0}"        # 0 = auto-detect
-SCALES="${SCALES:-1,4}"
 RUNS="${RUNS:-3}"
-OUT="${OUT:-BENCH_pr2.json}"
+SUITE="${SUITE:-all}"          # all | parallel | layout
 
-cargo build --release -p domd-bench --bin bench_parallel
-
-ARGS=(--scales "$SCALES" --runs "$RUNS" --out "$OUT")
-if [ "$THREADS" != "0" ]; then
-  ARGS+=(--threads "$THREADS")
+if [ "$SUITE" != "layout" ]; then
+  SCALES_PAR="${SCALES:-1,4}"
+  OUT_PAR="${OUT:-BENCH_pr2.json}"
+  cargo build --release -p domd-bench --bin bench_parallel
+  ARGS=(--scales "$SCALES_PAR" --runs "$RUNS" --out "$OUT_PAR")
+  if [ "$THREADS" != "0" ]; then
+    ARGS+=(--threads "$THREADS")
+  fi
+  target/release/bench_parallel "${ARGS[@]}"
+  echo "parallel-runtime bench results written to $OUT_PAR"
 fi
-target/release/bench_parallel "${ARGS[@]}"
-echo "bench results written to $OUT"
+
+if [ "$SUITE" != "parallel" ]; then
+  SCALES_LAYOUT="${SCALES:-1,5,10,20}"
+  OUT_LAYOUT="${OUT_PR3:-BENCH_pr3.json}"
+  PASSES="${PASSES:-3}"
+  cargo build --release -p domd-bench --bin bench_layout
+  target/release/bench_layout --scales "$SCALES_LAYOUT" --runs "$RUNS" \
+    --passes "$PASSES" --out "$OUT_LAYOUT"
+  echo "layout/cache bench results written to $OUT_LAYOUT"
+fi

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Workspace lint gate: clippy across every target (including the
-# domd-runtime pool), warnings promoted to errors, then a fast determinism
-# smoke test — the parallel-equivalence suites run under a 2-worker pool so
-# any scheduling-dependent output fails the gate quickly.
+# domd-runtime pool and the PR-3 layout modules: arena, eytzinger,
+# flat_avl, snapshot caches), warnings promoted to errors, then two fast
+# smoke suites — the parallel-equivalence tests run under a 2-worker pool
+# so any scheduling-dependent output fails the gate quickly, and the
+# cache-invalidation tests assert a dynamic-maintenance epoch bump retires
+# every memoized snapshot on both the index and feature layers.
 # Run before sending a change; CI treats any output as a failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,3 +15,5 @@ cargo clippy --workspace --all-targets -- -D warnings
 DOMD_THREADS=2 cargo test -q -p domd-runtime
 DOMD_THREADS=2 cargo test -q -p domd-features --test parallel_equivalence
 DOMD_THREADS=2 cargo test -q -p domd-core --test parallel_equivalence
+cargo test -q -p domd-index --test cache_invalidation
+cargo test -q -p domd --test cache_invalidation

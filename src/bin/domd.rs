@@ -8,7 +8,7 @@
 //! domd train    --data-dir data/ --out pipeline.domd [--grid-step X]
 //! domd evaluate --data-dir data/ --model pipeline.domd
 //! domd query    --data-dir data/ --model pipeline.domd --avail N
-//!               [--t-star P | --date M/D/YYYY]
+//!               [--t-star P | --date M/D/YYYY] [--cache-capacity N]
 //! domd validate  --data-dir data/
 //! domd obfuscate --data-dir data/ --out-dir export/ --key N
 //! domd optimize  --data-dir data/ [--out pipeline.domd] [--quick true]
@@ -177,7 +177,10 @@ fn cmd_query(args: &Args) -> Result<(), DomdError> {
             .parse()
             .map_err(|e| DomdError::config(format!("bad --avail: {e}")))?,
     );
-    let engine = DomdQueryEngine::new(&ds, &pipeline);
+    // Snapshot cache over per-avail feature vectors: repeated queries for
+    // the same (avail, t*) are answered bit-identically from memory.
+    let cache_capacity: usize = args.parse_opt("cache-capacity", 1024usize)?;
+    let engine = DomdQueryEngine::new(&ds, &pipeline).with_cache(cache_capacity);
 
     let answer = if let Some(date) = args.get("date") {
         let t: Date = date.parse()?;
@@ -278,7 +281,7 @@ fn cmd_obfuscate(args: &Args) -> Result<(), DomdError> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
+    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n                [--cache-capacity N]  feature-snapshot LRU entries (0 disables; default 1024)\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,60 @@
+//! Feature-layer half of the cache-invalidation smoke test (the index
+//! layer's lives in `crates/index/tests/cache_invalidation.rs`): the
+//! online feature snapshot cache must recompute — bit-identically — after
+//! an explicit invalidation, and the query engine's cached path must stay
+//! indistinguishable from the uncached one.
+
+use domd::core::{DomdQueryEngine, PipelineConfig, PipelineInputs, TrainedPipeline};
+use domd::data::{generate, GeneratorConfig};
+use domd::features::{FeatureCache, FeatureEngine};
+
+fn setup() -> (domd::data::Dataset, TrainedPipeline) {
+    let ds = generate(&GeneratorConfig { n_avails: 12, target_rccs: 1_200, scale: 1, seed: 12 });
+    let split = ds.split(7);
+    let inputs = PipelineInputs::build(&ds, 25.0);
+    let mut config = PipelineConfig::default0();
+    config.grid_step = 25.0;
+    let pipeline = TrainedPipeline::fit(&inputs, &split.train, &config);
+    (ds, pipeline)
+}
+
+#[test]
+fn feature_cache_invalidate_forces_bit_identical_recompute() {
+    let (ds, pipeline) = setup();
+    let engine = FeatureEngine::default();
+    let mut cache = FeatureCache::new(64);
+
+    let avail = ds.avails()[0].id;
+    let cold = pipeline.predict_online_cached(&ds, &engine, &mut cache, avail, 75.0);
+    let hot = pipeline.predict_online_cached(&ds, &engine, &mut cache, avail, 75.0);
+    let hits_before = cache.stats().hits;
+    assert!(hits_before > 0, "second walk must hit");
+
+    cache.invalidate();
+    let fresh = pipeline.predict_online_cached(&ds, &engine, &mut cache, avail, 75.0);
+    assert_eq!(cache.stats().hits, hits_before, "post-invalidate walk must miss everything");
+    for ((a, b), c) in cold.estimates.iter().zip(&hot.estimates).zip(&fresh.estimates) {
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+        assert_eq!(a.1.to_bits(), c.1.to_bits());
+    }
+}
+
+#[test]
+fn cached_query_engine_matches_uncached_after_invalidation() {
+    let (ds, pipeline) = setup();
+    let cold = DomdQueryEngine::new(&ds, &pipeline);
+    let warm = DomdQueryEngine::new(&ds, &pipeline).with_cache(128);
+    for pass in 0..2 {
+        for a in ds.avails().iter().take(4) {
+            let want = cold.query_logical(a.id, 60.0).expect("known avail");
+            let got = warm.query_logical(a.id, 60.0).expect("known avail");
+            for (x, y) in want.estimates.iter().zip(&got.estimates) {
+                assert_eq!(x.estimated_delay.to_bits(), y.estimated_delay.to_bits(), "pass {pass}");
+            }
+        }
+        warm.invalidate_cache();
+    }
+    let stats = warm.cache_stats().expect("cache enabled");
+    assert!(stats.misses > 0);
+}
