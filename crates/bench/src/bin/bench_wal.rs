@@ -1,0 +1,310 @@
+//! `bench_wal` — wall-clock cost of the PR-4 durability layer on the
+//! dynamic-maintenance path: the same mutation stream applied to a plain
+//! in-memory [`FlatAvlIndex`] (baseline), to a [`DurableIndex`] with the
+//! WAL only (no checkpoints), and to a [`DurableIndex`] with the default
+//! auto-checkpoint cadence — plus the time to recover the store afterward.
+//!
+//! The WAL-only arm is the headline number: the issue's acceptance target
+//! is <10% mutation-throughput overhead versus the in-memory baseline.
+//! Fsyncs are *not* on the per-mutation path — durability is group-
+//! committed at sync/checkpoint boundaries — so the mutation loop
+//! (including its 32 KiB batch writes) and the final `sync` are timed as
+//! separate columns: `wal_ms` is the append overhead the target bounds,
+//! `wal_sync_ms` the once-per-interval boundary cost. Both durable arms
+//! are bit-identity-checked against the baseline's final entry set and
+//! retrieval results before any timing is reported. Each arm reports its
+//! minimum over `--runs` repetitions — the interference-free estimate on
+//! a shared container, where one background-writeback stall would
+//! otherwise poison a mean.
+//!
+//! ```text
+//! bench_wal [--scales 1,4] [--mutations N] [--runs N] [--out FILE]
+//! ```
+
+use domd_bench::util::{scaled_dataset, time_ms};
+use domd_index::durable::DurableIndex;
+use domd_index::{project_dataset, FlatAvlIndex, LogicalRcc, LogicalTimeIndex, MaintainableIndex};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Deterministic SplitMix64 stream driving the mutation mix.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One step of the mutation stream, pre-generated so every arm replays the
+/// exact same sequence.
+#[derive(Clone, Copy)]
+enum Step {
+    Insert(LogicalRcc),
+    Settle(u32, f64),
+    Remove(u32),
+    Reopen(u32, f64),
+}
+
+fn make_steps(projected: &[LogicalRcc], mutations: usize) -> Vec<Step> {
+    let n = projected.len() as u32;
+    let mut rng = Mix(0xD04D);
+    let mut next_id = n;
+    (0..mutations)
+        .map(|_| {
+            let r = rng.next();
+            let id = (r >> 8) as u32 % n;
+            match r % 4 {
+                0 => {
+                    let start = (r >> 40) as f64 % 90.0;
+                    next_id += 1;
+                    Step::Insert(LogicalRcc {
+                        id: next_id,
+                        avail: projected[id as usize].avail,
+                        start,
+                        end: start + 25.0,
+                    })
+                }
+                1 => Step::Settle(id, (r >> 40) as f64 % 120.0),
+                2 => Step::Remove(id),
+                _ => Step::Reopen(id, 100.0 + (r >> 40) as f64 % 60.0),
+            }
+        })
+        .collect()
+}
+
+/// The in-memory baseline: identical bookkeeping (entry map + index
+/// maintenance) with no durability. `mutate_baseline` is the timed phase.
+fn run_baseline(projected: &[LogicalRcc], steps: &[Step]) -> (Vec<LogicalRcc>, f64) {
+    let mut index = FlatAvlIndex::build(projected);
+    let mut entries: BTreeMap<u32, LogicalRcc> = projected.iter().map(|r| (r.id, *r)).collect();
+    let (_, ms) = time_ms(|| mutate_baseline(&mut index, &mut entries, steps));
+    (entries.into_values().collect(), ms)
+}
+
+fn mutate_baseline(
+    index: &mut FlatAvlIndex,
+    entries: &mut BTreeMap<u32, LogicalRcc>,
+    steps: &[Step],
+) {
+    for s in steps {
+        match *s {
+            Step::Insert(rcc) => {
+                if let std::collections::btree_map::Entry::Vacant(slot) = entries.entry(rcc.id) {
+                    index.insert_logical(&rcc);
+                    slot.insert(rcc);
+                }
+            }
+            Step::Remove(id) => {
+                if let Some(old) = entries.remove(&id) {
+                    index.remove_logical(&old);
+                }
+            }
+            Step::Settle(id, end) | Step::Reopen(id, end) => {
+                if let Some(old) = entries.get_mut(&id) {
+                    index.remove_logical(&LogicalRcc { ..*old });
+                    old.end = end;
+                    index.insert_logical(&LogicalRcc { ..*old });
+                }
+            }
+        }
+    }
+}
+
+/// Store initialization (epoch-0 checkpoint write, index build) is setup,
+/// not the per-mutation path. The mutation loop (including the 32 KiB
+/// group-commit batch writes it triggers) and the final durability `sync`
+/// are timed separately: the loop is the per-mutation append overhead the
+/// acceptance target bounds, the fsync is a boundary cost paid once per
+/// sync/checkpoint interval and reported in its own column.
+fn run_durable(
+    dir: &PathBuf,
+    projected: &[LogicalRcc],
+    steps: &[Step],
+    checkpoint_every: Option<u64>,
+) -> (Vec<LogicalRcc>, f64, f64) {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut di: DurableIndex<FlatAvlIndex> = DurableIndex::create(dir, projected).unwrap();
+    di.set_checkpoint_every(checkpoint_every);
+    let (_, loop_ms) = time_ms(|| {
+        for s in steps {
+            match *s {
+                Step::Insert(rcc) => drop(di.insert(&rcc).unwrap()),
+                Step::Remove(id) => drop(di.remove(id).unwrap()),
+                Step::Settle(id, end) => drop(di.settle(id, end).unwrap()),
+                Step::Reopen(id, end) => drop(di.reopen(id, end).unwrap()),
+            }
+        }
+    });
+    let (_, sync_ms) = time_ms(|| di.sync().unwrap());
+    (di.entries(), loop_ms, sync_ms)
+}
+
+fn identical(a: &[LogicalRcc], b: &[LogicalRcc]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.id == y.id
+                && x.avail == y.avail
+                && x.start.to_bits() == y.start.to_bits()
+                && x.end.to_bits() == y.end.to_bits()
+        })
+}
+
+struct ScaleResult {
+    scale: u32,
+    n_rccs: usize,
+    mutations: usize,
+    baseline_ms: f64,
+    wal_ms: f64,
+    overhead_pct: f64,
+    wal_sync_ms: f64,
+    wal_ckpt_ms: f64,
+    recover_ms: f64,
+    recovered_rows: usize,
+}
+
+impl ScaleResult {
+    fn json(&self) -> String {
+        format!(
+            "{{\"scale\":{},\"n_rccs\":{},\"mutations\":{},\"baseline_ms\":{:.3},\"wal_ms\":{:.3},\"wal_overhead_pct\":{:.2},\"wal_sync_ms\":{:.3},\"wal_checkpoint_ms\":{:.3},\"recover_ms\":{:.3},\"recovered_rows\":{}}}",
+            self.scale,
+            self.n_rccs,
+            self.mutations,
+            self.baseline_ms,
+            self.wal_ms,
+            self.overhead_pct,
+            self.wal_sync_ms,
+            self.wal_ckpt_ms,
+            self.recover_ms,
+            self.recovered_rows
+        )
+    }
+}
+
+fn bench_scale(scale: u32, mutations: usize, runs: usize) -> ScaleResult {
+    let ds = scaled_dataset(scale);
+    let projected = project_dataset(&ds);
+    let steps = make_steps(&projected, mutations);
+    let dir = std::env::temp_dir().join(format!("domd-bench-wal-{}-{scale}", std::process::id()));
+
+    // Bit-identity gate: both durable arms must reproduce the baseline's
+    // final entry set exactly before any timing counts.
+    let (expect, _) = run_baseline(&projected, &steps);
+    let (wal_only, _, _) = run_durable(&dir, &projected, &steps, None);
+    assert!(identical(&expect, &wal_only), "WAL-only arm diverged at scale {scale}");
+    let (with_ckpt, _, _) = run_durable(&dir, &projected, &steps, Some(4096));
+    assert!(identical(&expect, &with_ckpt), "checkpointing arm diverged at scale {scale}");
+    let rebuilt = FlatAvlIndex::build(&wal_only);
+    let reference = FlatAvlIndex::build(&expect);
+    for t in [0.0, 25.0, 50.0, 100.0] {
+        assert_eq!(rebuilt.active_at(t), reference.active_at(t), "retrieval diverged");
+    }
+
+    // Interleaved rounds: container load comes in sustained phases
+    // (neighbor writeback, CI churn), so sampling one arm's runs back to
+    // back would let a load phase bias a whole arm. Each round samples
+    // every arm under near-identical conditions. The per-arm ms columns
+    // are minima (interference-free floor); the headline overhead is the
+    // *median of per-round paired ratios* — within a round both arms see
+    // the same phase, so the ratio cancels load that a cross-round
+    // min-vs-min comparison would misattribute to the WAL.
+    let mut baseline_ms = f64::INFINITY;
+    let mut wal_ms = f64::INFINITY;
+    let mut wal_sync_ms = f64::INFINITY;
+    let mut wal_ckpt_ms = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let base = run_baseline(&projected, &steps).1;
+        baseline_ms = baseline_ms.min(base);
+        let (_, loop_ms, sync_ms) = run_durable(&dir, &projected, &steps, None);
+        wal_ms = wal_ms.min(loop_ms);
+        wal_sync_ms = wal_sync_ms.min(sync_ms);
+        ratios.push(loop_ms / base);
+        wal_ckpt_ms = wal_ckpt_ms.min(run_durable(&dir, &projected, &steps, Some(4096)).1);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+    // The last checkpointing run left a real store behind; time recovery.
+    let (recovered, recover_ms) =
+        time_ms(|| DurableIndex::<FlatAvlIndex>::recover(&dir).unwrap());
+    let recovered_rows = recovered.0.len();
+    assert!(identical(&expect, &recovered.0.entries()), "recovery diverged at scale {scale}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ScaleResult {
+        scale,
+        n_rccs: projected.len(),
+        mutations,
+        baseline_ms,
+        wal_ms,
+        overhead_pct,
+        wal_sync_ms,
+        wal_ckpt_ms,
+        recover_ms,
+        recovered_rows,
+    }
+}
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1).map(|v| v.trim().to_string()))
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let scales: Vec<u32> = get("--scales")
+        .unwrap_or_else(|| "1,4".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--scales takes comma-separated integers"))
+        .collect();
+    let mutations: usize = get("--mutations")
+        .map(|v| v.parse().expect("--mutations takes a number"))
+        .unwrap_or(100_000);
+    let runs: usize = get("--runs").map(|v| v.parse().expect("--runs takes a number")).unwrap_or(3);
+    let out_path = get("--out");
+
+    eprintln!("bench_wal: scales={scales:?}, mutations={mutations}, runs={runs}");
+    let mut blocks = Vec::new();
+    for &scale in &scales {
+        let r = bench_scale(scale, mutations, runs);
+        eprintln!(
+            "  scale {:>2}x  baseline {:>8.1} ms  wal {:>8.1} ms ({:+.2}%)  sync {:>6.1} ms  wal+ckpt {:>8.1} ms  recover {:>7.1} ms ({} rows)",
+            r.scale, r.baseline_ms, r.wal_ms, r.overhead_pct, r.wal_sync_ms, r.wal_ckpt_ms,
+            r.recover_ms, r.recovered_rows
+        );
+        if r.overhead_pct >= 10.0 {
+            eprintln!(
+                "  WARNING: WAL overhead {:.2}% exceeds the 10% acceptance target at {scale}x",
+                r.overhead_pct
+            );
+        }
+        blocks.push(r.json());
+    }
+    let json = format!(
+        "{{\"bench\":\"pr4_wal_durability\",\"cpu\":{{\"model\":\"{}\"}},\"runs\":{},\"mutations\":{},\"scales\":[{}]}}\n",
+        cpu_model().replace('"', "'"),
+        runs,
+        mutations,
+        blocks.join(",")
+    );
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("writing bench output");
+            eprintln!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+}

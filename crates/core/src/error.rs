@@ -70,6 +70,18 @@ pub enum DomdError {
         /// What was wrong with the configuration.
         message: String,
     },
+    /// Bytes on durable storage failed verification: a torn write,
+    /// truncation, bit-flip, or duplicated tail caught by the checksummed
+    /// frame / WAL / checkpoint layer — or a store with no intact
+    /// checkpoint left to recover onto.
+    Corrupt {
+        /// The file or store that failed verification.
+        context: String,
+        /// Byte offset of the damage, when the frame layer located one.
+        offset: Option<u64>,
+        /// Expected-vs-found diagnosis from the storage layer.
+        message: String,
+    },
 }
 
 impl fmt::Display for DomdError {
@@ -101,6 +113,13 @@ impl fmt::Display for DomdError {
                 write!(f, "no usable data: {context}")
             }
             DomdError::Config { message } => write!(f, "configuration error: {message}"),
+            DomdError::Corrupt { context, offset, message } => {
+                write!(f, "corrupt storage in {context}")?;
+                if let Some(o) = offset {
+                    write!(f, " (at byte offset {o})")?;
+                }
+                write!(f, ": {message}")
+            }
         }
     }
 }
@@ -141,6 +160,27 @@ impl DomdError {
             DomdError::NonFinite { .. } => "non-finite",
             DomdError::EmptyDataset { .. } => "empty-dataset",
             DomdError::Config { .. } => "config",
+            DomdError::Corrupt { .. } => "corrupt",
+        }
+    }
+}
+
+impl From<domd_storage::StorageError> for DomdError {
+    fn from(e: domd_storage::StorageError) -> Self {
+        match e {
+            domd_storage::StorageError::Io { context, source } => {
+                DomdError::Io { context, source }
+            }
+            other => DomdError::Corrupt {
+                context: match &other {
+                    domd_storage::StorageError::Frame { path, .. }
+                    | domd_storage::StorageError::Malformed { path, .. } => path.clone(),
+                    domd_storage::StorageError::NoCheckpoint { dir, .. } => dir.clone(),
+                    domd_storage::StorageError::Io { .. } => unreachable!("handled above"),
+                },
+                offset: other.offset(),
+                message: other.to_string(),
+            },
         }
     }
 }
@@ -229,6 +269,32 @@ mod tests {
     }
 
     #[test]
+    fn storage_errors_map_by_class() {
+        use domd_storage::{FrameError, StorageError};
+        let io = StorageError::io("reading wal.log", std::io::Error::other("disk gone"));
+        assert_eq!(DomdError::from(io).kind(), "io");
+        let torn = StorageError::Frame {
+            path: "pipeline.domd".into(),
+            source: FrameError::Truncated { offset: 24, expected: 100, found: 60 },
+        };
+        match DomdError::from(torn) {
+            DomdError::Corrupt { context, offset, message } => {
+                assert_eq!(context, "pipeline.domd");
+                assert_eq!(offset, Some(24));
+                assert!(message.contains("expected 100") && message.contains("found 60"), "{message}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let e = DomdError::Corrupt {
+            context: "store".into(),
+            offset: Some(40),
+            message: "expected 5, found 7".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("offset 40") && s.contains("expected 5"), "{s}");
+    }
+
+    #[test]
     fn kinds_are_distinct() {
         let kinds = [
             DomdError::io("x", std::io::Error::other("y")).kind(),
@@ -239,6 +305,8 @@ mod tests {
             DomdError::NonFinite { feature: String::new(), step: String::new() }.kind(),
             DomdError::EmptyDataset { context: String::new() }.kind(),
             DomdError::config("c").kind(),
+            DomdError::Corrupt { context: String::new(), offset: None, message: String::new() }
+                .kind(),
         ];
         let mut unique: Vec<&str> = kinds.to_vec();
         unique.sort_unstable();

@@ -47,7 +47,10 @@ pub use config::{Fusion, ModelFamily, PipelineConfig};
 pub use drift::{psi, DriftMonitor, DriftReport};
 pub use error::DomdError;
 pub use intervals::{DelayBand, IntervalPipeline};
-pub use persist::{load_pipeline, save_pipeline};
+pub use persist::{
+    load_pipeline, load_pipeline_bytes, read_pipeline_file, save_pipeline, save_pipeline_framed,
+    write_pipeline_file, FORMAT_VERSION,
+};
 pub use evaluate::{EvalRow, EvalTable};
 pub use explain::{explain, Contribution, Explanation};
 pub use optimizer::{

@@ -10,11 +10,16 @@
 use crate::config::{Fusion, ModelFamily, PipelineConfig};
 use crate::error::DomdError;
 use crate::timeline::{StepModel, TrainedPipeline};
-use domd_ml::persist::{fmt_f64, put_line, PersistError, Reader};
+use domd_ml::persist::{fmt_f64, framed_text, put_line, PersistError, Reader};
 use domd_ml::{ElasticNetParams, GbtParams, Loss, SelectionMethod, TrainedModel};
+use std::path::Path;
 
-/// Artifact format version (bumped on layout changes).
-pub const FORMAT_VERSION: u32 = 1;
+/// Artifact format version (bumped on layout changes). Version 2 wraps
+/// the text body in the checksummed length + CRC frame
+/// (`domd_storage::frame`) and is written atomically, so a `kill -9` at
+/// any byte of a save leaves either the previous intact artifact or the
+/// new one — never a torn file that parses as garbage.
+pub const FORMAT_VERSION: u32 = 2;
 
 fn selection_token(s: SelectionMethod) -> &'static str {
     s.name()
@@ -217,6 +222,51 @@ pub fn load_pipeline(text: &str) -> Result<TrainedPipeline, DomdError> {
     Ok(pipeline)
 }
 
+/// Serializes a trained pipeline to its framed binary artifact: the text
+/// body of [`save_pipeline`] wrapped in the checksummed frame, so
+/// truncation and bit-flips are caught by CRC verification before any
+/// parsing.
+pub fn save_pipeline_framed(p: &TrainedPipeline) -> Vec<u8> {
+    domd_storage::frame::encode(save_pipeline(p).as_bytes())
+}
+
+/// Reconstructs a pipeline from raw artifact bytes — the framed v2 form,
+/// or bare text (whose recorded version is then checked as usual).
+///
+/// Framed artifacts are CRC-verified first; any integrity failure is a
+/// typed [`DomdError::Corrupt`] carrying the byte offset and the
+/// expected-vs-found diagnosis. `context` names the artifact in errors.
+pub fn load_pipeline_bytes(bytes: &[u8], context: &str) -> Result<TrainedPipeline, DomdError> {
+    // A non-empty prefix of the magic is a framed artifact truncated
+    // inside its header — report that as corruption, not a text parse.
+    let framed = bytes.starts_with(&domd_storage::MAGIC)
+        || (!bytes.is_empty() && domd_storage::MAGIC.starts_with(bytes));
+    if framed {
+        return load_pipeline(framed_text(bytes, context)?);
+    }
+    match std::str::from_utf8(bytes) {
+        Ok(text) => load_pipeline(text),
+        Err(e) => Err(DomdError::Corrupt {
+            context: context.to_string(),
+            offset: Some(e.valid_up_to() as u64),
+            message: "artifact is neither a framed container nor UTF-8 text".into(),
+        }),
+    }
+}
+
+/// Writes the framed artifact to `path` atomically (tempfile + fsync +
+/// rename): a crash mid-save never clobbers the previous good artifact.
+pub fn write_pipeline_file(path: &Path, p: &TrainedPipeline) -> Result<(), DomdError> {
+    domd_storage::write_atomic(path, &save_pipeline_framed(p)).map_err(DomdError::from)
+}
+
+/// Reads and verifies the artifact at `path` (framed v2 or legacy text).
+pub fn read_pipeline_file(path: &Path) -> Result<TrainedPipeline, DomdError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| DomdError::io(format!("reading {}", path.display()), e))?;
+    load_pipeline_bytes(&bytes, &path.display().to_string())
+}
+
 fn read_version(r: &mut Reader<'_>) -> Result<u32, PersistError> {
     let v = r.tagged("domd-pipeline")?;
     let v = r.exactly(&v, 1)?;
@@ -305,7 +355,8 @@ mod tests {
     #[test]
     fn version_mismatch_is_a_typed_artifact_error() {
         let (_, _, p) = trained(false);
-        let text = save_pipeline(&p).replacen("domd-pipeline 1", "domd-pipeline 9", 1);
+        let text = save_pipeline(&p)
+            .replacen(&format!("domd-pipeline {FORMAT_VERSION}"), "domd-pipeline 9", 1);
         match load_pipeline(&text).unwrap_err() {
             DomdError::Artifact { found_version, expected, message } => {
                 assert_eq!(found_version, Some(9));
@@ -349,5 +400,75 @@ mod tests {
             }
         }
         assert!(load_pipeline(&text).is_ok());
+    }
+
+    #[test]
+    fn framed_artifact_roundtrips_bit_exact() {
+        let (inputs, split, p) = trained(false);
+        let framed = save_pipeline_framed(&p);
+        let back = load_pipeline_bytes(&framed, "mem").unwrap();
+        let a = p.predict_steps(&inputs, &split.test);
+        let b = back.predict_steps(&inputs, &split.test);
+        assert_eq!(a.as_slice(), b.as_slice());
+        // Bare text still loads (the byte entry point dispatches on magic).
+        let text = save_pipeline(&p);
+        assert!(load_pipeline_bytes(text.as_bytes(), "mem").is_ok());
+    }
+
+    #[test]
+    fn framed_truncation_and_bit_flips_are_corrupt_errors() {
+        let (_, _, p) = trained(false);
+        let framed = save_pipeline_framed(&p);
+        // Cut 0 is indistinguishable from an empty text artifact (no bytes
+        // left to classify); every non-empty truncation must verify as
+        // corruption.
+        for cut in (1..framed.len()).step_by(97) {
+            match load_pipeline_bytes(&framed[..cut], "artifact.domd") {
+                Err(DomdError::Corrupt { context, message, .. }) => {
+                    assert_eq!(context, "artifact.domd");
+                    assert!(!message.is_empty());
+                }
+                other => panic!("cut {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        // With the magic intact, the CRC catches any flip downstream.
+        for byte in (8..framed.len()).step_by(131) {
+            let mut bad = framed.clone();
+            bad[byte] ^= 0x08;
+            assert!(
+                matches!(
+                    load_pipeline_bytes(&bad, "artifact.domd"),
+                    Err(DomdError::Corrupt { .. })
+                ),
+                "flip at byte {byte} not caught"
+            );
+        }
+        // A flip inside the magic loses the framed classification; the
+        // bytes must still come back as a typed error, never a pipeline.
+        for byte in 0..8 {
+            let mut bad = framed.clone();
+            bad[byte] ^= 0x08;
+            assert!(load_pipeline_bytes(&bad, "artifact.domd").is_err(), "flip at {byte}");
+        }
+    }
+
+    #[test]
+    fn atomic_write_survives_and_replaces() {
+        let dir = std::env::temp_dir()
+            .join(format!("domd-core-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.domd");
+        let (inputs, split, p) = trained(false);
+        write_pipeline_file(&path, &p).unwrap();
+        let back = read_pipeline_file(&path).unwrap();
+        assert_eq!(
+            p.predict_steps(&inputs, &split.test).as_slice(),
+            back.predict_steps(&inputs, &split.test).as_slice()
+        );
+        // Simulated torn in-place overwrite: the frame rejects the bytes.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        assert!(matches!(read_pipeline_file(&path), Err(DomdError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

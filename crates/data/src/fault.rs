@@ -205,6 +205,88 @@ fn apply(text: &str, kind: FaultKind, rng: &mut FaultRng) -> Option<String> {
     }
 }
 
+/// The byte-level corruption families modelling *storage* failures —
+/// what a crashed process or failing disk does to a WAL, checkpoint, or
+/// framed artifact (as opposed to the text-level extract faults above).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageFault {
+    /// A torn write: the file ends mid-record at an arbitrary byte `k`
+    /// (crash between `write` and `fsync`).
+    TornWrite,
+    /// Truncation to an arbitrary prefix (full disk, interrupted copy).
+    Truncate,
+    /// A single flipped bit (media decay, transfer corruption).
+    BitFlip,
+    /// The final WAL record duplicated verbatim (a retried append that
+    /// landed twice).
+    DuplicateTail,
+}
+
+impl StorageFault {
+    /// Every storage-fault family, in a fixed order (the seed picks one).
+    pub const ALL: [StorageFault; 4] = [
+        StorageFault::TornWrite,
+        StorageFault::Truncate,
+        StorageFault::BitFlip,
+        StorageFault::DuplicateTail,
+    ];
+
+    /// Short name for scenario logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageFault::TornWrite => "torn-write",
+            StorageFault::Truncate => "truncate",
+            StorageFault::BitFlip => "bit-flip",
+            StorageFault::DuplicateTail => "duplicate-tail",
+        }
+    }
+}
+
+impl fmt::Display for StorageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Applies the seeded *byte-level* corruption for `seed` to `bytes`,
+/// returning the corrupted bytes and which fault was applied. Same
+/// `(bytes, seed)` pair, same corruption — a failing recovery scenario
+/// replays from its seed alone.
+///
+/// `record_len` tells [`StorageFault::DuplicateTail`] how many trailing
+/// bytes form one record (pass [`None`] for non-record files such as
+/// framed artifacts; the seed then falls back to truncation). Empty input
+/// is returned unchanged as a truncation — there is nothing to corrupt.
+pub fn corrupt_bytes(bytes: &[u8], seed: u64, record_len: Option<usize>) -> (Vec<u8>, StorageFault) {
+    let mut rng = FaultRng::new(seed);
+    let kind = *rng.pick(&StorageFault::ALL);
+    if bytes.is_empty() {
+        return (Vec::new(), StorageFault::Truncate);
+    }
+    match kind {
+        // Torn write and truncation differ in intent, not mechanics: both
+        // cut at byte `k`. Keeping them as distinct drawn kinds preserves
+        // the scenario-log vocabulary of the issue's fault matrix.
+        StorageFault::TornWrite | StorageFault::Truncate => {
+            (bytes[..rng.below(bytes.len())].to_vec(), kind)
+        }
+        StorageFault::BitFlip => {
+            let mut out = bytes.to_vec();
+            let byte = rng.below(out.len());
+            out[byte] ^= 1 << rng.below(8);
+            (out, kind)
+        }
+        StorageFault::DuplicateTail => match record_len {
+            Some(n) if n > 0 && bytes.len() >= n => {
+                let mut out = bytes.to_vec();
+                out.extend_from_slice(&bytes[bytes.len() - n..]);
+                (out, kind)
+            }
+            _ => (bytes[..rng.below(bytes.len())].to_vec(), StorageFault::Truncate),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +343,60 @@ mod tests {
         let (out, kind) = corrupt_text("", 7);
         assert_eq!(out, "");
         assert_eq!(kind, FaultKind::TruncateBytes);
+    }
+
+    #[test]
+    fn byte_corruption_is_deterministic_and_always_differs_or_prefixes() {
+        let data: Vec<u8> = (0..200u8).collect();
+        for seed in 0..300 {
+            let (a, ka) = corrupt_bytes(&data, seed, Some(41));
+            let (b, kb) = corrupt_bytes(&data, seed, Some(41));
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(ka, kb, "seed {seed}");
+            match ka {
+                StorageFault::TornWrite | StorageFault::Truncate => {
+                    assert!(data.starts_with(&a), "seed {seed} not a prefix")
+                }
+                StorageFault::BitFlip => {
+                    assert_eq!(a.len(), data.len());
+                    let flipped: u32 = a
+                        .iter()
+                        .zip(&data)
+                        .map(|(x, y)| (x ^ y).count_ones())
+                        .sum();
+                    assert_eq!(flipped, 1, "seed {seed} flipped {flipped} bits");
+                }
+                StorageFault::DuplicateTail => {
+                    assert_eq!(a.len(), data.len() + 41);
+                    assert_eq!(&a[data.len()..], &data[data.len() - 41..]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_storage_fault_is_reachable() {
+        let data = [7u8; 128];
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..200 {
+            seen.insert(corrupt_bytes(&data, seed, Some(16)).1.name());
+        }
+        for kind in StorageFault::ALL {
+            assert!(seen.contains(kind.name()), "{kind} never drawn in 200 seeds");
+        }
+    }
+
+    #[test]
+    fn duplicate_tail_degrades_without_record_len() {
+        let data = [3u8; 64];
+        for seed in 0..200 {
+            let (out, kind) = corrupt_bytes(&data, seed, None);
+            assert_ne!(kind, StorageFault::DuplicateTail, "seed {seed}");
+            assert!(out.len() <= data.len());
+        }
+        let (out, kind) = corrupt_bytes(&[], 3, Some(8));
+        assert!(out.is_empty());
+        assert_eq!(kind, StorageFault::Truncate);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod validate;
 pub use avail::{Avail, AvailId, AvailStatus, ShipId, StaticAttrs};
 pub use dataset::{Dataset, Split, Stats};
 pub use date::Date;
-pub use fault::{corrupt_text, FaultKind};
+pub use fault::{corrupt_bytes, corrupt_text, FaultKind, StorageFault};
 pub use generator::{censor_ongoing, generate, generate_with_truth, GeneratorConfig};
 pub use logical_time::{logical_time, physical_time, LogicalTime, TimeGrid};
 pub use obfuscate::{obfuscate, ObfuscationKey};

@@ -1,0 +1,585 @@
+//! Crash-safe dynamic maintenance: a write-ahead-logged wrapper around any
+//! [`MaintainableIndex`].
+//!
+//! Section 4.1's O(log n) insert/remove keeps the index current as RCCs
+//! stream in from the Navy environment, but an in-memory tree evaporates
+//! on crash and a half-written snapshot is worse than none. [`DurableIndex`]
+//! makes every mutation durable *before* it is applied:
+//!
+//! 1. **WAL-before-apply** — each insert/remove/settle/reopen first appends
+//!    an epoch-stamped, CRC-framed [`WalRecord`] to the store's log (group-
+//!    commit batched; durable at [`DurableIndex::sync`] and checkpoint
+//!    boundaries), then mutates the in-memory index. A crash can only lose
+//!    an unsynced *suffix* of mutations — never reorder them — and a crash
+//!    mid-write leaves a torn tail that replay provably discards.
+//! 2. **Checkpoint compaction** — [`DurableIndex::checkpoint`] snapshots
+//!    the live entry set into a checksummed [`Checkpoint`] generation and
+//!    truncates the WAL. Rolling generations ([`KEPT_GENERATIONS`]) mean a
+//!    crash *during* checkpointing still leaves the previous generation
+//!    intact.
+//! 3. **Recovery** — [`DurableIndex::recover`] rebuilds from the newest
+//!    intact checkpoint, replays the longest valid epoch-contiguous WAL
+//!    prefix onto it, and compacts the discarded tail away. The recovered
+//!    index answers every Status Query bit-identically to an engine that
+//!    never crashed (asserted by `tests/recovery.rs`).
+//!
+//! The wrapper — not the wrapped tree — owns the durable system of record:
+//! a [`BTreeMap`] of live [`LogicalRcc`] entries (index trees store only
+//! `(start, end, id)`, while checkpoints also need the owning avail), and a
+//! *durable epoch* that survives rebuilds (the inner index's epoch restarts
+//! at zero whenever `I::build` runs).
+
+use crate::traits::MaintainableIndex;
+use crate::types::{LogicalRcc, RowId};
+use domd_data::avail::AvailId;
+use domd_storage::{
+    Checkpoint, CheckpointEntry, Store, StorageError, WalOp, WalRecord, WalWriter,
+};
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Mutations applied between automatic checkpoint compactions. Small
+/// enough that replay after a crash is bounded, large enough that the
+/// (entry-set-sized) checkpoint write amortizes away; `bench_wal` measures
+/// the end-to-end overhead of this default at under 10% per mutation.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 4096;
+
+/// What [`DurableIndex::recover`] did, for operator display (`domd recover`).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Epoch of the checkpoint recovered onto.
+    pub checkpoint_epoch: u64,
+    /// Path of that checkpoint generation.
+    pub checkpoint_path: PathBuf,
+    /// Checkpoint generations examined (newest first) before one verified.
+    pub generations_tried: usize,
+    /// Diagnoses of generations that failed verification.
+    pub damaged_generations: Vec<String>,
+    /// WAL records replayed onto the checkpoint.
+    pub replayed: usize,
+    /// WAL records skipped as already covered by the checkpoint.
+    pub skipped: usize,
+    /// Bytes of damaged WAL tail discarded by compaction.
+    pub discarded_bytes: u64,
+    /// Diagnosis of the damaged tail, when one was found.
+    pub tail_fault: Option<String>,
+    /// Durable epoch after replay.
+    pub epoch: u64,
+    /// Live entries after replay.
+    pub rows: usize,
+}
+
+/// A [`MaintainableIndex`] whose mutations survive process crashes.
+#[derive(Debug)]
+pub struct DurableIndex<I> {
+    store: Store,
+    wal: WalWriter,
+    index: I,
+    entries: BTreeMap<RowId, LogicalRcc>,
+    /// Durable mutation counter; unlike `index.current_epoch()` it does not
+    /// reset when the inner index is rebuilt during recovery.
+    epoch: u64,
+    /// Epoch of the newest on-disk checkpoint.
+    checkpoint_epoch: u64,
+    /// Auto-compact after this many WAL records (`None` = manual only).
+    checkpoint_every: Option<u64>,
+}
+
+impl<I: MaintainableIndex> DurableIndex<I> {
+    /// Initializes a fresh store at `dir` over `rccs`: writes the epoch-0
+    /// checkpoint, truncates the WAL, and builds the in-memory index.
+    /// Fails with [`StorageError::Malformed`] on duplicate row ids —
+    /// a checkpoint must map each id to exactly one entry.
+    pub fn create(dir: &Path, rccs: &[LogicalRcc]) -> Result<Self, StorageError> {
+        let store = Store::open(dir)?;
+        let mut entries = BTreeMap::new();
+        for r in rccs {
+            if entries.insert(r.id, *r).is_some() {
+                return Err(StorageError::malformed(
+                    dir.display().to_string(),
+                    0,
+                    format!("duplicate row id {} in initial entry set", r.id),
+                ));
+            }
+        }
+        let checkpoint = Checkpoint { epoch: 0, entries: to_checkpoint_entries(&entries) };
+        store.write_checkpoint(&checkpoint)?;
+        store.rewrite_wal(&[])?;
+        let wal = WalWriter::open(&store.wal_path())?;
+        let index = I::build(rccs);
+        Ok(DurableIndex {
+            store,
+            wal,
+            index,
+            entries,
+            epoch: 0,
+            checkpoint_epoch: 0,
+            checkpoint_every: Some(DEFAULT_CHECKPOINT_EVERY),
+        })
+    }
+
+    /// Recovers from `dir`: newest intact checkpoint, plus the longest
+    /// valid epoch-contiguous WAL prefix, then compacts the damaged tail
+    /// away so the next crash recovers from a clean log.
+    pub fn recover(dir: &Path) -> Result<(Self, RecoveryReport), StorageError> {
+        let store = Store::open(dir)?;
+        let recovered = store.newest_intact_checkpoint()?;
+        let mut entries = BTreeMap::new();
+        for e in &recovered.checkpoint.entries {
+            entries.insert(e.id, from_checkpoint_entry(e));
+        }
+        let wal_bytes = store.read_wal()?;
+        let replayed = domd_storage::replay(&wal_bytes, recovered.checkpoint.epoch);
+        let projected: Vec<LogicalRcc> = entries.values().copied().collect();
+        let mut index = I::build(&projected);
+        let mut epoch = recovered.checkpoint.epoch;
+        let mut applied = 0usize;
+        let mut tail_fault = replayed.tail_fault.clone();
+        let mut valid_len = replayed.valid_len;
+        for rec in &replayed.records {
+            // A CRC-valid, epoch-contiguous record that does not apply
+            // (e.g. remove of an absent id) means the log and checkpoint
+            // describe different histories; stop there, as after a torn
+            // record — everything before it is still consistent.
+            if !apply_record(&mut index, &mut entries, rec) {
+                tail_fault = Some(format!(
+                    "wal record at epoch {} ({} id {}) does not apply to the recovered state",
+                    rec.epoch,
+                    rec.op.name(),
+                    rec.id
+                ));
+                valid_len -= (replayed.records.len() - applied) * domd_storage::RECORD_LEN;
+                break;
+            }
+            epoch = rec.epoch;
+            applied += 1;
+        }
+        let discarded_bytes = (wal_bytes.len() - valid_len) as u64;
+        if discarded_bytes > 0 {
+            store.rewrite_wal(&wal_bytes[..valid_len])?;
+        }
+        let wal = WalWriter::open(&store.wal_path())?;
+        let report = RecoveryReport {
+            checkpoint_epoch: recovered.checkpoint.epoch,
+            checkpoint_path: recovered.path,
+            generations_tried: recovered.tried,
+            damaged_generations: recovered.damaged,
+            replayed: applied,
+            skipped: replayed.skipped,
+            discarded_bytes,
+            tail_fault,
+            epoch,
+            rows: entries.len(),
+        };
+        Ok((
+            DurableIndex {
+                store,
+                wal,
+                index,
+                entries,
+                epoch,
+                checkpoint_epoch: recovered.checkpoint.epoch,
+                checkpoint_every: Some(DEFAULT_CHECKPOINT_EVERY),
+            },
+            report,
+        ))
+    }
+
+    /// Sets the auto-compaction cadence (`None` disables it).
+    pub fn set_checkpoint_every(&mut self, every: Option<u64>) {
+        self.checkpoint_every = every;
+    }
+
+    // Each live mutation follows the WAL-before-apply discipline: the
+    // record enters the log stream (group-commit batch) before the
+    // in-memory index changes, so the log always orders every applied
+    // mutation; durability of the tail is guaranteed at
+    // [`DurableIndex::sync`] / checkpoint boundaries. The hot paths borrow
+    // `entries` once — the measured WAL overhead budget (<10% per
+    // mutation, `bench_wal`) leaves no room for double map lookups.
+
+    /// Inserts one projected RCC. `Ok(false)` when the id is already live
+    /// (nothing is logged for no-ops).
+    pub fn insert(&mut self, rcc: &LogicalRcc) -> Result<bool, StorageError> {
+        match self.entries.entry(rcc.id) {
+            Entry::Occupied(_) => Ok(false),
+            Entry::Vacant(slot) => {
+                let rec = WalRecord {
+                    epoch: self.epoch + 1,
+                    op: WalOp::Insert,
+                    id: rcc.id,
+                    avail: rcc.avail.0,
+                    start: rcc.start,
+                    end: rcc.end,
+                };
+                self.wal.append(&rec)?;
+                self.index.insert_logical(rcc);
+                slot.insert(*rcc);
+                self.bump_epoch()
+            }
+        }
+    }
+
+    /// Removes a live RCC by id. `Ok(false)` when absent.
+    pub fn remove(&mut self, id: RowId) -> Result<bool, StorageError> {
+        match self.entries.entry(id) {
+            Entry::Vacant(_) => Ok(false),
+            Entry::Occupied(slot) => {
+                let old = *slot.get();
+                let rec = WalRecord {
+                    epoch: self.epoch + 1,
+                    op: WalOp::Remove,
+                    id,
+                    avail: old.avail.0,
+                    start: old.start,
+                    end: old.end,
+                };
+                self.wal.append(&rec)?;
+                self.index.remove_logical(&old);
+                slot.remove();
+                self.bump_epoch()
+            }
+        }
+    }
+
+    /// Settles a live RCC: moves its logical end to `new_end` (the dynamic
+    /// maintenance of Section 4.1 when an open RCC closes). `Ok(false)`
+    /// when absent.
+    pub fn settle(&mut self, id: RowId, new_end: f64) -> Result<bool, StorageError> {
+        self.move_end(id, new_end, WalOp::Settle)
+    }
+
+    /// Reopens a settled RCC with a new (later) logical end. `Ok(false)`
+    /// when absent.
+    pub fn reopen(&mut self, id: RowId, new_end: f64) -> Result<bool, StorageError> {
+        self.move_end(id, new_end, WalOp::Reopen)
+    }
+
+    fn move_end(&mut self, id: RowId, new_end: f64, op: WalOp) -> Result<bool, StorageError> {
+        let Some(old) = self.entries.get_mut(&id) else { return Ok(false) };
+        let rec = WalRecord {
+            epoch: self.epoch + 1,
+            op,
+            id,
+            avail: old.avail.0,
+            start: old.start,
+            end: new_end,
+        };
+        self.wal.append(&rec)?;
+        self.index.remove_logical(&LogicalRcc { ..*old });
+        old.end = new_end;
+        self.index.insert_logical(&LogicalRcc { ..*old });
+        self.bump_epoch()
+    }
+
+    /// Advances the durable epoch after a logged-and-applied mutation and
+    /// runs the auto-compaction cadence.
+    fn bump_epoch(&mut self) -> Result<bool, StorageError> {
+        self.epoch += 1;
+        if let Some(every) = self.checkpoint_every {
+            if self.epoch - self.checkpoint_epoch >= every {
+                self.checkpoint()?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Compacts: durably snapshots the live entry set at the current epoch
+    /// and truncates the WAL. Returns the new generation's path.
+    pub fn checkpoint(&mut self) -> Result<PathBuf, StorageError> {
+        self.wal.sync()?;
+        let checkpoint =
+            Checkpoint { epoch: self.epoch, entries: to_checkpoint_entries(&self.entries) };
+        let path = self.store.write_checkpoint(&checkpoint)?;
+        self.store.rewrite_wal(&[])?;
+        self.wal = WalWriter::open(&self.store.wal_path())?;
+        self.checkpoint_epoch = self.epoch;
+        Ok(path)
+    }
+
+    /// Forces the WAL to stable storage (fsync).
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.wal.sync()
+    }
+
+    /// The wrapped index, for query execution.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Durable mutation counter (survives recovery rebuilds).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epoch of the newest on-disk checkpoint.
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.checkpoint_epoch
+    }
+
+    /// Live entries, ascending by id.
+    pub fn entries(&self) -> Vec<LogicalRcc> {
+        self.entries.values().copied().collect()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The underlying store directory.
+    pub fn store_dir(&self) -> &Path {
+        self.store.dir()
+    }
+}
+
+/// Applies one WAL record to the in-memory state; `false` when the record
+/// does not fit the current state (recovery treats that as a damaged tail).
+fn apply_record<I: MaintainableIndex>(
+    index: &mut I,
+    entries: &mut BTreeMap<RowId, LogicalRcc>,
+    rec: &WalRecord,
+) -> bool {
+    let incoming = LogicalRcc {
+        id: rec.id,
+        avail: AvailId(rec.avail),
+        start: rec.start,
+        end: rec.end,
+    };
+    match rec.op {
+        WalOp::Insert => {
+            if entries.contains_key(&rec.id) {
+                return false;
+            }
+            index.insert_logical(&incoming);
+            entries.insert(rec.id, incoming);
+            true
+        }
+        WalOp::Remove => match entries.remove(&rec.id) {
+            Some(old) => {
+                index.remove_logical(&old);
+                true
+            }
+            None => false,
+        },
+        WalOp::Settle | WalOp::Reopen => match entries.get_mut(&rec.id) {
+            Some(old) => {
+                index.remove_logical(&LogicalRcc { ..*old });
+                let moved = LogicalRcc { end: rec.end, ..*old };
+                index.insert_logical(&moved);
+                *old = moved;
+                true
+            }
+            None => false,
+        },
+    }
+}
+
+fn to_checkpoint_entries(entries: &BTreeMap<RowId, LogicalRcc>) -> Vec<CheckpointEntry> {
+    entries
+        .values()
+        .map(|r| CheckpointEntry { id: r.id, avail: r.avail.0, start: r.start, end: r.end })
+        .collect()
+}
+
+fn from_checkpoint_entry(e: &CheckpointEntry) -> LogicalRcc {
+    LogicalRcc { id: e.id, avail: AvailId(e.avail), start: e.start, end: e.end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat_avl::FlatAvlIndex;
+    use crate::traits::LogicalTimeIndex;
+
+    fn rcc(id: u32, start: f64, end: f64) -> LogicalRcc {
+        LogicalRcc { id, avail: AvailId(id % 5), start, end }
+    }
+
+    fn seed_rccs(n: u32) -> Vec<LogicalRcc> {
+        (0..n).map(|i| rcc(i, f64::from(i) * 0.7, f64::from(i) * 0.7 + 30.0)).collect()
+    }
+
+    fn dir(label: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("domd-durable-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn create_then_recover_is_bit_identical() {
+        let d = dir("create");
+        let rccs = seed_rccs(40);
+        let di: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d, &rccs).unwrap();
+        let (rec, report) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.rows, 40);
+        assert!(report.tail_fault.is_none());
+        for t in [0.0, 10.0, 25.0, 100.0] {
+            assert_eq!(di.index().active_at(t), rec.index().active_at(t));
+            assert_eq!(di.index().settled_by(t), rec.index().settled_by(t));
+        }
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn mutations_survive_crash_without_checkpoint() {
+        let d = dir("wal-replay");
+        let mut di: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d, &seed_rccs(10)).unwrap();
+        di.set_checkpoint_every(None);
+        assert!(di.insert(&rcc(50, 1.0, 99.0)).unwrap());
+        assert!(di.settle(3, 12.5).unwrap());
+        assert!(di.remove(7).unwrap());
+        assert!(di.reopen(4, 250.0).unwrap());
+        assert!(!di.insert(&rcc(50, 1.0, 99.0)).unwrap(), "duplicate insert is a no-op");
+        assert!(!di.remove(7).unwrap(), "double remove is a no-op");
+        let baseline = di.entries();
+        let epoch = di.epoch();
+        di.sync().unwrap();
+        drop(di); // crash: no checkpoint was written after the mutations
+        let (rec, report) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(report.checkpoint_epoch, 0);
+        assert_eq!(report.replayed, 4);
+        assert_eq!(rec.epoch(), epoch);
+        assert_eq!(rec.entries(), baseline);
+        assert_eq!(rec.index().len(), baseline.len());
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovery_skips_replay() {
+        let d = dir("compact");
+        let mut di: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d, &seed_rccs(10)).unwrap();
+        di.set_checkpoint_every(None);
+        for i in 20..30 {
+            di.insert(&rcc(i, 2.0, 60.0)).unwrap();
+        }
+        di.checkpoint().unwrap();
+        assert_eq!(std::fs::metadata(di.store_dir().join("wal.log")).unwrap().len(), 0);
+        di.settle(21, 5.0).unwrap();
+        di.sync().unwrap();
+        let baseline = di.entries();
+        drop(di);
+        let (rec, report) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(report.checkpoint_epoch, 10);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(rec.entries(), baseline);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_at_cadence() {
+        let d = dir("auto");
+        let mut di: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d, &[]).unwrap();
+        di.set_checkpoint_every(Some(4));
+        for i in 0..9 {
+            di.insert(&rcc(i, 0.0, 50.0)).unwrap();
+        }
+        // Compactions fired at epochs 4 and 8; epoch 9 is still WAL-only.
+        assert_eq!(di.checkpoint_epoch(), 8);
+        di.sync().unwrap();
+        assert_eq!(
+            std::fs::metadata(di.store_dir().join("wal.log")).unwrap().len(),
+            domd_storage::RECORD_LEN as u64,
+            "one record since the last auto-checkpoint"
+        );
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_discarded_and_compacted() {
+        let d = dir("torn");
+        let mut di: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d, &seed_rccs(5)).unwrap();
+        di.set_checkpoint_every(None);
+        di.insert(&rcc(10, 0.0, 40.0)).unwrap();
+        di.insert(&rcc(11, 0.0, 40.0)).unwrap();
+        di.sync().unwrap();
+        let wal_path = di.store_dir().join("wal.log");
+        drop(di);
+        // Tear the second record mid-payload.
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..domd_storage::RECORD_LEN + 11]).unwrap();
+        let (rec, report) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert!(report.tail_fault.is_some());
+        assert_eq!(report.discarded_bytes, 11);
+        assert!(rec.entries().iter().any(|r| r.id == 10));
+        assert!(!rec.entries().iter().any(|r| r.id == 11), "torn record never applied");
+        // Compaction removed the torn tail from disk.
+        assert_eq!(
+            std::fs::metadata(&wal_path).unwrap().len(),
+            domd_storage::RECORD_LEN as u64
+        );
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn inapplicable_record_stops_replay() {
+        let d = dir("inapplicable");
+        let mut di: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d, &seed_rccs(5)).unwrap();
+        di.set_checkpoint_every(None);
+        di.insert(&rcc(10, 0.0, 40.0)).unwrap();
+        di.sync().unwrap();
+        let wal_path = di.store_dir().join("wal.log");
+        drop(di);
+        // Forge a CRC-valid record removing an id that was never inserted.
+        let forged = WalRecord {
+            epoch: 2,
+            op: WalOp::Remove,
+            id: 999,
+            avail: 0,
+            start: 0.0,
+            end: 0.0,
+        };
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        bytes.extend_from_slice(&forged.encode());
+        std::fs::write(&wal_path, &bytes).unwrap();
+        let (rec, report) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(rec.epoch(), 1);
+        let fault = report.tail_fault.expect("inapplicable record is a tail fault");
+        assert!(fault.contains("does not apply"), "{fault}");
+        assert_eq!(report.discarded_bytes, domd_storage::RECORD_LEN as u64);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn recovery_falls_back_to_previous_generation() {
+        let d = dir("fallback");
+        let mut di: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d, &seed_rccs(6)).unwrap();
+        di.set_checkpoint_every(None);
+        di.insert(&rcc(20, 0.0, 30.0)).unwrap();
+        di.checkpoint().unwrap();
+        let newest = di.store.checkpoint_path(1);
+        drop(di);
+        // Bit-flip the newest generation; recovery must fall back to epoch 0
+        // (and find no WAL records beyond it — the log was truncated).
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&newest, &bytes).unwrap();
+        let (rec, report) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(report.checkpoint_epoch, 0);
+        assert_eq!(report.generations_tried, 2);
+        assert_eq!(report.damaged_generations.len(), 1);
+        assert_eq!(rec.len(), 6, "falls back to the pre-insert snapshot");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn duplicate_initial_id_is_rejected() {
+        let d = dir("dup");
+        let rccs = vec![rcc(1, 0.0, 1.0), rcc(1, 2.0, 3.0)];
+        let e = DurableIndex::<FlatAvlIndex>::create(&d, &rccs).unwrap_err();
+        assert!(e.is_corruption());
+        assert!(e.to_string().contains("duplicate row id 1"), "{e}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

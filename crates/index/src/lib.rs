@@ -23,6 +23,10 @@
 //! engine aggregates from, and [`cache::CachedStatusQueryEngine`] memoizes
 //! whole query snapshots keyed on `(t*, group node, status, index epoch)`
 //! with epoch-based invalidation on dynamic maintenance.
+//! [`durable::DurableIndex`] wraps any maintainable index with a
+//! write-ahead log and rolling checksummed checkpoints so dynamic
+//! maintenance survives process crashes (recovery replays the longest
+//! valid WAL prefix onto the newest intact checkpoint).
 //!
 //! [`group_tree`] holds the RCC-Type-Tree and SWLIN tree of Algorithm
 //! StatusQ; [`status_query`] implements the algorithm itself; and
@@ -33,6 +37,7 @@
 pub mod arena;
 pub mod avl;
 pub mod cache;
+pub mod durable;
 pub mod eytzinger;
 pub mod flat_avl;
 pub mod group_tree;
@@ -49,6 +54,7 @@ pub use avl::{AvlIndex, AvlTree};
 pub use cache::{
     CacheStats, CachedStatusQueryEngine, LruCache, SnapshotKey, DEFAULT_CACHE_CAPACITY,
 };
+pub use durable::{DurableIndex, RecoveryReport, DEFAULT_CHECKPOINT_EVERY};
 pub use eytzinger::EytzingerIndex;
 pub use flat_avl::{FlatAvlIndex, FlatAvlTree};
 pub use group_tree::{RccTypeTree, SwlinTree};

@@ -6,6 +6,7 @@
 //! serialization: one token-separated record per line, `f64` values
 //! written in Rust's shortest round-trip form.
 
+use domd_storage::StorageError;
 use std::fmt::Write as _;
 use std::str::FromStr;
 
@@ -27,15 +28,40 @@ impl std::fmt::Display for PersistError {
 impl std::error::Error for PersistError {}
 
 /// Sequential reader over artifact lines with position tracking.
+#[derive(Debug)]
 pub struct Reader<'a> {
     lines: std::str::Lines<'a>,
     line_no: usize,
+}
+
+/// Verifies the checksummed frame around `bytes` (length + CRC-32 header,
+/// see `domd_storage::frame`) and returns the text payload. Truncation and
+/// bit-flips fail here with an offset-carrying [`StorageError`] instead of
+/// surfacing later as a garbage parse; `what` names the artifact in errors.
+pub fn framed_text<'a>(bytes: &'a [u8], what: &str) -> Result<&'a str, StorageError> {
+    let payload = domd_storage::frame::decode(bytes)
+        .map_err(|e| StorageError::Frame { path: what.to_string(), source: e })?;
+    std::str::from_utf8(payload).map_err(|e| {
+        StorageError::malformed(
+            what,
+            (domd_storage::HEADER_LEN + e.valid_up_to()) as u64,
+            "artifact payload is not UTF-8 text",
+        )
+    })
 }
 
 impl<'a> Reader<'a> {
     /// Reads from the start of `text`.
     pub fn new(text: &'a str) -> Self {
         Reader { lines: text.lines(), line_no: 0 }
+    }
+
+    /// Verifies the checksummed frame around `bytes` and reads from the
+    /// start of its text payload. The integrity check runs *before* any
+    /// line parsing, so a torn or bit-flipped artifact never reaches the
+    /// token layer.
+    pub fn framed(bytes: &'a [u8], what: &str) -> Result<Self, StorageError> {
+        Ok(Reader::new(framed_text(bytes, what)?))
     }
 
     /// Error at the current position.
@@ -153,6 +179,35 @@ mod tests {
         let r = Reader::new("");
         assert!(r.exactly(&["a", "b"], 2).is_ok());
         assert!(r.exactly(&["a"], 2).is_err());
+    }
+
+    #[test]
+    fn framed_reader_verifies_before_parsing() {
+        let framed = domd_storage::frame::encode(b"alpha 1 2\nbeta x\n");
+        let mut r = Reader::framed(&framed, "test.domd").unwrap();
+        assert_eq!(r.tagged("alpha").unwrap(), vec!["1", "2"]);
+        // Any truncation fails at the frame layer, never inside a parse.
+        for cut in 0..framed.len() {
+            let e = Reader::framed(&framed[..cut], "test.domd").unwrap_err();
+            assert!(e.is_corruption(), "cut {cut}: {e}");
+            assert!(e.to_string().contains("test.domd"), "cut {cut}: {e}");
+        }
+        // A bit-flip anywhere (header or payload) is caught by magic,
+        // length, or CRC verification.
+        for byte in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[byte] ^= 0x02;
+            assert!(Reader::framed(&bad, "t").is_err(), "flip at {byte} accepted");
+        }
+    }
+
+    #[test]
+    fn framed_non_utf8_payload_is_a_typed_error() {
+        let framed = domd_storage::frame::encode(&[0x64, 0x6F, 0xFF, 0xFE]);
+        let e = framed_text(&framed, "bin.domd").unwrap_err();
+        assert!(e.is_corruption());
+        assert!(e.to_string().contains("UTF-8"), "{e}");
+        assert_eq!(e.offset(), Some(domd_storage::HEADER_LEN as u64 + 2));
     }
 }
 

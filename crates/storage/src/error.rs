@@ -1,0 +1,124 @@
+//! Typed failures of the durability layer.
+
+use crate::frame::FrameError;
+use std::fmt;
+
+/// Every failure class of the storage layer. `Io` is the environment
+/// failing; the other variants are *corruption* — bytes on disk that do
+/// not verify — and map to the CLI's corruption exit code.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The filesystem or OS failed.
+    Io {
+        /// What was being read or written.
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A framed file failed verification (truncation, bit-flip, tail).
+    Frame {
+        /// The file that failed.
+        path: String,
+        /// The frame-level diagnosis (offset, expected vs. found).
+        source: FrameError,
+    },
+    /// A checkpoint/WAL payload parsed but is internally inconsistent
+    /// (bad tag, impossible count, non-monotone epoch).
+    Malformed {
+        /// The file that failed.
+        path: String,
+        /// Byte offset within the payload where the problem surfaced.
+        offset: u64,
+        /// What was expected vs. found.
+        message: String,
+    },
+    /// No intact checkpoint survives in the store directory.
+    NoCheckpoint {
+        /// The store directory searched.
+        dir: String,
+        /// How many candidate checkpoint files were tried.
+        tried: usize,
+    },
+}
+
+impl StorageError {
+    /// Shorthand for an [`StorageError::Io`] with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        StorageError::Io { context: context.into(), source }
+    }
+
+    /// Shorthand for an [`StorageError::Malformed`].
+    pub fn malformed(path: impl Into<String>, offset: u64, message: impl Into<String>) -> Self {
+        StorageError::Malformed { path: path.into(), offset, message: message.into() }
+    }
+
+    /// True when the failure is corruption (vs. an environment error):
+    /// the bytes exist but do not verify.
+    pub fn is_corruption(&self) -> bool {
+        !matches!(self, StorageError::Io { .. })
+    }
+
+    /// Byte offset of the failure, when one is known.
+    pub fn offset(&self) -> Option<u64> {
+        match self {
+            StorageError::Io { .. } | StorageError::NoCheckpoint { .. } => None,
+            StorageError::Frame { source, .. } => match source {
+                FrameError::Truncated { offset, .. } => Some(*offset),
+                FrameError::BadMagic { .. } => Some(0),
+                FrameError::UnsupportedVersion { .. } => Some(8),
+                FrameError::ChecksumMismatch { .. } => Some(20),
+                FrameError::TrailingBytes { expected, .. } => Some(*expected),
+            },
+            StorageError::Malformed { offset, .. } => Some(*offset),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { context, source } => write!(f, "I/O error {context}: {source}"),
+            StorageError::Frame { path, source } => write!(f, "corrupt frame in {path}: {source}"),
+            StorageError::Malformed { path, offset, message } => {
+                write!(f, "malformed payload in {path} at offset {offset}: {message}")
+            }
+            StorageError::NoCheckpoint { dir, tried } => write!(
+                f,
+                "no intact checkpoint in {dir} ({tried} candidate(s) tried); \
+                 re-initialize the store with `domd checkpoint`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            StorageError::Frame { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_classification() {
+        let io = StorageError::io("x", std::io::Error::other("y"));
+        assert!(!io.is_corruption());
+        assert_eq!(io.offset(), None);
+        let frame = StorageError::Frame {
+            path: "p".into(),
+            source: FrameError::ChecksumMismatch { expected: 1, found: 2 },
+        };
+        assert!(frame.is_corruption());
+        assert_eq!(frame.offset(), Some(20));
+        let bad = StorageError::malformed("p", 40, "expected tag");
+        assert!(bad.is_corruption());
+        assert_eq!(bad.offset(), Some(40));
+        assert!(bad.to_string().contains("offset 40"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # domd-storage
+//!
+//! Crash-safe durability for the DoMD framework. The deployed pipeline
+//! ships a trained artifact into the Navy environment and keeps the
+//! Status Query indexes current under dynamic RCC maintenance (Abstract,
+//! §6) — a regime where a `kill -9` at any byte must never produce a
+//! silently corrupt model or a stale-but-trusted index. Three pieces:
+//!
+//! * [`atomic`] — tempfile + fsync + rename replacement writes, plus the
+//!   length- and CRC-framed container ([`frame`]) wrapped around every
+//!   durable blob, so truncation and bit-flips surface as typed
+//!   [`FrameError`]s instead of garbage parses;
+//! * [`wal`] — the maintenance write-ahead log: every index mutation is
+//!   appended as an epoch-stamped, CRC-framed record *before* the
+//!   in-memory apply; [`wal::replay`] extracts the longest valid,
+//!   epoch-contiguous prefix from arbitrary bytes;
+//! * [`checkpoint`] — periodic WAL compaction into checksummed entry
+//!   snapshots, with a rolling-generation [`Store`] directory and
+//!   newest-intact-first recovery.
+//!
+//! The layer is deliberately std-only (no workspace dependencies): the
+//! data/index/ml/core crates all sit above it.
+
+pub mod atomic;
+pub mod checkpoint;
+pub mod crc;
+pub mod error;
+pub mod frame;
+pub mod wal;
+
+pub use atomic::{read_framed, write_atomic, write_framed_atomic};
+pub use checkpoint::{
+    Checkpoint, CheckpointEntry, RecoveredCheckpoint, Store, CHECKPOINT_VERSION, KEPT_GENERATIONS,
+};
+pub use crc::crc32;
+pub use error::StorageError;
+pub use frame::{FrameError, FRAME_VERSION, HEADER_LEN, MAGIC};
+pub use wal::{replay, WalOp, WalRecord, WalReplay, WalWriter, RECORD_LEN};
+
+/// Unique scratch directory for this crate's tests (std-only stand-in for
+/// a tempdir crate; callers remove it when done).
+#[cfg(test)]
+pub(crate) fn test_dir(label: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "domd-storage-{label}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}

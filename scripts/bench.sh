@@ -2,19 +2,23 @@
 # Benchmarks the deterministic parallel execution layer (PR 2) at 1x and 4x
 # RCC scale into BENCH_pr2.json, then the PR-3 layout-and-caching work
 # (flat index variants + memoizing snapshot cache, query latency and peak
-# heap at 1x-20x, cache hit rate) into BENCH_pr3.json. Every timing is
-# bit-identity-checked against its reference path first.
+# heap at 1x-20x, cache hit rate) into BENCH_pr3.json, then the PR-4
+# durability layer (WAL append overhead on the dynamic-maintenance path vs
+# the in-memory baseline, checkpoint cadence cost, recovery time) into
+# BENCH_pr4.json. Every timing is bit-identity-checked against its
+# reference path first; the WAL arm warns if overhead reaches 10%.
 #
 #   THREADS=8 scripts/bench.sh
 #   SUITE=layout SCALES=1,10 scripts/bench.sh     # PR-3 suite only
+#   SUITE=wal MUTATIONS=50000 scripts/bench.sh    # PR-4 suite only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREADS="${THREADS:-0}"        # 0 = auto-detect
 RUNS="${RUNS:-3}"
-SUITE="${SUITE:-all}"          # all | parallel | layout
+SUITE="${SUITE:-all}"          # all | parallel | layout | wal
 
-if [ "$SUITE" != "layout" ]; then
+if [ "$SUITE" = "all" ] || [ "$SUITE" = "parallel" ]; then
   SCALES_PAR="${SCALES:-1,4}"
   OUT_PAR="${OUT:-BENCH_pr2.json}"
   cargo build --release -p domd-bench --bin bench_parallel
@@ -26,7 +30,7 @@ if [ "$SUITE" != "layout" ]; then
   echo "parallel-runtime bench results written to $OUT_PAR"
 fi
 
-if [ "$SUITE" != "parallel" ]; then
+if [ "$SUITE" = "all" ] || [ "$SUITE" = "layout" ]; then
   SCALES_LAYOUT="${SCALES:-1,5,10,20}"
   OUT_LAYOUT="${OUT_PR3:-BENCH_pr3.json}"
   PASSES="${PASSES:-3}"
@@ -34,4 +38,14 @@ if [ "$SUITE" != "parallel" ]; then
   target/release/bench_layout --scales "$SCALES_LAYOUT" --runs "$RUNS" \
     --passes "$PASSES" --out "$OUT_LAYOUT"
   echo "layout/cache bench results written to $OUT_LAYOUT"
+fi
+
+if [ "$SUITE" = "all" ] || [ "$SUITE" = "wal" ]; then
+  SCALES_WAL="${SCALES:-1,4}"
+  OUT_WAL="${OUT_PR4:-BENCH_pr4.json}"
+  MUTATIONS="${MUTATIONS:-100000}"
+  cargo build --release -p domd-bench --bin bench_wal
+  target/release/bench_wal --scales "$SCALES_WAL" --runs "$RUNS" \
+    --mutations "$MUTATIONS" --out "$OUT_WAL"
+  echo "WAL/durability bench results written to $OUT_WAL"
 fi

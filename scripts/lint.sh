@@ -5,7 +5,11 @@
 # smoke suites — the parallel-equivalence tests run under a 2-worker pool
 # so any scheduling-dependent output fails the gate quickly, and the
 # cache-invalidation tests assert a dynamic-maintenance epoch bump retires
-# every memoized snapshot on both the index and feature layers.
+# every memoized snapshot on both the index and feature layers. The PR-4
+# durability gate runs the storage crate (frame/WAL/checkpoint/atomic-write
+# units), the DurableIndex suite, and the crash-recovery + storage-fault
+# integration tests, so a change that weakens the "never serve torn state"
+# contract fails here before any benchmark runs.
 # Run before sending a change; CI treats any output as a failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,3 +21,8 @@ DOMD_THREADS=2 cargo test -q -p domd-features --test parallel_equivalence
 DOMD_THREADS=2 cargo test -q -p domd-core --test parallel_equivalence
 cargo test -q -p domd-index --test cache_invalidation
 cargo test -q -p domd --test cache_invalidation
+
+cargo test -q -p domd-storage
+cargo test -q -p domd-index durable
+cargo test -q -p domd --test recovery
+cargo test -q -p domd --test fault_injection

@@ -12,6 +12,8 @@
 //! domd validate  --data-dir data/
 //! domd obfuscate --data-dir data/ --out-dir export/ --key N
 //! domd optimize  --data-dir data/ [--out pipeline.domd] [--quick true]
+//! domd checkpoint --store store/ [--data-dir data/]
+//! domd recover    --store store/
 //! ```
 //!
 //! `generate` writes `avails.csv` and `rccs.csv`; the other commands read
@@ -31,6 +33,7 @@
 //! | 6    | pipeline artifact (`Artifact`)               |
 //! | 7    | non-finite value (`NonFinite`)               |
 //! | 8    | nothing left to work on (`EmptyDataset`)     |
+//! | 9    | storage corruption / unrecoverable (`Corrupt`) |
 
 use domd::core::{DomdQueryEngine, EvalTable, PipelineConfig, PipelineInputs, TrainedPipeline};
 use domd::data::csv as nmd_csv;
@@ -51,6 +54,7 @@ fn exit_code(e: &DomdError) -> u8 {
         DomdError::Artifact { .. } => 6,
         DomdError::NonFinite { .. } => 7,
         DomdError::EmptyDataset { .. } => 8,
+        DomdError::Corrupt { .. } => 9,
     }
 }
 
@@ -147,14 +151,15 @@ fn cmd_train(args: &Args) -> Result<(), DomdError> {
     );
     let inputs = PipelineInputs::build(&ds, grid_step);
     let pipeline = TrainedPipeline::fit(&inputs, &split.train, &config);
-    write_file(&out, domd::core::save_pipeline(&pipeline))?;
+    // Checksummed frame + tempfile/rename: a crash mid-write can never
+    // clobber the previous good artifact with a torn one.
+    domd::core::write_pipeline_file(&out, &pipeline)?;
     println!("saved pipeline artifact to {}", out.display());
     Ok(())
 }
 
 fn load_pipeline_file(path: &str) -> Result<TrainedPipeline, DomdError> {
-    let text = read_file(Path::new(path))?;
-    domd::core::load_pipeline(&text)
+    domd::core::read_pipeline_file(Path::new(path))
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), DomdError> {
@@ -235,7 +240,7 @@ fn cmd_optimize(args: &Args) -> Result<(), DomdError> {
     print!("{}", report.render());
     if let Some(out) = args.get("out") {
         let pipeline = TrainedPipeline::fit(&inputs, &splits[0].train, &report.final_config);
-        write_file(Path::new(out), domd::core::save_pipeline(&pipeline))?;
+        domd::core::write_pipeline_file(Path::new(out), &pipeline)?;
         println!("saved optimized pipeline artifact to {out}");
     }
     Ok(())
@@ -280,8 +285,79 @@ fn cmd_obfuscate(args: &Args) -> Result<(), DomdError> {
     Ok(())
 }
 
+/// Prints a [`RecoveryReport`](domd::index::RecoveryReport) in the
+/// operator vocabulary of the README runbook.
+fn print_recovery_report(report: &domd::index::RecoveryReport) {
+    println!(
+        "recovered onto checkpoint epoch {} ({})",
+        report.checkpoint_epoch,
+        report.checkpoint_path.display()
+    );
+    if report.generations_tried > 1 {
+        println!("  examined {} checkpoint generation(s)", report.generations_tried);
+        for d in &report.damaged_generations {
+            println!("  skipped damaged generation: {d}");
+        }
+    }
+    println!(
+        "  replayed {} WAL record(s) ({} already checkpointed)",
+        report.replayed, report.skipped
+    );
+    match &report.tail_fault {
+        Some(fault) => println!(
+            "  discarded {} damaged tail byte(s): {fault}",
+            report.discarded_bytes
+        ),
+        None => println!("  WAL tail intact"),
+    }
+    println!("  live state: {} RCC(s) at epoch {}", report.rows, report.epoch);
+}
+
+/// `domd recover --store DIR`: rebuild from the newest intact checkpoint
+/// plus the longest valid WAL prefix, compact the damaged tail away, and
+/// report what happened. Exits 9 when no generation verifies.
+fn cmd_recover(args: &Args) -> Result<(), DomdError> {
+    let store = PathBuf::from(args.require("store")?);
+    let (_index, report) =
+        domd::index::DurableIndex::<domd::index::FlatAvlIndex>::recover(&store)?;
+    print_recovery_report(&report);
+    Ok(())
+}
+
+/// `domd checkpoint --store DIR [--data-dir DIR]`: on an existing store,
+/// recover and compact the WAL into a fresh checkpoint generation; with
+/// `--data-dir` on an empty store, initialize it from the extracts'
+/// logical projection (the epoch-0 checkpoint).
+fn cmd_checkpoint(args: &Args) -> Result<(), DomdError> {
+    use domd::index::{DurableIndex, FlatAvlIndex};
+    let store_dir = PathBuf::from(args.require("store")?);
+    let store = domd::storage::Store::open(&store_dir).map_err(DomdError::from)?;
+    if !store.is_initialized().map_err(DomdError::from)? {
+        if args.get("data-dir").is_none() {
+            return Err(DomdError::config(format!(
+                "store {} has no checkpoint yet; pass --data-dir to initialize it",
+                store_dir.display()
+            )));
+        }
+        let ds = load_dataset(args)?;
+        let projected = domd::index::project_dataset(&ds);
+        let index: DurableIndex<FlatAvlIndex> = DurableIndex::create(&store_dir, &projected)?;
+        println!(
+            "initialized store {} with {} RCC(s) at epoch 0",
+            store_dir.display(),
+            index.len()
+        );
+        return Ok(());
+    }
+    let (mut index, report) = DurableIndex::<FlatAvlIndex>::recover(&store_dir)?;
+    print_recovery_report(&report);
+    let path = index.checkpoint()?;
+    println!("compacted into {} (WAL truncated)", path.display());
+    Ok(())
+}
+
 fn usage() -> &'static str {
-    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n                [--cache-capacity N]  feature-snapshot LRU entries (0 disables; default 1024)\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
+    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n                [--cache-capacity N]  feature-snapshot LRU entries (0 disables; default 1024)\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n  domd checkpoint --store DIR [--data-dir DIR]   compact WAL into a new checkpoint\n                                                 (--data-dir initializes an empty store)\n  domd recover    --store DIR                    replay WAL onto newest intact checkpoint\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
 }
 
 fn main() -> ExitCode {
@@ -303,6 +379,8 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(&args),
         "obfuscate" => cmd_obfuscate(&args),
         "optimize" => cmd_optimize(&args),
+        "checkpoint" => cmd_checkpoint(&args),
+        "recover" => cmd_recover(&args),
         other => Err(DomdError::config(format!("unknown command {other:?}\n{}", usage()))),
         }
     });

@@ -19,7 +19,10 @@
 //!   engine, evaluation, and explanations;
 //! * [`runtime`] — the deterministic parallel execution layer (bounded
 //!   worker pool, `--threads` / `DOMD_THREADS` configuration) shared by
-//!   the sweep, training, and batch-query hot paths.
+//!   the sweep, training, and batch-query hot paths;
+//! * [`storage`] — crash-safe durability: checksummed frames, atomic
+//!   file replacement, the maintenance write-ahead log, and rolling
+//!   checkpoint generations.
 //!
 //! See `examples/quickstart.rs` for the three-minute tour.
 
@@ -31,6 +34,7 @@ pub use domd_features as features;
 pub use domd_index as index;
 pub use domd_ml as ml;
 pub use domd_runtime as runtime;
+pub use domd_storage as storage;
 
 pub use domd_core::DomdError;
 pub use domd_data::{QuarantineReport, QuarantinedRow};
