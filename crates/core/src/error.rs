@@ -171,12 +171,21 @@ impl From<domd_storage::StorageError> for DomdError {
             domd_storage::StorageError::Io { context, source } => {
                 DomdError::Io { context, source }
             }
+            // A refused create over live state is the caller misusing the
+            // store, not damage to it — it must not map to the corruption
+            // exit code.
+            e @ domd_storage::StorageError::AlreadyInitialized { .. } => {
+                DomdError::Config { message: e.to_string() }
+            }
             other => DomdError::Corrupt {
                 context: match &other {
                     domd_storage::StorageError::Frame { path, .. }
                     | domd_storage::StorageError::Malformed { path, .. } => path.clone(),
                     domd_storage::StorageError::NoCheckpoint { dir, .. } => dir.clone(),
-                    domd_storage::StorageError::Io { .. } => unreachable!("handled above"),
+                    domd_storage::StorageError::Io { .. }
+                    | domd_storage::StorageError::AlreadyInitialized { .. } => {
+                        unreachable!("handled above")
+                    }
                 },
                 offset: other.offset(),
                 message: other.to_string(),

@@ -49,7 +49,7 @@ pub use error::DomdError;
 pub use intervals::{DelayBand, IntervalPipeline};
 pub use persist::{
     load_pipeline, load_pipeline_bytes, read_pipeline_file, save_pipeline, save_pipeline_framed,
-    write_pipeline_file, FORMAT_VERSION,
+    write_pipeline_file, FORMAT_VERSION, MIN_FORMAT_VERSION,
 };
 pub use evaluate::{EvalRow, EvalTable};
 pub use explain::{explain, Contribution, Explanation};

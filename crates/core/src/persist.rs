@@ -21,6 +21,12 @@ use std::path::Path;
 /// new one — never a torn file that parses as garbage.
 pub const FORMAT_VERSION: u32 = 2;
 
+/// Oldest artifact version this binary still reads. The version-2 bump
+/// added the frame around the text body without changing the text layout
+/// itself, so bare version-1 artifacts from the previous release load
+/// unchanged.
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
 fn selection_token(s: SelectionMethod) -> &'static str {
     s.name()
 }
@@ -203,11 +209,14 @@ fn artifact_error(e: PersistError) -> DomdError {
 pub fn load_pipeline(text: &str) -> Result<TrainedPipeline, DomdError> {
     let mut r = Reader::new(text);
     let version = read_version(&mut r).map_err(artifact_error)?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(DomdError::Artifact {
             found_version: Some(version),
             expected: FORMAT_VERSION,
-            message: format!("unsupported artifact format; {REMEDIATION}"),
+            message: format!(
+                "unsupported artifact format (this binary reads versions \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION}); {REMEDIATION}"
+            ),
         });
     }
     let pipeline = read_body(&mut r).map_err(artifact_error)?;
@@ -215,7 +224,7 @@ pub fn load_pipeline(text: &str) -> Result<TrainedPipeline, DomdError> {
     // hand-edited file, or garbling that happens to parse); catch those
     // here rather than deep inside prediction.
     pipeline.config.validate().map_err(|e| DomdError::Artifact {
-        found_version: Some(FORMAT_VERSION),
+        found_version: Some(version),
         expected: FORMAT_VERSION,
         message: format!("artifact carries an invalid configuration: {e}; {REMEDIATION}"),
     })?;
@@ -365,6 +374,22 @@ mod tests {
             }
             other => panic!("expected Artifact, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn legacy_v1_text_artifact_loads_bit_exact() {
+        let (inputs, split, p) = trained(false);
+        // A v1 artifact is byte-identical to v2 text except for its header
+        // line: the frame bump did not touch the text layout.
+        let v1 = save_pipeline(&p)
+            .replacen(&format!("domd-pipeline {FORMAT_VERSION}"), "domd-pipeline 1", 1);
+        let back = load_pipeline(&v1).unwrap();
+        assert_eq!(
+            p.predict_steps(&inputs, &split.test).as_slice(),
+            back.predict_steps(&inputs, &split.test).as_slice()
+        );
+        // And through the byte entry point, as read_pipeline_file sees it.
+        assert!(load_pipeline_bytes(v1.as_bytes(), "mem").is_ok());
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //!    intact.
 //! 3. **Recovery** — [`DurableIndex::recover`] rebuilds from the newest
 //!    intact checkpoint, replays the longest valid epoch-contiguous WAL
-//!    prefix onto it, and compacts the discarded tail away. The recovered
+//!    prefix onto it, and compacts the damaged tail out of the live log
+//!    (quarantining the removed bytes to `wal.<n>.damaged`, since a tail
+//!    stranded beyond a fallen-back checkpoint generation can hold
+//!    fsync-acknowledged records). The recovered
 //!    index answers every Status Query bit-identically to an engine that
 //!    never crashed (asserted by `tests/recovery.rs`).
 //!
@@ -60,8 +63,13 @@ pub struct RecoveryReport {
     pub replayed: usize,
     /// WAL records skipped as already covered by the checkpoint.
     pub skipped: usize,
-    /// Bytes of damaged WAL tail discarded by compaction.
+    /// Bytes of damaged WAL tail removed from the live log by compaction.
     pub discarded_bytes: u64,
+    /// Where the removed tail bytes were preserved (`wal.<n>.damaged`).
+    /// The tail can hold fsync-acknowledged records that merely fail to
+    /// apply — e.g. records stranded beyond a fallen-back checkpoint
+    /// generation — so it is quarantined for forensics, never destroyed.
+    pub quarantined_tail: Option<PathBuf>,
     /// Diagnosis of the damaged tail, when one was found.
     pub tail_fault: Option<String>,
     /// Durable epoch after replay.
@@ -89,10 +97,16 @@ pub struct DurableIndex<I> {
 impl<I: MaintainableIndex> DurableIndex<I> {
     /// Initializes a fresh store at `dir` over `rccs`: writes the epoch-0
     /// checkpoint, truncates the WAL, and builds the in-memory index.
-    /// Fails with [`StorageError::Malformed`] on duplicate row ids —
-    /// a checkpoint must map each id to exactly one entry.
+    /// Fails with [`StorageError::AlreadyInitialized`] when `dir` already
+    /// holds a store — creating over live durable state would silently
+    /// destroy it; use [`DurableIndex::recover`] (or clear the directory)
+    /// instead. Fails with [`StorageError::Malformed`] on duplicate row
+    /// ids — a checkpoint must map each id to exactly one entry.
     pub fn create(dir: &Path, rccs: &[LogicalRcc]) -> Result<Self, StorageError> {
         let store = Store::open(dir)?;
+        if store.is_initialized()? {
+            return Err(StorageError::AlreadyInitialized { dir: dir.display().to_string() });
+        }
         let mut entries = BTreeMap::new();
         for r in rccs {
             if entries.insert(r.id, *r).is_some() {
@@ -121,7 +135,8 @@ impl<I: MaintainableIndex> DurableIndex<I> {
 
     /// Recovers from `dir`: newest intact checkpoint, plus the longest
     /// valid epoch-contiguous WAL prefix, then compacts the damaged tail
-    /// away so the next crash recovers from a clean log.
+    /// out of the live log (preserved as `wal.<n>.damaged`) so the next
+    /// crash recovers from a clean log.
     pub fn recover(dir: &Path) -> Result<(Self, RecoveryReport), StorageError> {
         let store = Store::open(dir)?;
         let recovered = store.newest_intact_checkpoint()?;
@@ -156,7 +171,11 @@ impl<I: MaintainableIndex> DurableIndex<I> {
             applied += 1;
         }
         let discarded_bytes = (wal_bytes.len() - valid_len) as u64;
+        let mut quarantined_tail = None;
         if discarded_bytes > 0 {
+            // Preserve before rewrite: the tail may be the only remaining
+            // copy of acknowledged mutations (not just torn garbage).
+            quarantined_tail = Some(store.quarantine_wal_tail(&wal_bytes[valid_len..])?);
             store.rewrite_wal(&wal_bytes[..valid_len])?;
         }
         let wal = WalWriter::open(&store.wal_path())?;
@@ -168,6 +187,7 @@ impl<I: MaintainableIndex> DurableIndex<I> {
             replayed: applied,
             skipped: replayed.skipped,
             discarded_bytes,
+            quarantined_tail,
             tail_fault,
             epoch,
             rows: entries.len(),
@@ -512,11 +532,14 @@ mod tests {
         assert_eq!(report.discarded_bytes, 11);
         assert!(rec.entries().iter().any(|r| r.id == 10));
         assert!(!rec.entries().iter().any(|r| r.id == 11), "torn record never applied");
-        // Compaction removed the torn tail from disk.
+        // Compaction removed the torn tail from the live log, but the
+        // removed bytes survive in quarantine.
         assert_eq!(
             std::fs::metadata(&wal_path).unwrap().len(),
             domd_storage::RECORD_LEN as u64
         );
+        let q = report.quarantined_tail.expect("removed tail must be preserved");
+        assert_eq!(std::fs::read(&q).unwrap().len(), 11);
         std::fs::remove_dir_all(&d).unwrap();
     }
 
@@ -547,6 +570,10 @@ mod tests {
         let fault = report.tail_fault.expect("inapplicable record is a tail fault");
         assert!(fault.contains("does not apply"), "{fault}");
         assert_eq!(report.discarded_bytes, domd_storage::RECORD_LEN as u64);
+        // The forged-but-CRC-valid record is evidence; it must be
+        // preserved byte-for-byte, not destroyed with the rewrite.
+        let q = report.quarantined_tail.expect("removed record must be preserved");
+        assert_eq!(std::fs::read(&q).unwrap(), forged.encode());
         std::fs::remove_dir_all(&d).unwrap();
     }
 
@@ -570,6 +597,34 @@ mod tests {
         assert_eq!(report.generations_tried, 2);
         assert_eq!(report.damaged_generations.len(), 1);
         assert_eq!(rec.len(), 6, "falls back to the pre-insert snapshot");
+        // The damaged generation was quarantined: a later recovery starts
+        // straight from the intact epoch-0 generation.
+        assert!(!newest.exists(), "damaged generation must be quarantined");
+        drop(rec);
+        let (_, report2) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(report2.generations_tried, 1);
+        assert!(report2.damaged_generations.is_empty());
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_to_overwrite_an_initialized_store() {
+        let d = dir("no-overwrite");
+        let mut di: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d, &seed_rccs(8)).unwrap();
+        di.insert(&rcc(30, 1.0, 20.0)).unwrap();
+        di.sync().unwrap();
+        drop(di);
+        let e = DurableIndex::<FlatAvlIndex>::create(&d, &seed_rccs(3)).unwrap_err();
+        assert!(
+            matches!(e, StorageError::AlreadyInitialized { .. }),
+            "expected AlreadyInitialized, got {e:?}"
+        );
+        assert!(!e.is_corruption(), "a refused create is usage, not corruption");
+        // The refused create destroyed nothing: the store still recovers
+        // to its pre-refusal state.
+        let (rec, _) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(rec.len(), 9);
+        assert!(rec.entries().iter().any(|r| r.id == 30), "WAL record survived");
         std::fs::remove_dir_all(&d).unwrap();
     }
 

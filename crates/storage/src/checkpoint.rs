@@ -9,12 +9,19 @@
 //! ```text
 //! store/
 //!   checkpoint.<epoch, zero-padded>.ckpt   (newest two generations kept)
+//!   checkpoint.<epoch>.ckpt.damaged        (quarantined by recovery)
 //!   wal.log
+//!   wal.<n>.damaged                        (discarded tails, kept by recovery)
 //! ```
 //!
 //! Recovery walks the generations newest-first and takes the first one
 //! whose frame and payload verify — a crash mid-checkpoint can only tear
 //! the tempfile or the newest generation, never the previous good one.
+//! Generations that fail verification are renamed out of the `.ckpt`
+//! namespace (quarantined, not deleted): a damaged file must neither
+//! count toward [`KEPT_GENERATIONS`] at the next pruning — which would
+//! silently evict the good older generation — nor be re-parsed first by
+//! every future recovery.
 //!
 //! Checkpoint payload layout (inside the frame, little-endian):
 //!
@@ -177,7 +184,8 @@ pub struct RecoveredCheckpoint {
     pub path: PathBuf,
     /// Candidate generations examined, newest first.
     pub tried: usize,
-    /// Diagnoses of the generations that failed verification.
+    /// Diagnoses of the generations that failed verification (each is
+    /// quarantined to a `.damaged` sibling, noted in its diagnosis).
     pub damaged: Vec<String>,
 }
 
@@ -211,20 +219,20 @@ impl Store {
         Ok(!self.checkpoint_files()?.is_empty())
     }
 
-    /// Checkpoint files present, newest (highest epoch) first.
+    /// Checkpoint files present, newest (highest epoch) first. Quarantined
+    /// `.damaged` siblings are not checkpoints and are excluded.
     fn checkpoint_files(&self) -> Result<Vec<PathBuf>, StorageError> {
+        self.files_where(|n| n.starts_with("checkpoint.") && n.ends_with(".ckpt"))
+    }
+
+    /// Files under the store whose name passes `keep`, sorted newest
+    /// (lexicographically last) first.
+    fn files_where(&self, keep: impl Fn(&str) -> bool) -> Result<Vec<PathBuf>, StorageError> {
         let mut files: Vec<PathBuf> = std::fs::read_dir(&self.dir)
             .map_err(|e| StorageError::io(format!("listing store {}", self.dir.display()), e))?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
-            .filter(|p| {
-                p.file_name()
-                    .map(|n| {
-                        let n = n.to_string_lossy();
-                        n.starts_with("checkpoint.") && n.ends_with(".ckpt")
-                    })
-                    .unwrap_or(false)
-            })
+            .filter(|p| p.file_name().map(|n| keep(&n.to_string_lossy())).unwrap_or(false))
             .collect();
         files.sort();
         files.reverse();
@@ -232,17 +240,29 @@ impl Store {
     }
 
     /// Writes `checkpoint` atomically and prunes generations beyond
-    /// [`KEPT_GENERATIONS`]. Returns the new file's path.
+    /// [`KEPT_GENERATIONS`] — intact and quarantined alike, so forensic
+    /// `.damaged` copies stay bounded too. Returns the new file's path.
     pub fn write_checkpoint(&self, checkpoint: &Checkpoint) -> Result<PathBuf, StorageError> {
         let path = self.checkpoint_path(checkpoint.epoch);
         write_framed_atomic(&path, &checkpoint.encode())?;
         for old in self.checkpoint_files()?.into_iter().skip(KEPT_GENERATIONS) {
             let _ = std::fs::remove_file(old);
         }
+        let quarantined = self
+            .files_where(|n| n.starts_with("checkpoint.") && n.ends_with(".ckpt.damaged"))?;
+        for old in quarantined.into_iter().skip(KEPT_GENERATIONS) {
+            let _ = std::fs::remove_file(old);
+        }
         Ok(path)
     }
 
     /// Finds the newest checkpoint whose frame and payload both verify.
+    ///
+    /// Generations that fail verification are quarantined: renamed to a
+    /// `.damaged` sibling so they stop counting toward
+    /// [`KEPT_GENERATIONS`] (pruning would otherwise evict the good older
+    /// generation in their favor) and are not re-parsed by later
+    /// recoveries, while the bytes survive for forensics.
     pub fn newest_intact_checkpoint(&self) -> Result<RecoveredCheckpoint, StorageError> {
         let files = self.checkpoint_files()?;
         let tried = files.len();
@@ -254,7 +274,13 @@ impl Store {
                     return Ok(RecoveredCheckpoint { checkpoint, path, tried, damaged })
                 }
                 Err(e @ (StorageError::Frame { .. } | StorageError::Malformed { .. })) => {
-                    damaged.push(e.to_string());
+                    let mut quarantine = path.clone().into_os_string();
+                    quarantine.push(".damaged");
+                    let quarantine = PathBuf::from(quarantine);
+                    damaged.push(match std::fs::rename(&path, &quarantine) {
+                        Ok(()) => format!("{e} (quarantined to {})", quarantine.display()),
+                        Err(re) => format!("{e} (quarantine rename failed: {re})"),
+                    });
                 }
                 Err(e) => return Err(e),
             }
@@ -277,6 +303,21 @@ impl Store {
     /// damaged tail after recovery, or to truncate after a checkpoint).
     pub fn rewrite_wal(&self, bytes: &[u8]) -> Result<(), StorageError> {
         crate::atomic::write_atomic(&self.wal_path(), bytes)
+    }
+
+    /// Preserves a WAL tail that recovery is about to discard: writes it
+    /// to the first free `wal.<n>.damaged` slot and returns that path.
+    /// The discarded bytes may be the only remaining evidence of
+    /// fsync-acknowledged mutations (e.g. records stranded beyond a
+    /// fallen-back checkpoint generation), so they are quarantined, never
+    /// destroyed.
+    pub fn quarantine_wal_tail(&self, tail: &[u8]) -> Result<PathBuf, StorageError> {
+        let path = (0u32..)
+            .map(|n| self.dir.join(format!("wal.{n}.damaged")))
+            .find(|p| !p.exists())
+            .expect("unbounded slot search always terminates");
+        crate::atomic::write_atomic(&path, tail)?;
+        Ok(path)
     }
 }
 
@@ -353,13 +394,55 @@ mod tests {
         assert_eq!(r.tried, 2);
         assert_eq!(r.damaged.len(), 1);
         assert!(r.damaged[0].contains("truncated"), "{}", r.damaged[0]);
-        // Both generations damaged -> typed NoCheckpoint.
+        // The damaged generation was quarantined out of the checkpoint
+        // namespace, bytes intact for forensics.
+        assert!(!newest.exists(), "damaged generation must leave the .ckpt namespace");
+        let quarantined = PathBuf::from(format!("{}.damaged", newest.display()));
+        assert!(quarantined.exists(), "damaged bytes must survive quarantine");
+        assert_eq!(std::fs::read(&quarantined).unwrap().len(), bytes.len() / 2);
+        // The last generation damaged too -> typed NoCheckpoint (only one
+        // candidate left, the torn one no longer counts).
         let prev = store.checkpoint_path(2);
         std::fs::write(&prev, b"garbage").unwrap();
         match store.newest_intact_checkpoint() {
-            Err(StorageError::NoCheckpoint { tried: 2, .. }) => {}
+            Err(StorageError::NoCheckpoint { tried: 1, .. }) => {}
             other => panic!("expected NoCheckpoint, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantined_generation_does_not_consume_a_kept_slot() {
+        let dir = test_dir("store-quarantine-slot");
+        let store = Store::open(&dir).unwrap();
+        store.write_checkpoint(&Checkpoint { epoch: 3, entries: entries(5) }).unwrap();
+        store.write_checkpoint(&Checkpoint { epoch: 7, entries: entries(8) }).unwrap();
+        // Damage the newest generation and recover: it gets quarantined.
+        let newest = store.checkpoint_path(7);
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() - 9]).unwrap();
+        assert_eq!(store.newest_intact_checkpoint().unwrap().checkpoint.epoch, 3);
+        // The next checkpoint write must keep the good epoch-3 generation
+        // (before quarantine, the damaged epoch-7 file counted toward
+        // KEPT_GENERATIONS and the good generation was pruned instead).
+        store.write_checkpoint(&Checkpoint { epoch: 12, entries: entries(9) }).unwrap();
+        assert!(store.checkpoint_path(3).exists(), "good generation was pruned");
+        assert!(store.checkpoint_path(12).exists());
+        let r = store.newest_intact_checkpoint().unwrap();
+        assert_eq!(r.checkpoint.epoch, 12);
+        assert!(r.damaged.is_empty(), "quarantined file must not be re-parsed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_tail_quarantine_uses_fresh_slots() {
+        let dir = test_dir("store-wal-quarantine");
+        let store = Store::open(&dir).unwrap();
+        let p0 = store.quarantine_wal_tail(b"first tail").unwrap();
+        let p1 = store.quarantine_wal_tail(b"second tail").unwrap();
+        assert_ne!(p0, p1, "each quarantine gets its own slot");
+        assert_eq!(std::fs::read(&p0).unwrap(), b"first tail");
+        assert_eq!(std::fs::read(&p1).unwrap(), b"second tail");
         std::fs::remove_dir_all(&dir).ok();
     }
 

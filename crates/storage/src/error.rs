@@ -39,6 +39,12 @@ pub enum StorageError {
         /// How many candidate checkpoint files were tried.
         tried: usize,
     },
+    /// A create was attempted over a store that already holds durable
+    /// state — overwriting would silently destroy it.
+    AlreadyInitialized {
+        /// The store directory that is already initialized.
+        dir: String,
+    },
 }
 
 impl StorageError {
@@ -52,16 +58,21 @@ impl StorageError {
         StorageError::Malformed { path: path.into(), offset, message: message.into() }
     }
 
-    /// True when the failure is corruption (vs. an environment error):
-    /// the bytes exist but do not verify.
+    /// True when the failure is corruption (vs. an environment or usage
+    /// error): the bytes exist but do not verify.
     pub fn is_corruption(&self) -> bool {
-        !matches!(self, StorageError::Io { .. })
+        !matches!(
+            self,
+            StorageError::Io { .. } | StorageError::AlreadyInitialized { .. }
+        )
     }
 
     /// Byte offset of the failure, when one is known.
     pub fn offset(&self) -> Option<u64> {
         match self {
-            StorageError::Io { .. } | StorageError::NoCheckpoint { .. } => None,
+            StorageError::Io { .. }
+            | StorageError::NoCheckpoint { .. }
+            | StorageError::AlreadyInitialized { .. } => None,
             StorageError::Frame { source, .. } => match source {
                 FrameError::Truncated { offset, .. } => Some(*offset),
                 FrameError::BadMagic { .. } => Some(0),
@@ -86,6 +97,11 @@ impl fmt::Display for StorageError {
                 f,
                 "no intact checkpoint in {dir} ({tried} candidate(s) tried); \
                  re-initialize the store with `domd checkpoint`"
+            ),
+            StorageError::AlreadyInitialized { dir } => write!(
+                f,
+                "store {dir} already holds durable state; recover it with \
+                 `domd recover`, or clear the directory to re-create it"
             ),
         }
     }

@@ -305,10 +305,13 @@ fn print_recovery_report(report: &domd::index::RecoveryReport) {
     );
     match &report.tail_fault {
         Some(fault) => println!(
-            "  discarded {} damaged tail byte(s): {fault}",
+            "  removed {} damaged tail byte(s) from the live WAL: {fault}",
             report.discarded_bytes
         ),
         None => println!("  WAL tail intact"),
+    }
+    if let Some(q) = &report.quarantined_tail {
+        println!("  removed tail preserved at {}", q.display());
     }
     println!("  live state: {} RCC(s) at epoch {}", report.rows, report.epoch);
 }
