@@ -1,0 +1,46 @@
+// lint-fixture: path=crates/core/src/fixture_lexing.rs
+// Adversarial lexing: every construct here hides rule-shaped text from
+// a correct lexer. The only real finding is the final unwrap, which
+// proves the lexer re-synchronises after each trap.
+
+pub fn traps(x: Option<u32>) -> u32 {
+    let _plain = "call x.unwrap() then thread::spawn then panic!";
+    let _escaped = "escapes \" x.expect(\"m\") \\\" still a string";
+    let _raw = r"raw x.unwrap() thread::spawn";
+    let _fenced = r#"fenced "quote inside" x.unwrap()"#;
+    let _deep = r##"deeper fence "# not the end" Instant::now()"##;
+    let _bytes = b"byte string with panic! inside";
+    let _char = '"'; // a quote as a char literal must not open a string
+    let _esc_char = '\''; // escaped quote in a char literal
+    let _not_a_waiver = "domd-lint: allow(no-panic) — strings are not comments";
+    /* block comment with x.unwrap() and thread::spawn
+       /* nested block comment with SystemTime::now() */
+       still inside the outer comment: panic!("nope") */
+    let _lifetime: &'static str = "lifetimes are not char literals";
+    x.unwrap() //~ no-panic
+}
+
+pub fn generic_noise<'a, T>(v: &'a [T]) -> usize {
+    // Comparison operators must not be mistaken for generic brackets.
+    let n = v.len();
+    if n < 3 && n + 1 > 0 {
+        n
+    } else {
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // An entire module of violations, structurally skipped.
+    use std::collections::HashMap;
+
+    #[test]
+    fn full_of_violations() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+        let _t = std::time::Instant::now();
+        std::thread::spawn(|| ()).join().unwrap();
+        panic!("tests may do all of this");
+    }
+}

@@ -1,0 +1,24 @@
+// lint-fixture: path=crates/core/src/fixture_r1_ok.rs
+// R1 conforming: typed errors and non-panicking combinators only.
+
+pub enum FixtureError {
+    Empty,
+}
+
+pub fn take(x: Option<u32>) -> Result<u32, FixtureError> {
+    x.ok_or(FixtureError::Empty)
+}
+
+pub fn defaulted(x: Option<u32>) -> u32 {
+    // The `unwrap_or` family never panics and is not R1's business.
+    x.unwrap_or(0).max(x.unwrap_or_default()).max(x.unwrap_or_else(|| 7))
+}
+
+pub fn checked(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+#[test]
+fn a_bare_test_fn_may_panic() {
+    Option::<u32>::None.expect("tests are exempt");
+}

@@ -1,0 +1,41 @@
+// lint-fixture: path=crates/core/src/fixture_r1.rs
+// R1: panicking constructs in non-test library code.
+
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap() //~ no-panic
+}
+
+pub fn read(r: Result<u32, String>) -> u32 {
+    r.expect("must parse") //~ no-panic
+}
+
+pub fn flipped(r: Result<u32, String>) -> String {
+    r.unwrap_err() //~ no-panic
+}
+
+pub fn by_path(x: Option<u32>) -> u32 {
+    Option::unwrap(x) //~ no-panic
+}
+
+pub fn boom() {
+    panic!("library code must return typed errors"); //~ no-panic
+}
+
+pub fn later() -> u32 {
+    todo!() //~ no-panic
+}
+
+pub fn cant_happen() {
+    unreachable!("prove it to the type system instead"); //~ no-panic
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code panics by design: none of these may be reported.
+    #[test]
+    fn asserts_freely() {
+        Some(1).unwrap();
+        Err::<u32, _>("e").expect("boom");
+        panic!("fine in tests");
+    }
+}

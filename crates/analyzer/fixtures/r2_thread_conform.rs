@@ -1,0 +1,12 @@
+// lint-fixture: path=crates/runtime/src/fixture_pool.rs
+// R2 conforming: inside crates/runtime/ the pool may touch std::thread.
+
+pub fn pooled(items: &[u32]) -> Vec<u32> {
+    std::thread::scope(|scope| {
+        let h = scope.spawn(|| items.to_vec());
+        match h.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}

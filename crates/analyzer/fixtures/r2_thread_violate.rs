@@ -1,0 +1,12 @@
+// lint-fixture: path=crates/features/src/fixture_r2.rs
+// R2: raw threading outside the bounded domd-runtime pool.
+
+use std::thread;
+
+pub fn fan_out(items: &[u32]) -> Vec<u32> {
+    let h = thread::spawn(|| 1); //~ thread-spawn
+    let v = std::thread::scope(|_s| items.to_vec()); //~ thread-spawn
+    let _b = thread::Builder::new(); //~ thread-spawn
+    drop(h);
+    v
+}

@@ -1,0 +1,32 @@
+// lint-fixture: path=crates/ml/src/fixture_r3_ok.rs
+// R3 conforming: seeded RNG, Fx/BTree containers, explicit hashers.
+
+use std::collections::BTreeMap;
+
+pub fn grouped(keys: &[u32]) -> usize {
+    // The Fx aliases carry their hasher in the third type parameter.
+    let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+    for k in keys {
+        *m.entry(*k).or_insert(0) += 1;
+    }
+    let explicit: HashMap<u32, u32, BuildHasherDefault<FxHasher>> = Default::default();
+    let mut ordered: BTreeMap<u32, u32> = BTreeMap::new();
+    ordered.insert(1, 2);
+    m.len() + explicit.len() + ordered.len()
+}
+
+pub fn seeded(seed: u64) -> u64 {
+    let rng = SmallRng::seed_from_u64(seed);
+    drop(rng);
+    seed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_default_hashers_and_clocks() {
+        let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let _t = std::time::Instant::now();
+        assert!(m.is_empty());
+    }
+}

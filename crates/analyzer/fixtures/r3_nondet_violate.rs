@@ -1,0 +1,26 @@
+// lint-fixture: path=crates/ml/src/fixture_r3.rs
+// R3: nondeterminism sources in result-producing code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn timed() -> u64 {
+    let _t = std::time::Instant::now(); //~ nondeterminism
+    let _w = std::time::SystemTime::now(); //~ nondeterminism
+    0
+}
+
+pub fn seeded_badly() -> u64 {
+    let _r = thread_rng(); //~ nondeterminism
+    let _s = SmallRng::from_entropy(); //~ nondeterminism
+    0
+}
+
+pub fn grouped(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new(); //~ nondeterminism nondeterminism
+    for k in keys {
+        *m.entry(*k).or_insert(0) += 1;
+    }
+    let s: HashSet<u32> = keys.iter().copied().collect(); //~ nondeterminism
+    m.len() + s.len()
+}

@@ -1,0 +1,25 @@
+// lint-fixture: path=crates/index/src/durable.rs
+// R4 conforming: WAL-before-apply in every mutating function.
+
+impl<I> Fixture<I> {
+    pub fn insert(&mut self, rcc: &LogicalRcc) -> Result<bool, StorageError> {
+        let rec = record_of(rcc);
+        self.wal.append(&rec)?;
+        self.index.insert_logical(rcc);
+        Ok(true)
+    }
+
+    pub fn move_end(&mut self, rcc: &LogicalRcc, end: f64) -> Result<bool, StorageError> {
+        self.wal.append(&record_of(rcc))?;
+        self.index.remove_logical(rcc);
+        self.index.insert_logical(&moved(rcc, end));
+        Ok(true)
+    }
+
+    // A replay helper is exempt only through an inventoried waiver: the
+    // records it applies are already durable in the log.
+    fn replay_one(&mut self, rec: &WalRecord) {
+        // domd-lint: allow(wal-order) — replays a record already durable in the WAL //~waiver wal-order
+        self.index.insert_logical(&rec.row);
+    }
+}

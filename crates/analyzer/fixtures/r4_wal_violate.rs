@@ -1,0 +1,27 @@
+// lint-fixture: path=crates/index/src/durable.rs
+// R4: index mutation with no preceding WAL append in the same function.
+
+impl<I> Fixture<I> {
+    pub fn apply_unlogged(&mut self, rcc: &LogicalRcc) {
+        self.index.insert_logical(rcc); //~ wal-order
+    }
+
+    pub fn append_too_late(&mut self, rcc: &LogicalRcc) -> Result<(), StorageError> {
+        self.index.remove_logical(rcc); //~ wal-order
+        // Logging *after* the mutation inverts the durability contract:
+        // the call above is still a violation.
+        self.wal.append(&rec(rcc))?;
+        Ok(())
+    }
+
+    pub fn logged_in_another_fn(&mut self) {
+        self.log_first();
+        // The append lives in a different function body; call order is
+        // checked structurally *within* one body.
+        self.index.insert_logical(&self.pending); //~ wal-order
+    }
+
+    fn log_first(&mut self) {
+        let _ = self.wal.append(&self.rec);
+    }
+}

@@ -1,0 +1,6 @@
+// lint-fixture: path=crates/fake/src/lib.rs
+// R5 conforming: the agreed header, grouped form also accepted.
+
+#![deny(unsafe_code)]
+
+pub mod something;

@@ -1,0 +1,8 @@
+// lint-fixture: path=crates/fake/src/lib.rs //~ lint-header
+// R5: a crate root with no `#![deny(unsafe_code)]` header. The finding
+// anchors to line 1 (file level).
+//
+// A deny of something else does not satisfy the header rule:
+#![deny(dead_code)]
+
+pub mod something;

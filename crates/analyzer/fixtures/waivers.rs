@@ -1,0 +1,25 @@
+// lint-fixture: path=crates/core/src/fixture_waivers.rs
+// The waiver policy: justified waivers suppress and are inventoried;
+// malformed, unknown, and unused waivers are themselves violations.
+
+pub fn justified_same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // domd-lint: allow(no-panic) — fixture: caller checked is_some() //~waiver no-panic
+}
+
+pub fn justified_line_above(x: Option<u32>) -> u32 {
+    // domd-lint: allow(no-panic) — fixture: value seeded two lines up //~waiver no-panic
+    x.unwrap()
+}
+
+pub fn unjustified(x: Option<u32>) -> u32 {
+    // domd-lint: allow(no-panic) //~ waiver-policy
+    x.unwrap() //~ no-panic
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    // domd-lint: allow(no-such-rule) — never heard of it //~ waiver-policy
+    x.unwrap() //~ no-panic
+}
+
+// domd-lint: allow(thread-spawn) — suppresses nothing at all //~ waiver-policy
+pub fn unused_waiver() {}

@@ -1,0 +1,79 @@
+//! The workspace invariant policy: which paths each rule governs.
+//!
+//! Every exemption here is a *policy decision* recorded in DESIGN.md §9,
+//! not a convenience. The shape is deliberately dumb — prefix and suffix
+//! matching over workspace-relative paths with `/` separators — so a
+//! reviewer can audit the whole waiver-free surface in one screen.
+
+/// Directory names never descended into. `tests`, `benches`, `examples`
+/// and `fixtures` hold code that *may* panic or spawn freely (test code
+/// is exempt from R1–R3 by definition, and the analyzer's own fixture
+/// corpus is violations on purpose); `target` and `vendor` are not ours.
+pub const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "tests", "benches", "examples", "fixtures", ".git",
+];
+
+/// Path prefixes exempt from R1 (`no-panic`). The bench crate is the
+/// measurement harness: its binaries abort an experiment run on bad
+/// flags or impossible invariants, and nothing downstream serves traffic
+/// from it. Everything else must return typed errors.
+pub const NO_PANIC_EXEMPT: &[&str] = &["crates/bench/"];
+
+/// Path prefixes allowed to touch `std::thread` directly (R2). The PR-2
+/// contract: all parallelism flows through the bounded, no-nesting
+/// `domd-runtime` pool, so thread-count changes cannot change results.
+pub const THREAD_ALLOWED: &[&str] = &["crates/runtime/"];
+
+/// Path prefixes allowed to read wall/monotonic clocks (R3). Timing is
+/// the bench harness's purpose; result-producing code must not branch on
+/// time.
+pub const TIME_ALLOWED: &[&str] = &["crates/bench/"];
+
+/// The file governed by R4 (`wal-order`): the WAL-before-apply wrapper.
+pub const WAL_ORDER_FILE: &str = "crates/index/src/durable.rs";
+
+/// Methods that mutate the wrapped index (R4): each call must be
+/// preceded, within the same `fn` body, by a WAL `append`.
+pub const WAL_MUTATORS: &[&str] = &["insert_logical", "remove_logical"];
+
+/// The call that makes a mutation durable-ordered (R4).
+pub const WAL_APPENDER: &str = "append";
+
+/// The lint attribute every crate root must carry (R5), as the ident
+/// sequence inside `#![deny(...)]`.
+pub const REQUIRED_DENY: &str = "unsafe_code";
+
+/// True when `rel_path` (workspace-relative, `/`-separated) is a crate
+/// root subject to R5: `src/lib.rs` of the umbrella crate or of any
+/// workspace member.
+pub fn is_crate_root(rel_path: &str) -> bool {
+    rel_path == "src/lib.rs"
+        || (rel_path.starts_with("crates/")
+            && rel_path.ends_with("/src/lib.rs")
+            && rel_path.matches('/').count() == 3)
+}
+
+/// True when `rel_path` starts with any of `prefixes`.
+pub fn matches_prefix(rel_path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel_path.starts_with(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_roots_are_exactly_lib_rs() {
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/storage/src/lib.rs"));
+        assert!(!is_crate_root("crates/storage/src/wal.rs"));
+        assert!(!is_crate_root("src/cli.rs"));
+        assert!(!is_crate_root("crates/storage/src/nested/lib.rs"));
+    }
+
+    #[test]
+    fn prefix_matching_is_literal() {
+        assert!(matches_prefix("crates/bench/src/util.rs", NO_PANIC_EXEMPT));
+        assert!(!matches_prefix("crates/core/src/query.rs", NO_PANIC_EXEMPT));
+    }
+}

@@ -1,0 +1,339 @@
+//! A minimal Rust lexer, sufficient for rule matching.
+//!
+//! The analyzer's rules match *token* sequences — `.unwrap()`,
+//! `thread :: spawn`, `# ! [ deny ( unsafe_code ) ]` — so the one job of
+//! this lexer is to never manufacture a token out of text that the Rust
+//! compiler would not see as code: comments (line, nested block, doc),
+//! string literals (plain, byte, raw with any `#` fence depth), char and
+//! byte-char literals, and lifetimes must all be skipped or classified
+//! correctly. A lexer that mistakes `"call .unwrap() here"` for code
+//! produces false positives; one that mistakes `/* */ x.unwrap()` for a
+//! comment produces false negatives. `domd-lint --self-check` exercises
+//! both directions against the fixture corpus.
+//!
+//! Numeric literal shapes are handled loosely (the rules never match
+//! inside numbers), but the lexer must not *lose* the token that follows
+//! one.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unwrap`, `fn`, `HashMap`).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `(`, `!`, …).
+    Punct(char),
+    /// Any literal: string, raw string, char, byte, or number. The
+    /// content is irrelevant to every rule, so it is not retained.
+    Literal,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub tok: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+/// A comment (line, block, or doc) with its starting line — retained
+/// because `// domd-lint: allow(...)` waivers live in comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line number where the comment starts.
+    pub line: usize,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`. Unterminated constructs (string, block comment) are
+/// tolerated by consuming to end of input — the analyzer must degrade to
+/// "fewer tokens", never panic, on malformed input.
+pub fn lex(source: &str) -> Lexed {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment { text: b[start..i].iter().collect(), line });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments
+                    .push(Comment { text: b[start..i].iter().collect(), line: start_line });
+            }
+            '"' => {
+                let tok_line = line;
+                i = consume_string(&b, i, &mut line);
+                out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+            }
+            '\'' => {
+                // Char literal vs. lifetime: `'\…'` and `'x'` are chars;
+                // `'ident` (no closing quote after one char) is a lifetime.
+                if i + 1 < n && b[i + 1] == '\\' {
+                    let tok_line = line;
+                    i = consume_char_literal(&b, i, &mut line);
+                    out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    out.tokens.push(Token { tok: Tok::Literal, line });
+                    if b[i + 1] == '\n' {
+                        line += 1;
+                    }
+                    i += 3;
+                } else {
+                    // Lifetime: skip the quote; the label lexes as an ident.
+                    i += 1;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                // String-literal prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+                let next = b.get(i).copied();
+                let tok_line = line;
+                match (ident.as_str(), next) {
+                    ("r" | "br" | "rb", Some('"' | '#')) if raw_string_follows(&b, i) => {
+                        i = consume_raw_string(&b, i, &mut line);
+                        out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                    }
+                    ("b", Some('"')) => {
+                        i = consume_string(&b, i, &mut line);
+                        out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                    }
+                    ("b", Some('\'')) => {
+                        i = consume_char_literal(&b, i, &mut line);
+                        out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                    }
+                    _ => out.tokens.push(Token { tok: Tok::Ident(ident), line: tok_line }),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // Loose number: digits, `_`, alphanumerics (hex, suffixes,
+                // exponents), a `.` only when a digit follows (so `1..n`
+                // and `0.max(x)` keep their punctuation).
+                while i < n {
+                    let d = b[i];
+                    let digit_follows = i + 1 < n && b[i + 1].is_ascii_digit();
+                    if d.is_alphanumeric()
+                        || d == '_'
+                        || (d == '.' && digit_follows)
+                        || ((d == '+' || d == '-')
+                            && matches!(b.get(i.wrapping_sub(1)), Some('e' | 'E'))
+                            && digit_follows)
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token { tok: Tok::Literal, line });
+            }
+            other => {
+                out.tokens.push(Token { tok: Tok::Punct(other), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when the text at `i` (just past an `r`/`br` prefix) opens a raw
+/// string: zero or more `#` then `"`.
+fn raw_string_follows(b: &[char], mut i: usize) -> bool {
+    while i < b.len() && b[i] == '#' {
+        i += 1;
+    }
+    i < b.len() && b[i] == '"'
+}
+
+/// Consumes a raw string starting at `i` (at the `#`s or `"` after the
+/// prefix); returns the index past the closing fence.
+fn consume_raw_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a `"…"` string starting at the quote (or the `b` prefix's
+/// quote); returns the index past the closing quote.
+fn consume_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote (caller points at `"` or at `b` + 1 == `"`)
+    while i < b.len() && b[i] != '"' {
+        if b[i] == '\\' {
+            i += 1; // the escaped character, even if it is a quote
+        } else if b[i] == '\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    (i + 1).min(b.len())
+}
+
+/// Consumes a `'…'` char/byte-char literal starting at the quote;
+/// returns the index past the closing quote.
+fn consume_char_literal(b: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote
+    while i < b.len() && b[i] != '\'' {
+        if b[i] == '\\' {
+            i += 1;
+        } else if b[i] == '\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    (i + 1).min(b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let x = "call .unwrap() now";"#), ["let", "x"]);
+        assert_eq!(idents(r##"let x = r#"thread::spawn"#;"##), ["let", "x"]);
+        assert_eq!(idents(r#"let x = b"panic!";"#), ["let", "x"]);
+        assert_eq!(idents(r#"let x = "esc \" .expect( ";"#), ["let", "x"]);
+    }
+
+    #[test]
+    fn comments_hide_their_contents_but_are_recorded() {
+        let lx = lex("// has .unwrap()\n/* outer /* nested .expect( */ still */ fn f() {}");
+        let ids: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, ["fn", "f"]);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("unwrap"));
+        assert!(lx.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // `'a` must not swallow `, T.unwrap()` as literal content.
+        let ids = idents("fn f<'a, T>(x: &'a T) { x.unwrap() }");
+        assert!(ids.contains(&"unwrap".to_string()), "{ids:?}");
+        // Real char literals, including escapes and quotes.
+        assert_eq!(idents(r"let c = '\''; let d = 'x'; let e = '\u{41}';"), [
+            "let", "c", "let", "d", "let", "e"
+        ]);
+        assert_eq!(idents(r"let c = b'\n';"), ["let", "c"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "fn a() {}\n\"two\nline string\"\nfn b() {}\n/* block\ncomment */ fn c() {}";
+        let lx = lex(src);
+        let line_of = |name: &str| {
+            lx.tokens
+                .iter()
+                .find(|t| t.tok == Tok::Ident(name.to_string()))
+                .map(|t| t.line)
+        };
+        assert_eq!(line_of("a"), Some(1));
+        assert_eq!(line_of("b"), Some(4));
+        assert_eq!(line_of("c"), Some(6));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_following_tokens() {
+        let ids = idents("for i in 0..n { let y = 1.0e-5; q.unwrap(); }");
+        assert!(ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"n".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn raw_fence_depths_match() {
+        let src = r####"let x = r##"inner "# not the end" .unwrap()"## ; y.expect("m")"####;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "x", "y", "expect"]);
+    }
+
+    #[test]
+    fn unterminated_input_never_panics() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b'", "x.unwrap("] {
+            let _ = lex(src);
+        }
+    }
+}

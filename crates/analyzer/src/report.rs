@@ -1,0 +1,223 @@
+//! Findings, waivers, and the machine-readable report.
+
+use std::fmt::Write as _;
+
+/// The five project-invariant rules plus the waiver meta-rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// R1: no `unwrap`/`expect`/`panic!` family in non-test code.
+    NoPanic,
+    /// R2: no `std::thread` use outside `domd-runtime`.
+    ThreadSpawn,
+    /// R3: no wall clocks, ambient RNG, or default-hasher maps.
+    Nondeterminism,
+    /// R4: WAL append must precede index mutation in `durable.rs`.
+    WalOrder,
+    /// R5: crate roots carry the agreed `#![deny(...)]` header.
+    LintHeader,
+    /// Meta: a malformed, unjustified, or unused waiver comment.
+    WaiverPolicy,
+}
+
+impl Rule {
+    /// Stable kebab-case id used in reports and `allow(...)` comments.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::Nondeterminism => "nondeterminism",
+            Rule::WalOrder => "wal-order",
+            Rule::LintHeader => "lint-header",
+            Rule::WaiverPolicy => "waiver-policy",
+        }
+    }
+
+    /// Parses a rule id as written in an `allow(...)` comment.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "no-panic" => Some(Rule::NoPanic),
+            "thread-spawn" => Some(Rule::ThreadSpawn),
+            "nondeterminism" => Some(Rule::Nondeterminism),
+            "wal-order" => Some(Rule::WalOrder),
+            "lint-header" => Some(Rule::LintHeader),
+            "waiver-policy" => Some(Rule::WaiverPolicy),
+            _ => None,
+        }
+    }
+
+    /// Every waivable rule, for `--self-check` coverage accounting.
+    pub const ALL: &'static [Rule] = &[
+        Rule::NoPanic,
+        Rule::ThreadSpawn,
+        Rule::Nondeterminism,
+        Rule::WalOrder,
+        Rule::LintHeader,
+    ];
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// What was found and what the fix is.
+    pub message: String,
+}
+
+/// One accepted `// domd-lint: allow(<rule>) — <justification>` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: usize,
+    /// The waived rule.
+    pub rule: Rule,
+    /// The stated justification (non-empty by construction).
+    pub justification: String,
+}
+
+/// The result of scanning a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unwaived violations, in (file, line) order.
+    pub violations: Vec<Finding>,
+    /// The full waiver surface, in (file, line) order.
+    pub waivers: Vec<Waiver>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when no violation survived waiver application.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Deterministic ordering for output and tests.
+    pub fn sort(&mut self) {
+        self.violations.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+        self.waivers.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+    }
+
+    /// Human-readable report (one line per violation, then the waiver
+    /// inventory so reviewers always see the full exempted surface).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule.id(), v.message);
+        }
+        if !self.waivers.is_empty() {
+            let _ = writeln!(out, "waivers ({}):", self.waivers.len());
+            for w in &self.waivers {
+                let _ = writeln!(
+                    out,
+                    "  {}:{} [{}] — {}",
+                    w.file,
+                    w.line,
+                    w.rule.id(),
+                    w.justification
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "domd-lint: {} file(s), {} violation(s), {} waiver(s)",
+            self.files_scanned,
+            self.violations.len(),
+            self.waivers.len()
+        );
+        out
+    }
+
+    /// Machine-readable report for CI.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"clean\": ");
+        out.push_str(if self.is_clean() { "true" } else { "false" });
+        let _ = write!(out, ",\n  \"files_scanned\": {},\n  \"violations\": [", self.files_scanned);
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(&v.file),
+                v.line,
+                json_str(v.rule.id()),
+                json_str(&v.message)
+            );
+        }
+        out.push_str(if self.violations.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"waivers\": [");
+        for (i, w) in self.waivers.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"justification\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(&w.file),
+                w.line,
+                json_str(w.rule.id()),
+                json_str(&w.justification)
+            );
+        }
+        out.push_str(if self.waivers.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+        out
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut r = Report { files_scanned: 1, ..Report::default() };
+        r.violations.push(Finding {
+            file: "a\"b.rs".into(),
+            line: 3,
+            rule: Rule::NoPanic,
+            message: "tab\there".into(),
+        });
+        let j = r.render_json();
+        assert!(j.contains(r#""file": "a\"b.rs""#), "{j}");
+        assert!(j.contains(r#""message": "tab\there""#), "{j}");
+        assert!(j.contains(r#""clean": false"#));
+    }
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_id(r.id()), Some(*r));
+        }
+        assert_eq!(Rule::from_id("waiver-policy"), Some(Rule::WaiverPolicy));
+        assert_eq!(Rule::from_id("nope"), None);
+    }
+}

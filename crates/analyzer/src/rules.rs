@@ -1,0 +1,634 @@
+//! The per-file rule engine.
+//!
+//! Rules match token sequences from [`crate::lexer`], so string/comment
+//! content can never trigger them. Test code — `#[cfg(test)]` modules and
+//! `#[test]` functions — is structurally skipped for R1–R4: the
+//! invariants guard the ingest→train→serve path, and test code panics
+//! and spawns by design.
+//!
+//! A finding is suppressed only by an inline waiver comment on the same
+//! line or the line directly above:
+//!
+//! ```text
+//! // domd-lint: allow(no-panic) — slice length checked two lines up
+//! ```
+//!
+//! Waivers require a justification, must actually suppress something,
+//! and are inventoried into the report so the full exempted surface is
+//! visible to CI and reviewers.
+
+use crate::config;
+use crate::lexer::{self, Tok, Token};
+use crate::report::{Finding, Rule, Waiver};
+
+/// Result of scanning one file: surviving violations plus the waivers
+/// that were applied.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Violations that no waiver covered.
+    pub violations: Vec<Finding>,
+    /// Waivers that suppressed a finding.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Scans one file's source. `rel_path` is workspace-relative with `/`
+/// separators; it selects which rules and exemptions apply.
+pub fn scan_file(rel_path: &str, source: &str) -> FileScan {
+    let lexed = lexer::lex(source);
+    let toks = &lexed.tokens;
+    let in_test = test_mask(toks);
+    let test_ranges = test_line_ranges(toks, &in_test);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mk = |line: usize, rule: Rule, message: String| Finding {
+        file: rel_path.to_string(),
+        line,
+        rule,
+        message,
+    };
+
+    // R1 — no-panic.
+    if !config::matches_prefix(rel_path, config::NO_PANIC_EXEMPT) {
+        for (i, t) in toks.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            if let Tok::Ident(name) = &t.tok {
+                let panicky_method =
+                    matches!(name.as_str(), "unwrap" | "expect" | "unwrap_err" | "expect_err");
+                if panicky_method && is_method_or_path_call(toks, i) {
+                    findings.push(mk(
+                        t.line,
+                        Rule::NoPanic,
+                        format!(
+                            "`.{name}()` in non-test code — return a typed \
+                             `DomdError`/`StorageError`, or waive: \
+                             `// domd-lint: allow(no-panic) — <why this cannot fail>`"
+                        ),
+                    ));
+                }
+                let panicky_macro =
+                    matches!(name.as_str(), "panic" | "unreachable" | "todo" | "unimplemented");
+                if panicky_macro && matches!(toks.get(i + 1), Some(Token { tok: Tok::Punct('!'), .. }))
+                {
+                    findings.push(mk(
+                        t.line,
+                        Rule::NoPanic,
+                        format!(
+                            "`{name}!` in non-test code — return a typed error, or waive: \
+                             `// domd-lint: allow(no-panic) — <why this is unreachable>`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // R2 — thread-spawn.
+    if !config::matches_prefix(rel_path, config::THREAD_ALLOWED) {
+        for (i, t) in toks.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            if ident_is(t, "thread") && path_sep_follows(toks, i) {
+                if let Some(Tok::Ident(what)) = toks.get(i + 3).map(|t| &t.tok) {
+                    if matches!(what.as_str(), "spawn" | "scope" | "Builder") {
+                        findings.push(mk(
+                            t.line,
+                            Rule::ThreadSpawn,
+                            format!(
+                                "`thread::{what}` outside `domd-runtime` — all parallelism \
+                                 must flow through the bounded `domd_runtime` pool so \
+                                 thread counts cannot change results"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // R3 — nondeterminism: clocks, ambient RNG, default-hasher maps.
+    let time_ok = config::matches_prefix(rel_path, config::TIME_ALLOWED);
+    let mut in_use = false;
+    for (i, t) in toks.iter().enumerate() {
+        match &t.tok {
+            Tok::Ident(id) if id == "use" => in_use = true,
+            Tok::Punct(';') => in_use = false,
+            _ => {}
+        }
+        if in_test[i] {
+            continue;
+        }
+        if let Tok::Ident(name) = &t.tok {
+            match name.as_str() {
+                "SystemTime" | "Instant"
+                    if !time_ok
+                        && path_sep_follows(toks, i)
+                        && matches!(toks.get(i + 3).map(|t| &t.tok),
+                                    Some(Tok::Ident(m)) if m == "now") =>
+                {
+                    findings.push(mk(
+                        t.line,
+                        Rule::Nondeterminism,
+                        format!(
+                            "`{name}::now` in result-producing code — outputs must be \
+                             a pure function of inputs and seeds (timing belongs in \
+                             `crates/bench`)"
+                        ),
+                    ));
+                }
+                "thread_rng" | "from_entropy" => {
+                    findings.push(mk(
+                        t.line,
+                        Rule::Nondeterminism,
+                        format!(
+                            "`{name}` draws OS entropy — seed a `SmallRng` explicitly so \
+                             every run is reproducible"
+                        ),
+                    ));
+                }
+                "HashMap" | "HashSet" if !in_use && !has_explicit_hasher(toks, i) => {
+                    findings.push(mk(
+                        t.line,
+                        Rule::Nondeterminism,
+                        format!(
+                            "default-hasher `{name}` — iteration order is unstable \
+                             across builds; use `domd_data::hash::Fx{name}`, a \
+                             `BTree` map, or waive with a lookup-only justification"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // R4 — wal-order, only in the durable wrapper.
+    if rel_path == config::WAL_ORDER_FILE {
+        wal_order(toks, &in_test, &mut findings, rel_path);
+    }
+
+    // R5 — lint-header on crate roots.
+    if config::is_crate_root(rel_path) && !has_deny_header(toks) {
+        findings.push(mk(
+            1,
+            Rule::LintHeader,
+            format!(
+                "crate root missing `#![deny({})]` — every crate carries the agreed \
+                 lint header (DESIGN.md §9)",
+                config::REQUIRED_DENY
+            ),
+        ));
+    }
+
+    apply_waivers(rel_path, &lexed.comments, &test_ranges, findings)
+}
+
+/// True when `toks[i]` names a rule-relevant ident (exact match).
+fn ident_is(t: &Token, name: &str) -> bool {
+    matches!(&t.tok, Tok::Ident(s) if s == name)
+}
+
+/// True when `toks[i]` is called as `.name(` or `::name` — the method
+/// and fn-path forms that can actually panic (a local fn coincidentally
+/// named `expect` would be `expect(`, which does not match).
+fn is_method_or_path_call(toks: &[Token], i: usize) -> bool {
+    let dot = i >= 1 && matches!(toks[i - 1].tok, Tok::Punct('.'));
+    let path = i >= 2
+        && matches!(toks[i - 1].tok, Tok::Punct(':'))
+        && matches!(toks[i - 2].tok, Tok::Punct(':'));
+    dot || path
+}
+
+/// True when `::` follows `toks[i]` (two `:` puncts).
+fn path_sep_follows(toks: &[Token], i: usize) -> bool {
+    matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+        && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+}
+
+/// True when the `HashMap`/`HashSet` at `i` is written with an explicit
+/// hasher parameter: `<K, V, S>` (two-plus top-level commas for maps;
+/// one-plus for sets is still ambiguous, so sets also need two commas —
+/// i.e. sets always use the alias). Counts commas at angle depth 1,
+/// ignoring commas nested in `()`/`[]`/deeper `<>`.
+fn has_explicit_hasher(toks: &[Token], i: usize) -> bool {
+    // Accept both `HashMap<…>` and turbofish `HashMap::<…>`.
+    let mut j = i + 1;
+    if path_sep_follows(toks, i)
+        && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Punct('<')))
+    {
+        j = i + 3;
+    }
+    if !matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+        return false; // `HashMap::new()` etc.: default hasher
+    }
+    let is_set = matches!(&toks[i].tok, Tok::Ident(s) if s == "HashSet");
+    let needed = if is_set { 1 } else { 2 };
+    let mut angle = 0isize;
+    let mut other = 0isize;
+    let mut commas = 0usize;
+    for t in toks.iter().skip(j) {
+        match t.tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => {
+                angle -= 1;
+                if angle == 0 {
+                    return commas >= needed;
+                }
+            }
+            Tok::Punct('(') | Tok::Punct('[') => other += 1,
+            Tok::Punct(')') | Tok::Punct(']') => other -= 1,
+            Tok::Punct(',') if angle == 1 && other == 0 => commas += 1,
+            Tok::Punct(';') => return commas >= needed, // statement ended: `a < b` comparison
+            _ => {}
+        }
+    }
+    commas >= needed
+}
+
+/// R4: within each `fn` body, every `.insert_logical(`/`.remove_logical(`
+/// must be preceded by a `.append(` in that same body.
+fn wal_order(toks: &[Token], in_test: &[bool], findings: &mut Vec<Finding>, rel_path: &str) {
+    struct Frame {
+        depth: isize,
+        appended: bool,
+    }
+    let mut depth = 0isize;
+    let mut fn_pending = false;
+    let mut stack: Vec<Frame> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        match &t.tok {
+            Tok::Ident(id) if id == "fn" => fn_pending = true,
+            Tok::Punct('{') => {
+                depth += 1;
+                if fn_pending {
+                    stack.push(Frame { depth, appended: false });
+                    fn_pending = false;
+                }
+            }
+            Tok::Punct('}') => {
+                if stack.last().is_some_and(|f| f.depth == depth) {
+                    stack.pop();
+                }
+                depth -= 1;
+            }
+            Tok::Ident(id) if id == config::WAL_APPENDER && is_method_or_path_call(toks, i) => {
+                if let Some(f) = stack.last_mut() {
+                    f.appended = true;
+                }
+            }
+            Tok::Ident(id)
+                if config::WAL_MUTATORS.contains(&id.as_str())
+                    && is_method_or_path_call(toks, i) =>
+            {
+                let ordered = stack.last().is_some_and(|f| f.appended);
+                if !ordered {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        rule: Rule::WalOrder,
+                        message: format!(
+                            "`.{id}(` mutates the wrapped index with no preceding WAL \
+                             `.append(` in this function — a crash here loses an \
+                             acknowledged mutation (WAL-before-apply, DESIGN.md §8)"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True when the token stream contains `#![deny(... unsafe_code ...)]`.
+fn has_deny_header(toks: &[Token]) -> bool {
+    for i in 0..toks.len() {
+        if matches!(toks[i].tok, Tok::Punct('#'))
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')))
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct('[')))
+            && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Ident(d)) if d == "deny")
+        {
+            // Scan the attr's bracket span for the required lint name.
+            let mut bracket = 1isize;
+            let mut j = i + 3;
+            while let Some(t) = toks.get(j + 1) {
+                j += 1;
+                match &t.tok {
+                    Tok::Punct('[') => bracket += 1,
+                    Tok::Punct(']') => {
+                        bracket -= 1;
+                        if bracket == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Ident(id) if id == config::REQUIRED_DENY => return true,
+                    _ => {}
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Marks every token inside `#[cfg(test)]` / `#[test]` items.
+fn test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut depth = 0isize;
+    let mut skip_at: Option<isize> = None;
+    let mut pending = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Outer attribute `#[ … ]`: does it force a test item?
+        if skip_at.is_none()
+            && matches!(toks[i].tok, Tok::Punct('#'))
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+        {
+            let mut bracket = 1isize;
+            let mut j = i + 1;
+            let mut idents: Vec<&str> = Vec::new();
+            while let Some(t) = toks.get(j + 1) {
+                j += 1;
+                match &t.tok {
+                    Tok::Punct('[') => bracket += 1,
+                    Tok::Punct(']') => {
+                        bracket -= 1;
+                        if bracket == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Ident(id) => idents.push(id),
+                    _ => {}
+                }
+            }
+            let is_test_attr = idents.first() == Some(&"test")
+                || (idents.contains(&"cfg") && idents.contains(&"test"));
+            if is_test_attr {
+                pending = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        match toks[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                if pending && skip_at.is_none() {
+                    skip_at = Some(depth);
+                    pending = false;
+                }
+            }
+            Tok::Punct('}') => {
+                if skip_at == Some(depth) {
+                    mask[i] = true; // the closing brace is still test code
+                    skip_at = None;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(';') if pending && skip_at.is_none() => pending = false,
+            _ => {}
+        }
+        if skip_at.is_some() {
+            mask[i] = true;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Line ranges covered by test code, for waiver bookkeeping.
+fn test_line_ranges(toks: &[Token], mask: &[bool]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for (t, m) in toks.iter().zip(mask) {
+        if !*m {
+            continue;
+        }
+        match ranges.last_mut() {
+            Some((_, end)) if t.line <= *end + 1 => *end = (*end).max(t.line),
+            _ => ranges.push((t.line, t.line)),
+        }
+    }
+    ranges
+}
+
+/// Parses waiver comments, applies them to `findings`, and flags
+/// malformed or unused waivers.
+fn apply_waivers(
+    rel_path: &str,
+    comments: &[lexer::Comment],
+    test_ranges: &[(usize, usize)],
+    findings: Vec<Finding>,
+) -> FileScan {
+    const MARK: &str = "domd-lint: allow(";
+    let in_test_line =
+        |line: usize| test_ranges.iter().any(|(a, b)| (*a..=*b).contains(&line));
+
+    let mut waivers: Vec<(Waiver, bool)> = Vec::new(); // (waiver, used)
+    let mut meta: Vec<Finding> = Vec::new();
+    for c in comments {
+        // Waivers must be plain `//` or `/*` comments: doc comments are
+        // rendered documentation (and routinely *describe* the waiver
+        // syntax), so they never grant one.
+        if c.text.starts_with("///") || c.text.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = c.text.find(MARK) else { continue };
+        if in_test_line(c.line) {
+            continue; // test code needs no waivers; ignore strays
+        }
+        let rest = &c.text[at + MARK.len()..];
+        let Some(close) = rest.find(')') else {
+            meta.push(Finding {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: Rule::WaiverPolicy,
+                message: "unclosed `domd-lint: allow(` comment".into(),
+            });
+            continue;
+        };
+        let rule_id = rest[..close].trim();
+        let Some(rule) = Rule::from_id(rule_id) else {
+            meta.push(Finding {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: Rule::WaiverPolicy,
+                message: format!("unknown rule `{rule_id}` in waiver"),
+            });
+            continue;
+        };
+        // Fixture expectation markers (`//~ …`) may share the line; they
+        // are never part of the justification.
+        let tail = &rest[close + 1..];
+        let tail = tail.find("//~").map_or(tail, |cut| &tail[..cut]);
+        let justification = tail
+            .trim_start_matches(|ch: char| {
+                ch.is_whitespace() || matches!(ch, '—' | '-' | '–' | ':')
+            })
+            .trim_end()
+            .to_string();
+        if justification.is_empty() {
+            meta.push(Finding {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: Rule::WaiverPolicy,
+                message: format!(
+                    "waiver for `{}` has no justification — write \
+                     `// domd-lint: allow({}) — <why>`",
+                    rule.id(),
+                    rule.id()
+                ),
+            });
+            continue;
+        }
+        waivers.push((
+            Waiver { file: rel_path.to_string(), line: c.line, rule, justification },
+            false,
+        ));
+    }
+
+    let mut surviving: Vec<Finding> = Vec::new();
+    for f in findings {
+        let covered = waivers.iter_mut().find(|(w, _)| {
+            w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line)
+        });
+        match covered {
+            Some((_, used)) => *used = true,
+            None => surviving.push(f),
+        }
+    }
+    for (w, used) in &waivers {
+        if !used {
+            surviving.push(Finding {
+                file: rel_path.to_string(),
+                line: w.line,
+                rule: Rule::WaiverPolicy,
+                message: format!(
+                    "waiver for `{}` suppresses nothing — remove it (a stale waiver \
+                     hides the next real violation)",
+                    w.rule.id()
+                ),
+            });
+        }
+    }
+    surviving.extend(meta);
+
+    FileScan {
+        violations: surviving,
+        waivers: waivers.into_iter().filter(|(_, used)| *used).map(|(w, _)| w).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/core/src/example.rs";
+
+    fn rules_found(src: &str) -> Vec<(usize, Rule)> {
+        scan_file(LIB, src).violations.into_iter().map(|f| (f.line, f.rule)).collect()
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged_and_test_code_is_not() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { Some(1).unwrap(); }\n}\n";
+        assert_eq!(rules_found(src), vec![(1, Rule::NoPanic)]);
+    }
+
+    #[test]
+    fn panic_macros_are_flagged_but_asserts_are_not() {
+        let src = "fn f() { assert!(true); panic!(\"boom\"); }";
+        assert_eq!(rules_found(src), vec![(1, Rule::NoPanic)]);
+    }
+
+    #[test]
+    fn unwrap_or_family_is_not_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
+        assert_eq!(rules_found(src), vec![]);
+    }
+
+    #[test]
+    fn waiver_on_line_above_suppresses_and_is_inventoried() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   // domd-lint: allow(no-panic) — caller guarantees Some\n\
+                   x.unwrap()\n}\n";
+        let scan = scan_file(LIB, src);
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert_eq!(scan.waivers.len(), 1);
+        assert_eq!(scan.waivers[0].justification, "caller guarantees Some");
+    }
+
+    #[test]
+    fn unjustified_and_unused_waivers_are_violations() {
+        let bad = "// domd-lint: allow(no-panic)\nfn f() {}\n";
+        assert_eq!(rules_found(bad), vec![(1, Rule::WaiverPolicy)]);
+        let unused = "// domd-lint: allow(no-panic) — nothing here\nfn f() {}\n";
+        assert_eq!(rules_found(unused), vec![(1, Rule::WaiverPolicy)]);
+    }
+
+    #[test]
+    fn default_hasher_maps_need_a_third_parameter() {
+        assert_eq!(
+            rules_found("fn f() { let m: HashMap<u32, (u8, u8)> = HashMap::new(); }"),
+            vec![(1, Rule::Nondeterminism), (1, Rule::Nondeterminism)]
+        );
+        assert_eq!(
+            rules_found(
+                "type Fx<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;\n\
+                 fn f(m: &FxHashMap<u32, u32>) -> Option<&u32> { m.get(&1) }"
+            ),
+            vec![]
+        );
+        // `use` declarations are not usage sites.
+        assert_eq!(rules_found("use std::collections::HashMap;\nfn f() {}"), vec![]);
+    }
+
+    #[test]
+    fn clocks_and_entropy_are_flagged_outside_bench() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(rules_found(src), vec![(1, Rule::Nondeterminism)]);
+        assert_eq!(scan_file("crates/bench/src/util.rs", src).violations, vec![]);
+        assert_eq!(
+            rules_found("fn f() { let mut r = SmallRng::from_entropy(); }"),
+            vec![(1, Rule::Nondeterminism)]
+        );
+    }
+
+    #[test]
+    fn thread_spawn_is_only_legal_in_runtime() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(rules_found(src), vec![(1, Rule::ThreadSpawn)]);
+        assert_eq!(scan_file("crates/runtime/src/pool.rs", src).violations, vec![]);
+    }
+
+    #[test]
+    fn wal_order_requires_append_before_mutation() {
+        let bad = "impl D {\n  fn apply(&mut self) {\n    self.index.insert_logical(&r);\n  }\n}";
+        let good = "impl D {\n  fn apply(&mut self) {\n    self.wal.append(&rec);\n    self.index.insert_logical(&r);\n  }\n}";
+        let scan = scan_file(config::WAL_ORDER_FILE, bad);
+        assert_eq!(
+            scan.violations.iter().map(|f| (f.line, f.rule)).collect::<Vec<_>>(),
+            vec![(3, Rule::WalOrder)]
+        );
+        assert!(scan_file(config::WAL_ORDER_FILE, good).violations.is_empty());
+        // The same source outside the durable wrapper is not R4's business.
+        assert!(scan_file(LIB, bad).violations.is_empty());
+    }
+
+    #[test]
+    fn crate_roots_need_the_deny_header() {
+        let bare = "pub mod x;\n";
+        let scan = scan_file("crates/core/src/lib.rs", bare);
+        assert_eq!(
+            scan.violations.iter().map(|f| (f.line, f.rule)).collect::<Vec<_>>(),
+            vec![(1, Rule::LintHeader)]
+        );
+        let ok = "#![deny(unsafe_code)]\npub mod x;\n";
+        assert!(scan_file("crates/core/src/lib.rs", ok).violations.is_empty());
+        let grouped = "#![deny(unsafe_code, missing_docs)]\npub mod x;\n";
+        assert!(scan_file("crates/core/src/lib.rs", grouped).violations.is_empty());
+        assert!(scan_file(LIB, bare).violations.is_empty(), "non-roots are exempt");
+    }
+}

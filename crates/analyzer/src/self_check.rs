@@ -1,0 +1,201 @@
+//! `--self-check`: verify the rule set against the fixture corpus.
+//!
+//! Each fixture under `fixtures/` is a minimal `.rs` file annotated with
+//! its *exact* expected findings, so a broken lexer or rule fails loudly
+//! instead of passing vacuously:
+//!
+//! * a `// lint-fixture: path=<pretend-workspace-path>` directive tells
+//!   the engine where the file should pretend to live (rules and
+//!   exemptions are path-keyed);
+//! * `//~ <rule-id>` on a line means "the scan must report exactly this
+//!   rule on this line"; a fixture without markers must scan clean;
+//! * `//~waiver <rule-id>` means "an applied waiver of this rule must be
+//!   inventoried at this line".
+//!
+//! The corpus itself is validated: every rule must have at least one
+//! violating fixture and at least one clean fixture must exist, so an
+//! empty or unreadable corpus is a failure, not a pass.
+
+use crate::report::Rule;
+use crate::rules;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Outcome of a self-check run.
+#[derive(Debug, Default)]
+pub struct SelfCheckReport {
+    /// Fixtures examined.
+    pub fixtures: usize,
+    /// Every discrepancy found; empty means the rule set is healthy.
+    pub problems: Vec<String>,
+}
+
+impl SelfCheckReport {
+    /// True when the whole corpus matched its expectations.
+    pub fn passed(&self) -> bool {
+        self.fixtures > 0 && self.problems.is_empty()
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for p in &self.problems {
+            let _ = writeln!(out, "self-check: {p}");
+        }
+        let _ = writeln!(
+            out,
+            "domd-lint --self-check: {} fixture(s), {} problem(s): {}",
+            self.fixtures,
+            self.problems.len(),
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Runs the rule engine over every fixture in `dir` and compares against
+/// the inline expectations.
+pub fn self_check(dir: &Path) -> SelfCheckReport {
+    let mut report = SelfCheckReport::default();
+    let mut names = match fixture_names(dir) {
+        Ok(names) => names,
+        Err(msg) => {
+            report.problems.push(msg);
+            return report;
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        report.problems.push(format!("no fixtures found in {}", dir.display()));
+        return report;
+    }
+
+    let mut covered: BTreeSet<&'static str> = BTreeSet::new();
+    let mut has_clean_fixture = false;
+    for name in &names {
+        let path = dir.join(name);
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                report.problems.push(format!("{name}: unreadable: {e}"));
+                continue;
+            }
+        };
+        report.fixtures += 1;
+        let pretend = directive_path(&source)
+            .unwrap_or_else(|| format!("crates/core/src/{name}"));
+
+        let mut expected: BTreeSet<(usize, &'static str)> = BTreeSet::new();
+        let mut expected_waivers: BTreeSet<(usize, &'static str)> = BTreeSet::new();
+        for (lineno, line) in source.lines().enumerate() {
+            let lineno = lineno + 1;
+            if let Some(at) = line.find("//~waiver ") {
+                parse_marker(&line[at + "//~waiver ".len()..], lineno, name, &mut expected_waivers, &mut report.problems);
+            } else if let Some(at) = line.find("//~ ") {
+                parse_marker(&line[at + "//~ ".len()..], lineno, name, &mut expected, &mut report.problems);
+            }
+        }
+        if expected.is_empty() {
+            has_clean_fixture = true;
+        }
+        for (_, rule) in &expected {
+            covered.insert(rule);
+        }
+
+        let scan = rules::scan_file(&pretend, &source);
+        let found: BTreeSet<(usize, &'static str)> =
+            scan.violations.iter().map(|f| (f.line, f.rule.id())).collect();
+        let found_waivers: BTreeSet<(usize, &'static str)> =
+            scan.waivers.iter().map(|w| (w.line, w.rule.id())).collect();
+
+        for (line, rule) in expected.difference(&found) {
+            report.problems.push(format!(
+                "{name}:{line}: expected a [{rule}] finding that the scan missed \
+                 (lexer or rule regression)"
+            ));
+        }
+        for (line, rule) in found.difference(&expected) {
+            report.problems.push(format!(
+                "{name}:{line}: unexpected [{rule}] finding (false positive)"
+            ));
+        }
+        for (line, rule) in expected_waivers.difference(&found_waivers) {
+            report.problems.push(format!(
+                "{name}:{line}: expected an applied [{rule}] waiver in the inventory"
+            ));
+        }
+    }
+
+    for rule in Rule::ALL {
+        if !covered.contains(rule.id()) {
+            report.problems.push(format!(
+                "corpus gap: no fixture seeds a [{}] violation — the rule is untested",
+                rule.id()
+            ));
+        }
+    }
+    if !has_clean_fixture {
+        report
+            .problems
+            .push("corpus gap: no conforming (zero-finding) fixture exists".to_string());
+    }
+    report
+}
+
+fn parse_marker(
+    rest: &str,
+    lineno: usize,
+    name: &str,
+    into: &mut BTreeSet<(usize, &'static str)>,
+    problems: &mut Vec<String>,
+) {
+    for id in rest.split_whitespace() {
+        match Rule::from_id(id) {
+            Some(rule) => {
+                into.insert((lineno, rule.id()));
+            }
+            None => problems.push(format!("{name}:{lineno}: marker names unknown rule `{id}`")),
+        }
+    }
+}
+
+/// The `path=` value of the fixture directive, when present.
+fn directive_path(source: &str) -> Option<String> {
+    for line in source.lines() {
+        if let Some(at) = line.find("lint-fixture:") {
+            for kv in line[at + "lint-fixture:".len()..].split_whitespace() {
+                if let Some(v) = kv.strip_prefix("path=") {
+                    return Some(v.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn fixture_names(dir: &Path) -> Result<Vec<String>, String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("fixture corpus missing at {}: {e}", dir.display()))?;
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading fixture corpus: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".rs") {
+            names.push(name);
+        }
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_corpus_fails_instead_of_passing_vacuously() {
+        let r = self_check(Path::new("/no/such/fixture/dir"));
+        assert!(!r.passed());
+        assert!(r.render().contains("FAIL"));
+    }
+}

@@ -1,0 +1,140 @@
+//! The fixture corpus is the analyzer's ground truth: every rule has a
+//! violating and a conforming case with exact expected findings, and
+//! the same corpus backs `domd-lint --self-check`, so CI's gate and
+//! this suite can never drift apart.
+
+use domd_analyzer::{scan_file, self_check, Rule};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn read(name: &str) -> String {
+    let path = fixtures_dir().join(name);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!("fixture {} unreadable: {e}", path.display()),
+    }
+}
+
+#[test]
+fn self_check_passes_on_the_shipped_corpus() {
+    let report = self_check(&fixtures_dir());
+    assert!(report.passed(), "{}", report.render());
+    assert!(report.fixtures >= 10, "corpus shrank to {} fixtures", report.fixtures);
+}
+
+#[test]
+fn self_check_fails_on_a_seeded_violation() {
+    // Render a fixture that promises to be clean but is not: the gate
+    // must fail it, proving `--self-check` cannot pass vacuously.
+    let dir = std::env::temp_dir().join(format!("domd-lint-seeded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp fixture dir");
+    std::fs::write(
+        dir.join("seeded.rs"),
+        "// lint-fixture: path=crates/core/src/seeded.rs\n\
+         pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .expect("write seeded fixture");
+    let report = self_check(&dir);
+    assert!(!report.passed(), "a seeded violation must fail the self-check");
+    assert!(
+        report.problems.iter().any(|p| p.contains("no-panic")),
+        "the failure must name the rule: {:?}",
+        report.problems
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn self_check_fails_when_a_rule_loses_corpus_coverage() {
+    // A corpus with only one clean file is a corpus that tests nothing.
+    let dir = std::env::temp_dir().join(format!("domd-lint-gap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp fixture dir");
+    std::fs::write(dir.join("only.rs"), "pub fn ok() {}\n").expect("write fixture");
+    let report = self_check(&dir);
+    assert!(!report.passed());
+    for rule in Rule::ALL {
+        assert!(
+            report.problems.iter().any(|p| p.contains(rule.id())),
+            "missing coverage complaint for {}",
+            rule.id()
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn violating_fixtures_report_exactly_their_markers() {
+    // Spot-check the per-rule counts so a rules regression cannot hide
+    // behind marker edits.
+    let cases = [
+        ("r1_no_panic_violate.rs", Rule::NoPanic, 7),
+        ("r2_thread_violate.rs", Rule::ThreadSpawn, 3),
+        // Two default-hasher maps on one line produce two raw findings
+        // (self-check dedupes per line; the raw scan does not).
+        ("r3_nondet_violate.rs", Rule::Nondeterminism, 7),
+        ("r4_wal_violate.rs", Rule::WalOrder, 3),
+        ("r5_header_violate.rs", Rule::LintHeader, 1),
+    ];
+    for (name, rule, expected) in cases {
+        let source = read(name);
+        let pretend = source
+            .lines()
+            .find_map(|l| {
+                l.find("path=").map(|at| {
+                    l[at + 5..].split_whitespace().next().unwrap_or_default().to_string()
+                })
+            })
+            .unwrap_or_default();
+        let scan = scan_file(&pretend, &source);
+        let of_rule = scan.violations.iter().filter(|f| f.rule == rule).count();
+        assert_eq!(of_rule, expected, "{name}: {:#?}", scan.violations);
+        assert_eq!(
+            scan.violations.len(),
+            expected,
+            "{name} must violate only {}: {:#?}",
+            rule.id(),
+            scan.violations
+        );
+    }
+}
+
+#[test]
+fn conforming_fixtures_are_clean_and_waivers_are_inventoried() {
+    for name in [
+        "r1_no_panic_conform.rs",
+        "r2_thread_conform.rs",
+        "r3_nondet_conform.rs",
+        "r5_header_conform.rs",
+    ] {
+        let source = read(name);
+        let pretend = source
+            .lines()
+            .find_map(|l| l.find("path=").map(|at| {
+                l[at + 5..].split_whitespace().next().unwrap_or_default().to_string()
+            }))
+            .unwrap_or_default();
+        let scan = scan_file(&pretend, &source);
+        assert!(scan.violations.is_empty(), "{name}: {:#?}", scan.violations);
+    }
+    // The WAL conform fixture carries exactly one justified waiver.
+    let scan = scan_file("crates/index/src/durable.rs", &read("r4_wal_conform.rs"));
+    assert!(scan.violations.is_empty(), "{:#?}", scan.violations);
+    assert_eq!(scan.waivers.len(), 1);
+    assert_eq!(scan.waivers[0].rule, Rule::WalOrder);
+    assert!(scan.waivers[0].justification.contains("already durable"));
+}
+
+#[test]
+fn waiver_fixture_separates_good_from_bad_waivers() {
+    let scan = scan_file("crates/core/src/fixture_waivers.rs", &read("waivers.rs"));
+    let policy = scan.violations.iter().filter(|f| f.rule == Rule::WaiverPolicy).count();
+    let unwaived = scan.violations.iter().filter(|f| f.rule == Rule::NoPanic).count();
+    assert_eq!(policy, 3, "{:#?}", scan.violations);
+    assert_eq!(unwaived, 2, "{:#?}", scan.violations);
+    assert_eq!(scan.waivers.len(), 2, "{:#?}", scan.waivers);
+}

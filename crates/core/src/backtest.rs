@@ -56,13 +56,21 @@ pub struct BacktestPoint {
 /// and at least one in-flight avail.
 pub fn backtest(dataset: &Dataset, config: &BacktestConfig) -> Vec<BacktestPoint> {
     assert!(config.eval_every_days > 0, "eval_every_days must be positive");
-    let mut closed: Vec<_> = dataset.closed_avails().collect();
-    closed.sort_by_key(|a| (a.actual_end.expect("closed"), a.id));
+    // Pair each closed avail with its (known) end date once, so the
+    // chronology below never has to re-prove closedness.
+    let mut closed: Vec<(Date, &domd_data::Avail)> = dataset
+        .closed_avails()
+        .filter_map(|a| a.actual_end.map(|end| (end, a)))
+        .collect();
+    closed.sort_by_key(|(end, a)| (*end, a.id));
     if closed.len() <= config.min_train {
         return Vec::new();
     }
-    let first = closed[config.min_train].actual_end.expect("closed");
-    let last = closed.last().unwrap().actual_start;
+    let first = closed[config.min_train].0;
+    let Some(&(_, last_closed)) = closed.last() else {
+        return Vec::new();
+    };
+    let last = last_closed.actual_start;
     let engine = FeatureEngine::default();
     let mut out = Vec::new();
 
@@ -71,14 +79,14 @@ pub fn backtest(dataset: &Dataset, config: &BacktestConfig) -> Vec<BacktestPoint
         // Training population: concluded strictly before the as-of date.
         let train_ids: Vec<AvailId> = closed
             .iter()
-            .filter(|a| a.actual_end.expect("closed") <= as_of)
-            .map(|a| a.id)
+            .filter(|(end, _)| *end <= as_of)
+            .map(|(_, a)| a.id)
             .collect();
         // Live population: started, not yet concluded.
         let live: Vec<&domd_data::Avail> = closed
             .iter()
-            .filter(|a| a.actual_start <= as_of && a.actual_end.expect("closed") > as_of)
-            .copied()
+            .filter(|(end, a)| a.actual_start <= as_of && *end > as_of)
+            .map(|(_, a)| *a)
             .collect();
         if train_ids.len() >= config.min_train && !live.is_empty() {
             let live_ids: Vec<AvailId> = live.iter().map(|a| a.id).collect();
@@ -95,8 +103,10 @@ pub fn backtest(dataset: &Dataset, config: &BacktestConfig) -> Vec<BacktestPoint
             let mut errs = Vec::with_capacity(live.len());
             let mut t_sum = 0.0;
             for a in &live {
+                // domd-lint: allow(no-panic) — the live filter above guarantees actual_start <= as_of
                 let ans = query.query_at(a.id, as_of).expect("live avail started");
                 t_sum += ans.t_star_now;
+                // domd-lint: allow(no-panic) — censor_ongoing returns one truth per requested live id
                 let truth = truths.iter().find(|(id, _)| *id == a.id).expect("censored").1;
                 if let Some(est) = ans.latest() {
                     errs.push((est.estimated_delay - f64::from(truth)).abs());

@@ -74,6 +74,7 @@ impl Fusion {
     pub fn fuse(self, preds: &[f64]) -> f64 {
         assert!(!preds.is_empty(), "fusion needs at least one prediction");
         match self {
+            // domd-lint: allow(no-panic) — asserted non-empty on entry
             Fusion::None => *preds.last().expect("non-empty"),
             Fusion::Min => preds.iter().copied().fold(f64::INFINITY, f64::min),
             Fusion::Average => preds.iter().sum::<f64>() / preds.len() as f64,

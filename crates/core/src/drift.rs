@@ -108,6 +108,7 @@ impl<'a> DriftMonitor<'a> {
         let col = |rows: &[usize], c: usize| -> Vec<f64> {
             if self.pipeline.config.stacked {
                 if c == 0 {
+                    // domd-lint: allow(no-panic) — stacked pipelines always carry the static base model they were fitted with
                     let base = self.pipeline.static_model.as_ref().expect("stacked");
                     rows.iter().map(|&r| base.predict_row(statics.row(r))).collect()
                 } else {

@@ -167,6 +167,8 @@ impl DomdError {
 
 impl From<domd_storage::StorageError> for DomdError {
     fn from(e: domd_storage::StorageError) -> Self {
+        let offset = e.offset();
+        let message = e.to_string();
         match e {
             domd_storage::StorageError::Io { context, source } => {
                 DomdError::Io { context, source }
@@ -174,22 +176,16 @@ impl From<domd_storage::StorageError> for DomdError {
             // A refused create over live state is the caller misusing the
             // store, not damage to it — it must not map to the corruption
             // exit code.
-            e @ domd_storage::StorageError::AlreadyInitialized { .. } => {
-                DomdError::Config { message: e.to_string() }
+            domd_storage::StorageError::AlreadyInitialized { .. } => {
+                DomdError::Config { message }
             }
-            other => DomdError::Corrupt {
-                context: match &other {
-                    domd_storage::StorageError::Frame { path, .. }
-                    | domd_storage::StorageError::Malformed { path, .. } => path.clone(),
-                    domd_storage::StorageError::NoCheckpoint { dir, .. } => dir.clone(),
-                    domd_storage::StorageError::Io { .. }
-                    | domd_storage::StorageError::AlreadyInitialized { .. } => {
-                        unreachable!("handled above")
-                    }
-                },
-                offset: other.offset(),
-                message: other.to_string(),
-            },
+            domd_storage::StorageError::Frame { path, .. }
+            | domd_storage::StorageError::Malformed { path, .. } => {
+                DomdError::Corrupt { context: path, offset, message }
+            }
+            domd_storage::StorageError::NoCheckpoint { dir, .. } => {
+                DomdError::Corrupt { context: dir, offset, message }
+            }
         }
     }
 }

@@ -62,6 +62,7 @@ pub fn explain(
         let base = pipeline
             .static_model
             .as_ref()
+            // domd-lint: allow(no-panic) — stacked pipelines always carry the static base model they were fitted with
             .expect("stacked pipeline has a base model");
         values.push(base.predict_row(&statics_row));
         train_cols.push(

@@ -30,6 +30,7 @@
 //! println!("{}", table7.render());
 //! ```
 
+#![deny(unsafe_code)]
 pub mod backtest;
 pub mod config;
 pub mod drift;

@@ -158,6 +158,7 @@ pub fn optimize(
         .iter()
         .copied()
         .find(|l| l.name() == best_loss_name)
+        // domd-lint: allow(no-panic) — the winning label was produced from this same candidate list
         .expect("winner is one of the candidates");
 
     let task5 = task5_hyperparameters(inputs, &splits[0], settings, &config);
@@ -171,6 +172,7 @@ pub fn optimize(
     config.fusion = Fusion::ALL
         .into_iter()
         .find(|f| f.name() == best_fusion_name)
+        // domd-lint: allow(no-panic) — the winning label was produced from this same candidate list
         .expect("winner is one of the candidates");
 
     OptimizationReport {
@@ -190,7 +192,9 @@ where
     F: Fn(&Split) -> Vec<LabelledSeries>,
 {
     let mut panels = splits.iter().map(&f);
-    let mut out = panels.next().expect("at least one split");
+    let Some(mut out) = panels.next() else {
+        return Vec::new();
+    };
     let mut n = 1.0;
     for p in panels {
         for (acc, s) in out.iter_mut().zip(&p) {
@@ -251,6 +255,7 @@ fn best_label(series: &[LabelledSeries]) -> String {
     series
         .iter()
         .min_by(|a, b| a.mean().total_cmp(&b.mean()))
+        // domd-lint: allow(no-panic) — every task emits at least one labelled series
         .expect("non-empty comparison")
         .label
         .clone()
@@ -271,6 +276,7 @@ pub fn task2_feature_selection(
         .enumerate()
         .min_by(|(_, a), (_, b)| (*a - 50.0).abs().total_cmp(&(*b - 50.0).abs()))
         .map(|(i, _)| i)
+        // domd-lint: allow(no-panic) — the timeline grid always contains its 0% and 100% endpoints
         .expect("non-empty grid");
 
     let train_rows = inputs.rows_for(&split.train);
@@ -299,6 +305,7 @@ pub fn task2_feature_selection(
         }
         table.push((method, row));
     }
+    // domd-lint: allow(no-panic) — the method × k sweep evaluates at least one candidate: settings grids are non-empty by construction
     let (best_method, best_k, _) = best.expect("at least one (method, k) evaluated");
     Task2Result { table, best_method, best_k }
 }
@@ -404,6 +411,7 @@ pub fn task5_hyperparameters(
     settings: &OptimizerSettings,
     config: &PipelineConfig,
 ) -> Task5Result {
+    // domd-lint: allow(no-panic) — trial_grid is non-empty in every settings constructor
     let max_trials = *settings.trial_grid.iter().max().expect("non-empty trial grid");
     // Cheaper objective: validation MAE over a representative subset of
     // grid steps (ends + middle), not the whole timeline.
@@ -465,6 +473,7 @@ pub fn task5_hyperparameters(
         .enumerate()
         .min_by(|a, b| a.1.loss.total_cmp(&b.1.loss))
         .map(|(i, _)| i)
+        // domd-lint: allow(no-panic) — tpe always records at least one trial before choosing
         .expect("at least one trial");
     let chosen = gbt_from_vector(&result.history[chosen_idx].params, config);
 

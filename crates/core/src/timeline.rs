@@ -44,6 +44,7 @@ impl PipelineInputs {
         let statics = static_matrix(dataset, ids);
         let delays = ids
             .iter()
+            // domd-lint: allow(no-panic) — training ids are drawn from the dataset's closed avails by every caller
             .map(|id| f64::from(dataset.avail(*id).unwrap().delay().expect("closed")))
             .collect();
         PipelineInputs { tensor, statics, delays }
@@ -58,6 +59,7 @@ impl PipelineInputs {
     pub fn rows_for(&self, ids: &[AvailId]) -> Vec<usize> {
         ids.iter()
             .map(|id| {
+                // domd-lint: allow(no-panic) — documented panic contract: callers pass ids of this same tensor
                 self.tensor.row_of(*id).unwrap_or_else(|| panic!("avail {id} not in inputs"))
             })
             .collect()
@@ -379,6 +381,7 @@ impl TrainedPipeline {
             for i in 0..raw.len() {
                 if !raw[i].is_finite() {
                     let nearest =
+                        // domd-lint: allow(no-panic) — the all-non-finite case returned early above
                         *finite.iter().min_by_key(|&&j| i.abs_diff(j)).expect("finite non-empty");
                     warnings.push(format!(
                         "step t*={} produced a non-finite prediction; \
@@ -418,6 +421,7 @@ fn assemble(
     stacked: bool,
 ) -> DenseMatrix {
     if stacked {
+        // domd-lint: allow(no-panic) — stacked callers always compute base predictions first
         let preds = static_preds.expect("stacked needs base predictions");
         let base = DenseMatrix::from_rows(preds.to_vec(), preds.len(), 1);
         base.hstack(rcc)

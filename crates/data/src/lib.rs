@@ -21,6 +21,7 @@
 //! * [`generator`] — a seeded synthetic NMD (the real data is CUI and not
 //!   releasable) with an x-fold RCC scaling mode for the scalability study.
 
+#![deny(unsafe_code)]
 pub mod avail;
 pub mod csv;
 pub mod dataset;

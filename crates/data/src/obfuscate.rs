@@ -97,6 +97,7 @@ fn obfuscate_swlin(w: Swlin, key: u64) -> Swlin {
         let d = w.digit(level);
         packed = packed * 10 + u32::from(perm[d as usize]);
     }
+    // domd-lint: allow(no-panic) — digit-wise substitution of a valid SWLIN yields 8 digits (level-1 permutations fix 0 out and 1-9 in)
     Swlin::from_packed(packed).expect("digit substitution stays 8 digits")
 }
 

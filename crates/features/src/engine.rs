@@ -82,6 +82,7 @@ impl Rollup {
                 }
             }
             CatalogDepth::Module => {
+                // domd-lint: allow(no-panic) — the Module-depth constructor above always allocates lvl2
                 let lvl2 = r.lvl2.as_mut().expect("just built");
                 for t in 0..3 {
                     for d1 in 0..10 {
@@ -122,6 +123,7 @@ impl Rollup {
                 let lvl2 = self
                     .lvl2
                     .as_ref()
+                    // domd-lint: allow(no-panic) — documented contract: two-digit specs exist only in Module-depth catalogs
                     .expect("two-digit features require a Module-depth catalog");
                 let sidx = match status {
                     StatusFilter::Active => 0,
@@ -229,7 +231,8 @@ impl FeatureEngine {
         // a row is shard-local: (avail pos within shard) x type x prefix.
         // Rows of different shards never meet in one sweep, so the single
         // shared `groups` column can hold shard-local values.
-        let mut avail_pos = std::collections::HashMap::with_capacity(n_avails);
+        let mut avail_pos =
+            domd_data::hash::FxHashMap::with_capacity_and_hasher(n_avails, Default::default());
         for (i, id) in avail_ids.iter().enumerate() {
             avail_pos.insert(*id, i);
         }
@@ -302,6 +305,7 @@ impl FeatureEngine {
         avail: AvailId,
         t_star: f64,
     ) -> Vec<f64> {
+        // domd-lint: allow(no-panic) — caller contract: the queried avail id comes from this dataset
         let a = dataset.avail(avail).expect("avail exists");
         let planned = a.planned_duration().max(1);
         let space = CellSpace { depth: self.catalog.depth() };

@@ -14,6 +14,7 @@
 //!   snapshots with epoch-based invalidation;
 //! * [`tensor`] — the materialized tensor with per-grid-point slices.
 
+#![deny(unsafe_code)]
 pub mod cache;
 pub mod engine;
 pub mod spec;

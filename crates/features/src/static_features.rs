@@ -40,6 +40,7 @@ pub fn static_row(a: &Avail) -> [f64; N_STATIC] {
 pub fn static_matrix(dataset: &domd_data::Dataset, avail_ids: &[AvailId]) -> DenseMatrix {
     let mut m = DenseMatrix::zeros(avail_ids.len(), N_STATIC);
     for (i, id) in avail_ids.iter().enumerate() {
+        // domd-lint: allow(no-panic) — caller contract: row ids come from this dataset
         let a = dataset.avail(*id).expect("avail id present in dataset");
         m.row_mut(i).copy_from_slice(&static_row(a));
     }

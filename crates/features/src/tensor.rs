@@ -70,6 +70,7 @@ impl FeatureTensor {
     pub fn select_avails(&self, ids: &[AvailId]) -> FeatureTensor {
         let rows: Vec<usize> = ids
             .iter()
+            // domd-lint: allow(no-panic) — documented panic contract: callers pass ids of this same tensor
             .map(|id| self.row_of(*id).unwrap_or_else(|| panic!("avail {id} not in tensor")))
             .collect();
         FeatureTensor {

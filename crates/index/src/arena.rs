@@ -157,6 +157,7 @@ impl RccArena {
     /// SWLIN code of `row`, reconstructed from the intern table.
     pub fn swlin(&self, row: RowId) -> Swlin {
         Swlin::from_packed(self.swlin_table[self.swlin_syms[row as usize] as usize])
+            // domd-lint: allow(no-panic) — the intern table only ever stores packed codes of validated SWLINs
             .expect("interned SWLINs are valid")
     }
 
@@ -246,6 +247,7 @@ impl RccArena {
     pub fn swlin_rows(&self) -> impl Iterator<Item = (Swlin, RowId)> + '_ {
         self.swlin_syms.iter().enumerate().map(|(i, &s)| {
             let w = Swlin::from_packed(self.swlin_table[s as usize])
+                // domd-lint: allow(no-panic) — the intern table only ever stores packed codes of validated SWLINs
                 .expect("interned SWLINs are valid");
             (w, i as RowId)
         })

@@ -326,6 +326,7 @@ impl<I: MaintainableIndex> CachedStatusQueryEngine<I> {
     pub fn stats(&self) -> CacheStats {
         let mut total = self.cache.stats();
         for shard in &self.shard_caches {
+            // domd-lint: allow(no-panic) — a poisoned shard lock means a worker already panicked; propagating is the only sound exit
             total = total.merged(&shard.lock().expect("shard cache lock").stats());
         }
         total
@@ -378,6 +379,7 @@ impl<I: MaintainableIndex + Sync> CachedStatusQueryEngine<I> {
         let shard_caches = &self.shard_caches;
         let parts: Vec<Vec<StatusAggregate>> =
             domd_runtime::par_map(threads, &ranges, |shard_idx, range| {
+                // domd-lint: allow(no-panic) — a poisoned shard lock means a worker already panicked; propagating is the only sound exit
                 let mut cache = shard_caches[shard_idx].lock().expect("shard cache lock");
                 queries[range.clone()]
                     .iter()
@@ -403,6 +405,7 @@ impl<I: HeapSize> HeapSize for CachedStatusQueryEngine<I> {
             + self
                 .shard_caches
                 .iter()
+                // domd-lint: allow(no-panic) — a poisoned shard lock means a worker already panicked; propagating is the only sound exit
                 .map(|m| m.lock().expect("shard cache lock").heap_bytes())
                 .sum::<usize>()
     }

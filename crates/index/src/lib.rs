@@ -34,6 +34,7 @@
 //! Section 4.3, which advances per-group aggregates across the logical
 //! timeline touching only the RCCs whose endpoints fall in each new window.
 
+#![deny(unsafe_code)]
 pub mod arena;
 pub mod avl;
 pub mod cache;

@@ -61,6 +61,7 @@ impl NaiveJoinIndex {
         let rows = projected
             .iter()
             .map(|lr| {
+                // domd-lint: allow(no-panic) — LogicalRcc rows were projected from this same dataset
                 let a = dataset.avail(lr.avail).expect("avail exists");
                 JoinedRow {
                     start: lr.start,

@@ -65,6 +65,7 @@ pub fn project_dataset(dataset: &Dataset) -> Vec<LogicalRcc> {
     let rccs = dataset.rccs();
     let mut out = Vec::with_capacity(rccs.len());
     for (i, r) in rccs.iter().enumerate() {
+        // domd-lint: allow(no-panic) — the generator and loaders only emit RCCs for avails present in the table
         let a = dataset.avail(r.avail).expect("RCC references existing avail");
         let planned = a.planned_duration().max(1);
         let start = domd_data::logical_time(r.created, a.actual_start, planned);

@@ -17,6 +17,7 @@
 //! * [`metrics`] — MAE (incl. percentile MAE), MSE, RMSE, R²;
 //! * [`matrix`], [`stats`] — dense matrices and statistical primitives.
 
+#![deny(unsafe_code)]
 pub mod forest;
 pub mod gbt;
 pub mod hpt;

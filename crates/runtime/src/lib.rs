@@ -23,6 +23,7 @@
 //!   `std::thread::available_parallelism()`. `threads = 1` is the exact
 //!   sequential fallback on every path.
 
+#![deny(unsafe_code)]
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Global override installed by `--threads` / [`set_threads`]. 0 = auto.
@@ -126,7 +127,13 @@ where
             .collect();
         // The calling thread is the final worker.
         let mut parts = vec![run_worker(&cursor, items, &f)];
-        parts.extend(handles.into_iter().map(|h| h.join().expect("pool worker panicked")));
+        parts.extend(handles.into_iter().map(|h| match h.join() {
+            Ok(part) => part,
+            // Re-raise the worker's own panic payload on the calling
+            // thread instead of masking it as "pool worker panicked" —
+            // the original message is the one that names the failing item.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }));
         parts
     });
 
@@ -137,6 +144,7 @@ where
             out[i] = Some(r);
         }
     }
+    // domd-lint: allow(no-panic) — the cursor hands out each index once; a hole means the scope above lost a part
     out.into_iter().map(|r| r.expect("every item visited exactly once")).collect()
 }
 

@@ -1,0 +1,61 @@
+//! Panic-free little-endian readers for durable-format decoding.
+//!
+//! Every decode path in this crate bounds-checks a region before reading
+//! integers out of it; these helpers make the reads themselves total, so
+//! a miscounted offset degrades into a zero-padded value that the
+//! surrounding verification (tags, checksums, monotone ids) rejects with
+//! a typed [`crate::StorageError`] instead of a panic.
+
+/// Copies up to `buf.len()` bytes starting at `at`, zero-padding any
+/// shortfall. Out-of-range `at` reads as empty.
+fn fill(buf: &mut [u8], bytes: &[u8], at: usize) {
+    let src = bytes.get(at..).unwrap_or(&[]);
+    for (d, s) in buf.iter_mut().zip(src) {
+        *d = *s;
+    }
+}
+
+/// Reads the little-endian `u32` at byte offset `at`.
+pub(crate) fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut buf = [0u8; 4];
+    fill(&mut buf, bytes, at);
+    u32::from_le_bytes(buf)
+}
+
+/// Reads the little-endian `u64` at byte offset `at`.
+pub(crate) fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    fill(&mut buf, bytes, at);
+    u64::from_le_bytes(buf)
+}
+
+/// Reads the 8-byte array at byte offset `at` (magic tags).
+pub(crate) fn array8(bytes: &[u8], at: usize) -> [u8; 8] {
+    let mut buf = [0u8; 8];
+    fill(&mut buf, bytes, at);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_match_from_le_bytes() {
+        let bytes: Vec<u8> = (1..=16).collect();
+        assert_eq!(le_u32(&bytes, 0), u32::from_le_bytes([1, 2, 3, 4]));
+        assert_eq!(le_u32(&bytes, 5), u32::from_le_bytes([6, 7, 8, 9]));
+        assert_eq!(le_u64(&bytes, 8), u64::from_le_bytes([9, 10, 11, 12, 13, 14, 15, 16]));
+        assert_eq!(array8(&bytes, 2), [3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn short_and_out_of_range_reads_zero_pad() {
+        let bytes = [0xAB, 0xCD];
+        assert_eq!(le_u32(&bytes, 0), u32::from_le_bytes([0xAB, 0xCD, 0, 0]));
+        assert_eq!(le_u32(&bytes, 1), u32::from_le_bytes([0xCD, 0, 0, 0]));
+        assert_eq!(le_u64(&bytes, 7), 0);
+        assert_eq!(le_u64(&bytes, usize::MAX), 0);
+        assert_eq!(array8(&bytes, 100), [0; 8]);
+    }
+}

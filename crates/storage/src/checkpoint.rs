@@ -116,7 +116,7 @@ impl Checkpoint {
                 format!("expected tag {CHECKPOINT_TAG:?}, found {:?}", &payload[0..16]),
             ));
         }
-        let version = u32::from_le_bytes(payload[16..20].try_into().expect("4-byte slice"));
+        let version = crate::bytes::le_u32(payload, 16);
         if version != CHECKPOINT_VERSION {
             return Err(StorageError::malformed(
                 path,
@@ -124,8 +124,8 @@ impl Checkpoint {
                 format!("expected checkpoint version {CHECKPOINT_VERSION}, found {version}"),
             ));
         }
-        let epoch = u64::from_le_bytes(payload[20..28].try_into().expect("8-byte slice"));
-        let n = u64::from_le_bytes(payload[28..36].try_into().expect("8-byte slice"));
+        let epoch = crate::bytes::le_u64(payload, 20);
+        let n = crate::bytes::le_u64(payload, 28);
         let n_usize = usize::try_from(n).map_err(|_| {
             StorageError::malformed(path, 28, format!("impossible entry count {n}"))
         })?;
@@ -143,15 +143,10 @@ impl Checkpoint {
         let mut prev_id: Option<u32> = None;
         for i in 0..n_usize {
             let at = 36 + i * ENTRY_LEN;
-            let id = u32::from_le_bytes(payload[at..at + 4].try_into().expect("4-byte slice"));
-            let avail =
-                u32::from_le_bytes(payload[at + 4..at + 8].try_into().expect("4-byte slice"));
-            let start = f64::from_bits(u64::from_le_bytes(
-                payload[at + 8..at + 16].try_into().expect("8-byte slice"),
-            ));
-            let end = f64::from_bits(u64::from_le_bytes(
-                payload[at + 16..at + 24].try_into().expect("8-byte slice"),
-            ));
+            let id = crate::bytes::le_u32(payload, at);
+            let avail = crate::bytes::le_u32(payload, at + 4);
+            let start = f64::from_bits(crate::bytes::le_u64(payload, at + 8));
+            let end = f64::from_bits(crate::bytes::le_u64(payload, at + 16));
             if let Some(p) = prev_id {
                 if id <= p {
                     return Err(StorageError::malformed(
@@ -312,10 +307,15 @@ impl Store {
     /// fallen-back checkpoint generation), so they are quarantined, never
     /// destroyed.
     pub fn quarantine_wal_tail(&self, tail: &[u8]) -> Result<PathBuf, StorageError> {
-        let path = (0u32..)
+        let Some(path) = (0..=u32::MAX)
             .map(|n| self.dir.join(format!("wal.{n}.damaged")))
             .find(|p| !p.exists())
-            .expect("unbounded slot search always terminates");
+        else {
+            return Err(StorageError::io(
+                format!("quarantining WAL tail in {}", self.dir.display()),
+                std::io::Error::other("all 2^32 wal.<n>.damaged slots are occupied"),
+            ));
+        };
         crate::atomic::write_atomic(&path, tail)?;
         Ok(path)
     }

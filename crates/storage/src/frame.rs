@@ -123,16 +123,16 @@ pub fn decode(bytes: &[u8]) -> Result<&[u8], FrameError> {
             found: bytes.len() as u64,
         });
     }
-    let magic: [u8; 8] = bytes[0..8].try_into().expect("8-byte slice");
+    let magic = crate::bytes::array8(bytes, 0);
     if magic != MAGIC {
         return Err(FrameError::BadMagic { found: magic });
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    let version = crate::bytes::le_u32(bytes, 8);
     if version != FRAME_VERSION {
         return Err(FrameError::UnsupportedVersion { found: version, expected: FRAME_VERSION });
     }
-    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
-    let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4-byte slice"));
+    let len = crate::bytes::le_u64(bytes, 12);
+    let crc = crate::bytes::le_u32(bytes, 20);
     let body = &bytes[HEADER_LEN..];
     if (body.len() as u64) < len {
         return Err(FrameError::Truncated {

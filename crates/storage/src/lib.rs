@@ -21,7 +21,9 @@
 //! The layer is deliberately std-only (no workspace dependencies): the
 //! data/index/ml/core crates all sit above it.
 
+#![deny(unsafe_code)]
 pub mod atomic;
+mod bytes;
 pub mod checkpoint;
 pub mod crc;
 pub mod error;

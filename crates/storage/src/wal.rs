@@ -163,7 +163,7 @@ pub fn replay(bytes: &[u8], checkpoint_epoch: u64) -> WalReplay {
             ));
             break;
         }
-        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4-byte slice")) as usize;
+        let len = crate::bytes::le_u32(rest, 0) as usize;
         if len != PAYLOAD_LEN {
             tail_fault = Some(format!(
                 "bad record length at offset {pos}: expected {PAYLOAD_LEN}, found {len}"
@@ -177,7 +177,7 @@ pub fn replay(bytes: &[u8], checkpoint_epoch: u64) -> WalReplay {
             ));
             break;
         }
-        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4-byte slice"));
+        let crc = crate::bytes::le_u32(rest, 4);
         let payload = &rest[8..8 + len];
         let found = crc32(payload);
         if found != crc {

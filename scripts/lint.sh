@@ -10,9 +10,19 @@
 # units), the DurableIndex suite, and the crash-recovery + storage-fault
 # integration tests, so a change that weakens the "never serve torn state"
 # contract fails here before any benchmark runs.
+# PR 5 puts domd-lint in front of clippy: the workspace invariant
+# checker first proves its own rule set against the fixture corpus
+# (--self-check fails if any rule stops firing on its violating fixture),
+# then sweeps every crate for panics in library code, stray thread
+# spawns, nondeterminism sources (wall clocks, OS entropy, default-hasher
+# maps), unlogged DurableIndex mutations, and missing/abused lint
+# waivers. Any unwaived finding exits nonzero before clippy runs.
 # Run before sending a change; CI treats any output as a failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+cargo run --release -q -p domd-analyzer --bin domd-lint -- --self-check
+cargo run --release -q -p domd-analyzer --bin domd-lint -- --format human
 
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -26,6 +26,7 @@
 //!
 //! See `examples/quickstart.rs` for the three-minute tour.
 
+#![deny(unsafe_code)]
 pub mod cli;
 
 pub use domd_core as core;
