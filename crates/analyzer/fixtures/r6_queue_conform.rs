@@ -1,0 +1,22 @@
+// lint-fixture: path=crates/core/src/fixture_r6_ok.rs
+// R6 conforming: enqueue paths check capacity and shed, or carry a
+// justified waiver naming the bound that holds.
+
+use std::collections::VecDeque;
+
+pub fn admit(backlog: &mut VecDeque<u32>, cap: usize, x: u32) -> bool {
+    if backlog.len() >= cap {
+        return false; // shed: the caller sees rejection, memory stays flat
+    }
+    backlog.push_back(x);
+    true
+}
+
+pub fn stage(batch: &mut VecDeque<u32>, x: u32) {
+    // domd-lint: allow(bounded-queues) — batch is drained to empty by the caller in the same tick; depth is bounded by the admission queue capacity upstream //~waiver bounded-queues
+    batch.push_back(x);
+}
+
+pub fn bounded_pair() -> (std::sync::mpsc::SyncSender<u32>, std::sync::mpsc::Receiver<u32>) {
+    std::sync::mpsc::sync_channel(8)
+}

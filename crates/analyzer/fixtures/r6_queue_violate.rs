@@ -1,0 +1,15 @@
+// lint-fixture: path=crates/core/src/fixture_r6.rs
+// R6: unbounded queueing outside the runtime's bounded primitives.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+pub fn fan_in() -> usize {
+    let (tx, rx) = mpsc::channel(); //~ bounded-queues
+    tx.send(1u32).ok();
+    let mut backlog: VecDeque<u32> = VecDeque::new();
+    while let Ok(x) = rx.try_recv() {
+        backlog.push_back(x); //~ bounded-queues
+    }
+    0
+}

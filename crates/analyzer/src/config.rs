@@ -26,8 +26,18 @@ pub const THREAD_ALLOWED: &[&str] = &["crates/runtime/"];
 
 /// Path prefixes allowed to read wall/monotonic clocks (R3). Timing is
 /// the bench harness's purpose; result-producing code must not branch on
-/// time.
-pub const TIME_ALLOWED: &[&str] = &["crates/bench/"];
+/// time. The serve crate's clock module is the one other exception: it
+/// is the clock-as-capability boundary (`WallClock` wraps `Instant` so
+/// everything downstream takes a `dyn Clock` and stays deterministic
+/// under `ManualClock` in tests).
+pub const TIME_ALLOWED: &[&str] = &["crates/bench/", "crates/serve/src/clock.rs"];
+
+/// Path prefixes allowed to build unbounded queues (R6). The runtime
+/// crate owns the bounded primitives (`BoundedQueue` is a capped
+/// `VecDeque` underneath); everywhere else an `mpsc::channel()` or an
+/// unguarded `push_back` is a place overload can grow memory instead of
+/// shedding, so it must either check capacity first or carry a waiver.
+pub const QUEUE_ALLOWED: &[&str] = &["crates/runtime/"];
 
 /// The file governed by R4 (`wal-order`): the WAL-before-apply wrapper.
 pub const WAL_ORDER_FILE: &str = "crates/index/src/durable.rs";

@@ -15,6 +15,9 @@ pub enum Rule {
     WalOrder,
     /// R5: crate roots carry the agreed `#![deny(...)]` header.
     LintHeader,
+    /// R6: no unbounded queues outside `domd-runtime` — `mpsc::channel()`
+    /// and capacity-unchecked `push_back` must shed, not grow.
+    BoundedQueues,
     /// Meta: a malformed, unjustified, or unused waiver comment.
     WaiverPolicy,
 }
@@ -28,6 +31,7 @@ impl Rule {
             Rule::Nondeterminism => "nondeterminism",
             Rule::WalOrder => "wal-order",
             Rule::LintHeader => "lint-header",
+            Rule::BoundedQueues => "bounded-queues",
             Rule::WaiverPolicy => "waiver-policy",
         }
     }
@@ -40,6 +44,7 @@ impl Rule {
             "nondeterminism" => Some(Rule::Nondeterminism),
             "wal-order" => Some(Rule::WalOrder),
             "lint-header" => Some(Rule::LintHeader),
+            "bounded-queues" => Some(Rule::BoundedQueues),
             "waiver-policy" => Some(Rule::WaiverPolicy),
             _ => None,
         }
@@ -52,6 +57,7 @@ impl Rule {
         Rule::Nondeterminism,
         Rule::WalOrder,
         Rule::LintHeader,
+        Rule::BoundedQueues,
     ];
 }
 

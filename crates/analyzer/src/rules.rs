@@ -169,6 +169,11 @@ pub fn scan_file(rel_path: &str, source: &str) -> FileScan {
         wal_order(toks, &in_test, &mut findings, rel_path);
     }
 
+    // R6 — bounded-queues, everywhere but the runtime's own primitives.
+    if !config::matches_prefix(rel_path, config::QUEUE_ALLOWED) {
+        bounded_queues(toks, &in_test, &mut findings, rel_path);
+    }
+
     // R5 — lint-header on crate roots.
     if config::is_crate_root(rel_path) && !has_deny_header(toks) {
         findings.push(mk(
@@ -296,6 +301,86 @@ fn wal_order(toks: &[Token], in_test: &[bool], findings: &mut Vec<Finding>, rel_
                              `.append(` in this function — a crash here loses an \
                              acknowledged mutation (WAL-before-apply, DESIGN.md §8)"
                         ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// R6: outside `domd-runtime`, `mpsc::channel()` (unbounded by
+/// construction) is always a finding, and `.push_back(` is a finding
+/// unless the same `fn` body performed a `.len(`/`.capacity(` call
+/// earlier — the shape of an admission check. The heuristic is
+/// deliberately coarse: a queue that grows without consulting its size
+/// anywhere in the enqueue path cannot be shedding, and the rare
+/// false positive takes a one-line justified waiver.
+fn bounded_queues(toks: &[Token], in_test: &[bool], findings: &mut Vec<Finding>, rel_path: &str) {
+    struct Frame {
+        depth: isize,
+        cap_checked: bool,
+    }
+    let mut depth = 0isize;
+    let mut fn_pending = false;
+    let mut stack: Vec<Frame> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        match &t.tok {
+            Tok::Ident(id) if id == "fn" => fn_pending = true,
+            Tok::Punct('{') => {
+                depth += 1;
+                if fn_pending {
+                    stack.push(Frame { depth, cap_checked: false });
+                    fn_pending = false;
+                }
+            }
+            Tok::Punct('}') => {
+                if stack.last().is_some_and(|f| f.depth == depth) {
+                    stack.pop();
+                }
+                depth -= 1;
+            }
+            Tok::Ident(id)
+                if id == "mpsc"
+                    && path_sep_follows(toks, i)
+                    && matches!(toks.get(i + 3).map(|t| &t.tok),
+                                Some(Tok::Ident(m)) if m == "channel") =>
+            {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    rule: Rule::BoundedQueues,
+                    message: "`mpsc::channel()` is unbounded — under overload it grows \
+                              memory instead of shedding; use `mpsc::sync_channel` or \
+                              the runtime's `BoundedQueue` and answer \
+                              `DomdError::Overloaded`"
+                        .into(),
+                });
+            }
+            Tok::Ident(id)
+                if matches!(id.as_str(), "len" | "capacity")
+                    && is_method_or_path_call(toks, i) =>
+            {
+                if let Some(f) = stack.last_mut() {
+                    f.cap_checked = true;
+                }
+            }
+            Tok::Ident(id) if id == "push_back" && is_method_or_path_call(toks, i) => {
+                let checked = stack.last().is_some_and(|f| f.cap_checked);
+                if !checked {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        rule: Rule::BoundedQueues,
+                        message: "`.push_back(` with no capacity check (`.len(`/\
+                                  `.capacity(`) earlier in this function — an \
+                                  unguarded queue grows without bound under \
+                                  overload; check and shed first, or waive with \
+                                  the bound that holds"
+                            .into(),
                     });
                 }
             }
@@ -615,6 +700,31 @@ mod tests {
         assert!(scan_file(config::WAL_ORDER_FILE, good).violations.is_empty());
         // The same source outside the durable wrapper is not R4's business.
         assert!(scan_file(LIB, bad).violations.is_empty());
+    }
+
+    #[test]
+    fn unbounded_channels_and_unguarded_push_back_are_flagged() {
+        let src = "fn f() { let (tx, rx) = mpsc::channel(); }";
+        assert_eq!(rules_found(src), vec![(1, Rule::BoundedQueues)]);
+        // `sync_channel` is bounded and fine.
+        assert_eq!(rules_found("fn f() { let (tx, rx) = mpsc::sync_channel(8); }"), vec![]);
+        // The runtime crate owns the bounded primitives.
+        assert_eq!(scan_file("crates/runtime/src/queue.rs", src).violations, vec![]);
+    }
+
+    #[test]
+    fn push_back_needs_a_capacity_check_in_the_same_fn() {
+        let bad = "fn f(q: &mut VecDeque<u32>, x: u32) {\n  q.push_back(x);\n}";
+        assert_eq!(rules_found(bad), vec![(2, Rule::BoundedQueues)]);
+        let good = "fn f(q: &mut VecDeque<u32>, cap: usize, x: u32) -> bool {\n\
+                    \x20 if q.len() >= cap { return false; }\n\
+                    \x20 q.push_back(x);\n  true\n}";
+        assert_eq!(rules_found(good), vec![]);
+        // The check must come *before* the push in token order.
+        let late = "fn f(q: &mut VecDeque<u32>, x: u32) -> usize {\n\
+                    \x20 q.push_back(x);\n  q.len()\n}";
+        assert_eq!(rules_found(late), vec![(2, Rule::BoundedQueues)]);
+        assert_eq!(scan_file("crates/runtime/src/queue.rs", bad).violations, vec![]);
     }
 
     #[test]

@@ -70,6 +70,29 @@ pub enum DomdError {
         /// What was wrong with the configuration.
         message: String,
     },
+    /// The serving layer refused new work: the admission queue was at
+    /// capacity, or a tenant's circuit breaker was open. A shed request
+    /// was *never executed* — retrying after backoff is safe and is the
+    /// expected client response.
+    Overloaded {
+        /// Which limiter shed the request (queue, breaker, …).
+        context: String,
+        /// Queue depth (or equivalent load measure) at shed time.
+        depth: usize,
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+    /// A request exhausted its deadline budget — at admission (it aged out
+    /// while queued) or mid-flight between pipeline stages. Work already
+    /// performed for it was abandoned; partial results are never returned.
+    DeadlineExceeded {
+        /// The pipeline stage that observed the exhausted budget.
+        context: String,
+        /// Ticks (milliseconds under the wall clock) elapsed since admission.
+        elapsed: u64,
+        /// The request's total budget in the same ticks.
+        budget: u64,
+    },
     /// Bytes on durable storage failed verification: a torn write,
     /// truncation, bit-flip, or duplicated tail caught by the checksummed
     /// frame / WAL / checkpoint layer — or a store with no intact
@@ -113,6 +136,12 @@ impl fmt::Display for DomdError {
                 write!(f, "no usable data: {context}")
             }
             DomdError::Config { message } => write!(f, "configuration error: {message}"),
+            DomdError::Overloaded { context, depth, capacity } => {
+                write!(f, "overloaded: {context} at {depth}/{capacity}; retry after backoff")
+            }
+            DomdError::DeadlineExceeded { context, elapsed, budget } => {
+                write!(f, "deadline exceeded at {context}: {elapsed}ms elapsed of {budget}ms budget")
+            }
             DomdError::Corrupt { context, offset, message } => {
                 write!(f, "corrupt storage in {context}")?;
                 if let Some(o) = offset {
@@ -161,7 +190,18 @@ impl DomdError {
             DomdError::EmptyDataset { .. } => "empty-dataset",
             DomdError::Config { .. } => "config",
             DomdError::Corrupt { .. } => "corrupt",
+            DomdError::Overloaded { .. } => "overloaded",
+            DomdError::DeadlineExceeded { .. } => "deadline",
         }
+    }
+
+    /// True for the load-shedding variants ([`DomdError::Overloaded`],
+    /// [`DomdError::DeadlineExceeded`]): the request was refused or
+    /// abandoned *without side effects*, so a client may safely retry it
+    /// after backoff. Every other variant is a real fault and retrying
+    /// verbatim will fail again.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, DomdError::Overloaded { .. } | DomdError::DeadlineExceeded { .. })
     }
 }
 
@@ -312,10 +352,30 @@ mod tests {
             DomdError::config("c").kind(),
             DomdError::Corrupt { context: String::new(), offset: None, message: String::new() }
                 .kind(),
+            DomdError::Overloaded { context: String::new(), depth: 0, capacity: 0 }.kind(),
+            DomdError::DeadlineExceeded { context: String::new(), elapsed: 0, budget: 0 }.kind(),
         ];
         let mut unique: Vec<&str> = kinds.to_vec();
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), kinds.len());
+    }
+
+    #[test]
+    fn shedding_variants_are_retryable_and_name_their_budgets() {
+        let e = DomdError::Overloaded { context: "admission queue".into(), depth: 64, capacity: 64 };
+        assert!(e.is_retryable());
+        let s = e.to_string();
+        assert!(s.contains("64/64") && s.contains("retry"), "{s}");
+
+        let e = DomdError::DeadlineExceeded { context: "alert sweep".into(), elapsed: 120, budget: 50 };
+        assert!(e.is_retryable());
+        let s = e.to_string();
+        assert!(s.contains("120ms") && s.contains("50ms") && s.contains("alert sweep"), "{s}");
+
+        assert!(!DomdError::config("x").is_retryable());
+        let corrupt =
+            DomdError::Corrupt { context: "s".into(), offset: None, message: "m".into() };
+        assert!(!corrupt.is_retryable());
     }
 }

@@ -147,6 +147,35 @@ impl<'a> DomdQueryEngine<'a> {
     pub fn query_set(&self, avails: &[AvailId], t: Date) -> Vec<DomdAnswer> {
         avails.iter().filter_map(|&a| self.query_at(a, t)).collect()
     }
+
+    /// The explicit degraded-mode serving path: answers via
+    /// [`TrainedPipeline::predict_online_checked`] only — never the cache
+    /// — and marks the answer degraded with `reason` as its first warning.
+    ///
+    /// This is the route a tripped circuit breaker takes: the checked
+    /// predictor repairs serving-time faults inline (the behaviour the
+    /// breaker is protecting callers from depending on silently), and
+    /// skipping the cache keeps a possibly-poisoned memo from being
+    /// re-served while the tenant is quarantined.
+    pub fn query_logical_degraded(
+        &self,
+        avail: AvailId,
+        t_star: f64,
+        reason: &str,
+    ) -> Option<DomdAnswer> {
+        self.dataset.avail(avail)?;
+        let online =
+            self.pipeline.predict_online_checked(self.dataset, &self.features, avail, t_star);
+        let mut warnings = Vec::with_capacity(1 + online.warnings.len());
+        warnings.push(reason.to_string());
+        warnings.extend(online.warnings);
+        let estimates = online
+            .estimates
+            .into_iter()
+            .map(|(t, e)| DomdEstimate { t_star: t, estimated_delay: e })
+            .collect();
+        Some(DomdAnswer { avail, t_star_now: t_star, estimates, degraded: true, warnings })
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +314,25 @@ mod tests {
         let after = engine.cache_stats().unwrap();
         assert_eq!(after.hits, before.hits, "post-invalidate walk must not hit");
         assert!(after.misses > before.misses);
+    }
+
+    #[test]
+    fn degraded_route_is_bit_identical_to_checked_and_flagged() {
+        let (ds, p) = setup();
+        let engine = DomdQueryEngine::new(&ds, &p).with_cache(64);
+        let a = ds.avails()[0].id;
+        let healthy = engine.query_logical(a, 55.0).expect("known");
+        let degraded =
+            engine.query_logical_degraded(a, 55.0, "circuit open: probing").expect("known");
+        assert!(degraded.degraded);
+        assert_eq!(degraded.warnings.first().map(String::as_str), Some("circuit open: probing"));
+        // Same numbers — degraded mode changes confidence labelling and
+        // routing, never the estimates themselves on a healthy pipeline.
+        assert_eq!(healthy.estimates.len(), degraded.estimates.len());
+        for (h, d) in healthy.estimates.iter().zip(&degraded.estimates) {
+            assert_eq!(h.estimated_delay.to_bits(), d.estimated_delay.to_bits());
+        }
+        assert!(engine.query_logical_degraded(AvailId(9999), 55.0, "x").is_none());
     }
 
     #[test]

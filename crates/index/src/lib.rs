@@ -45,6 +45,7 @@ pub mod group_tree;
 pub mod incremental;
 pub mod interval_tree;
 pub mod naive;
+pub mod snapshot;
 pub mod sorted_array;
 pub mod status_query;
 pub mod traits;
@@ -64,6 +65,7 @@ pub use incremental::{
 };
 pub use interval_tree::IntervalTreeIndex;
 pub use naive::NaiveJoinIndex;
+pub use snapshot::{EngineStore, EpochStore, Pinned};
 pub use sorted_array::SortedArrayIndex;
 pub use status_query::{GroupRows, StatusAggregate, StatusQuery, StatusQueryEngine};
 pub use traits::{EventRangeScan, LogicalTimeIndex, MaintainableIndex};

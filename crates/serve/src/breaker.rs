@@ -1,0 +1,255 @@
+//! Per-tenant circuit breaker over the model-serving path.
+//!
+//! The breaker watches a sliding window of recent predict/alert outcomes
+//! for one tenant. When failures (handler errors, mid-flight deadline
+//! kills, pipeline repairs) crowd the window, the tenant *trips*: its
+//! prediction traffic is rerouted to the explicit degraded-mode path
+//! (`DomdQueryEngine::query_logical_degraded`) instead of hammering a
+//! pipeline that is evidently struggling. After a cooldown counted in
+//! admissions — not wall time, so the machine is deterministic under the
+//! manual clock — the breaker goes *half-open* and lets a single probe
+//! through on the normal path; a clean probe closes the breaker, a dirty
+//! one re-opens it.
+//!
+//! ```text
+//!            failures in window >= trip_failures
+//!   CLOSED ────────────────────────────────────────▶ OPEN
+//!     ▲                                               │ cooldown
+//!     │ probe ok                                      ▼ admissions
+//!     └─────────────────────── HALF-OPEN ◀────────────┘
+//!                                  │ probe failed
+//!                                  └────────────▶ OPEN (fresh cooldown)
+//! ```
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Sliding window length (outcomes remembered while closed).
+    pub window: usize,
+    /// Failures inside the window that trip the breaker.
+    pub trip_failures: usize,
+    /// Degraded admissions served before the breaker half-opens.
+    pub cooldown: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { window: 16, trip_failures: 4, cooldown: 8 }
+    }
+}
+
+/// The three breaker states (see module docs for the machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic takes the normal path.
+    Closed,
+    /// Tripped: predictions serve degraded until the cooldown elapses.
+    Open,
+    /// Probing: one request is in flight on the normal path.
+    HalfOpen,
+}
+
+/// How the breaker routed one admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Normal serving path.
+    Normal,
+    /// Degraded path; the payload is the remaining cooldown.
+    Degraded {
+        /// Degraded admissions left before the breaker half-opens.
+        remaining: usize,
+    },
+    /// Normal path, but the outcome decides the breaker's fate.
+    Probe,
+}
+
+/// Deterministic per-tenant circuit breaker. All transitions are driven
+/// by [`CircuitBreaker::admit`] / [`CircuitBreaker::record`] calls; no
+/// ambient time is read.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Ring of recent outcomes while closed (`true` = failure).
+    window: Vec<bool>,
+    cursor: usize,
+    filled: usize,
+    /// Degraded admissions still to serve while open.
+    cooldown_left: usize,
+    trips: u64,
+    recoveries: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with an empty window.
+    pub fn new(config: BreakerConfig) -> Self {
+        let window_len = config.window.max(1);
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            window: vec![false; window_len],
+            cursor: 0,
+            filled: 0,
+            cooldown_left: 0,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Times a probe closed the breaker again.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Routes one admission and advances open-state bookkeeping.
+    pub fn admit(&mut self) -> Route {
+        match self.state {
+            BreakerState::Closed => Route::Normal,
+            BreakerState::Open => {
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                    Route::Probe
+                } else {
+                    self.cooldown_left -= 1;
+                    Route::Degraded { remaining: self.cooldown_left }
+                }
+            }
+            // One probe at a time: concurrent admissions while a probe is
+            // in flight keep serving degraded rather than stampeding.
+            BreakerState::HalfOpen => Route::Degraded { remaining: 0 },
+        }
+    }
+
+    /// Reports the outcome of an admission routed by [`Self::admit`].
+    /// `failed` covers handler errors, mid-flight deadline kills, and
+    /// answers the pipeline had to repair.
+    pub fn record(&mut self, route: Route, failed: bool) {
+        match (route, self.state) {
+            (Route::Probe, _) => {
+                if failed {
+                    self.trip();
+                } else {
+                    self.state = BreakerState::Closed;
+                    self.reset_window();
+                    self.recoveries += 1;
+                }
+            }
+            (Route::Normal, BreakerState::Closed) => {
+                self.window[self.cursor] = failed;
+                self.cursor = (self.cursor + 1) % self.window.len();
+                self.filled = (self.filled + 1).min(self.window.len());
+                let failures = self.window.iter().filter(|&&f| f).count();
+                if failures >= self.config.trip_failures {
+                    self.trip();
+                }
+            }
+            // Degraded outcomes and stale reports (e.g. a Normal outcome
+            // landing after a concurrent trip) don't move the machine.
+            _ => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.cooldown_left = self.config.cooldown;
+        self.reset_window();
+        self.trips += 1;
+    }
+
+    fn reset_window(&mut self) {
+        self.window.iter_mut().for_each(|f| *f = false);
+        self.cursor = 0;
+        self.filled = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig { window: 8, trip_failures: 3, cooldown: 2 })
+    }
+
+    #[test]
+    fn trips_after_threshold_failures() {
+        let mut b = breaker();
+        for _ in 0..2 {
+            let r = b.admit();
+            assert_eq!(r, Route::Normal);
+            b.record(r, true);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        let r = b.admit();
+        b.record(r, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn cooldown_then_probe_then_recovery() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            let r = b.admit();
+            b.record(r, true);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown: two degraded admissions.
+        assert!(matches!(b.admit(), Route::Degraded { remaining: 1 }));
+        assert!(matches!(b.admit(), Route::Degraded { remaining: 0 }));
+        // Next admission is the probe.
+        let probe = b.admit();
+        assert_eq!(probe, Route::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Concurrent admission during the probe stays degraded.
+        assert!(matches!(b.admit(), Route::Degraded { .. }));
+        b.record(probe, false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries(), 1);
+        // The window was reset: old failures don't linger.
+        let r = b.admit();
+        assert_eq!(r, Route::Normal);
+        b.record(r, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            let r = b.admit();
+            b.record(r, true);
+        }
+        b.admit();
+        b.admit();
+        let probe = b.admit();
+        assert_eq!(probe, Route::Probe);
+        b.record(probe, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(matches!(b.admit(), Route::Degraded { remaining: 1 }));
+    }
+
+    #[test]
+    fn sparse_failures_never_trip() {
+        let mut b = breaker();
+        for i in 0..100 {
+            let r = b.admit();
+            assert_eq!(r, Route::Normal, "iteration {i}");
+            // One failure every 8 successes: at most 1 failure in window.
+            b.record(r, i % 9 == 0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+}

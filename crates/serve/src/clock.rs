@@ -1,0 +1,94 @@
+//! The serving layer's time source.
+//!
+//! Deadlines need a clock, but the workspace bans ambient time
+//! (`Instant::now` / `SystemTime::now`) outside the bench crate because
+//! ambient time is the classic nondeterminism leak. The resolution is the
+//! same one the RNG layer uses: time is a *capability*, injected at
+//! construction. Production wiring injects [`WallClock`]; every test and
+//! chaos scenario injects [`ManualClock`] and advances it by hand, which
+//! makes deadline races replayable from a seed instead of flaky.
+//!
+//! This file is the single analyzer-sanctioned home of ambient-time reads
+//! in the serving stack (`TIME_ALLOWED` in `domd-analyzer`): `WallClock`
+//! anchors one `Instant` at construction and derives every tick from it,
+//! so no other serving module ever touches the OS clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone milliseconds since an arbitrary origin.
+pub type Ticks = u64;
+
+/// A monotone millisecond clock. Implementations must never go backwards.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Current tick count.
+    fn now(&self) -> Ticks;
+}
+
+/// Deterministic test clock: advances only when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ticks: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at tick 0.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ManualClock::default())
+    }
+
+    /// Moves time forward by `delta` ticks and returns the new now.
+    pub fn advance(&self, delta: Ticks) -> Ticks {
+        self.ticks.fetch_add(delta, Ordering::SeqCst) + delta
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Ticks {
+        self.ticks.load(Ordering::SeqCst)
+    }
+}
+
+/// Wall time for production serving and benches: milliseconds since the
+/// clock was constructed, monotone because it is derived from one
+/// `Instant` anchor.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: std::time::Instant,
+}
+
+impl WallClock {
+    /// A clock whose tick 0 is "now".
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Arc<Self> {
+        Arc::new(WallClock { origin: std::time::Instant::now() })
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Ticks {
+        self.origin.elapsed().as_millis() as Ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_only_on_demand() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.now(), 5);
+        assert_eq!(c.advance(0), 5);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,159 @@
+//! Request and response types of the serve loop.
+//!
+//! A [`Request`] is stamped with its submission tick and a deadline
+//! budget at creation; the admission queue, the dequeue check, and every
+//! pipeline stage measure against that same pair, so "how late is this
+//! request" has one answer everywhere. A [`Response`] always carries a
+//! *typed* outcome — shed and timed-out requests answer with
+//! `DomdError::Overloaded` / `DomdError::DeadlineExceeded`, never by
+//! silently vanishing.
+
+use domd_core::{DomdError, DomdEstimate};
+use domd_data::rcc::{RccType, Swlin};
+use domd_data::{AvailId, Date};
+use domd_index::{StatusAggregate, StatusQuery};
+
+use crate::clock::Ticks;
+
+/// The work a request asks for.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// A Status Query aggregate on the tenant's current epoch.
+    Status(StatusQuery),
+    /// A DoMD prediction for one avail at logical time `t*`.
+    Predict {
+        /// The avail to estimate.
+        avail: AvailId,
+        /// Logical query time (percent of planned duration).
+        t_star: f64,
+    },
+    /// The top-`k` ongoing avails ranked by estimated delay at `t*`.
+    Alerts {
+        /// Logical query time applied to every ongoing avail.
+        t_star: f64,
+        /// Maximum number of alerts returned.
+        k: usize,
+        /// Only avails whose estimated delay is at least this many days.
+        min_delay: f64,
+    },
+    /// Ingest one new RCC into the tenant's next epoch.
+    Ingest {
+        /// The avail the RCC belongs to.
+        avail: AvailId,
+        /// RCC category.
+        rcc_type: RccType,
+        /// Ship-work breakdown code.
+        swlin: Swlin,
+        /// Physical creation date.
+        created: Date,
+        /// Physical settlement date.
+        settled: Date,
+        /// Settled amount in man-days.
+        amount: f64,
+    },
+}
+
+impl Op {
+    /// Short name used in metrics and protocol rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Status(_) => "status",
+            Op::Predict { .. } => "predict",
+            Op::Alerts { .. } => "alert",
+            Op::Ingest { .. } => "ingest",
+        }
+    }
+
+    /// True for operations that build a new epoch.
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, Op::Ingest { .. })
+    }
+}
+
+/// One admitted-or-shed unit of work.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-assigned sequence number; responses are matched by it.
+    pub seq: u64,
+    /// Tenant the request addresses.
+    pub tenant: usize,
+    /// Clock tick at submission; deadlines measure from here.
+    pub submitted: Ticks,
+    /// Total deadline budget in ticks.
+    pub budget: Ticks,
+    /// The requested operation.
+    pub op: Op,
+}
+
+impl Request {
+    /// Ticks remaining at `now` (0 when the budget is exhausted).
+    pub fn remaining(&self, now: Ticks) -> Ticks {
+        (self.submitted + self.budget).saturating_sub(now)
+    }
+}
+
+/// One maintenance alert: an ongoing avail whose estimated delay cleared
+/// the query threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The at-risk avail.
+    pub avail: AvailId,
+    /// Headline estimated delay in days (the latest timeline estimate).
+    pub estimated_delay: f64,
+    /// True when the estimate came from a degraded serving path.
+    pub degraded: bool,
+}
+
+/// A successful request's payload.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// Status Query aggregate.
+    Status(StatusAggregate),
+    /// DoMD prediction timeline.
+    Predict {
+        /// The avail estimated.
+        avail: AvailId,
+        /// Estimates along the timeline grid (last = headline).
+        estimates: Vec<DomdEstimate>,
+        /// True when served through a degraded path (breaker open, or the
+        /// pipeline repaired a serving-time fault).
+        degraded: bool,
+        /// One message per repair or degradation cause.
+        warnings: Vec<String>,
+    },
+    /// Risk-ranked alerts, highest estimated delay first.
+    Alerts(Vec<Alert>),
+    /// The ingest was applied and published.
+    Ingested {
+        /// Dense row id in the tenant's arena.
+        row: u32,
+        /// The snapshot epoch that now contains the row.
+        epoch: u64,
+    },
+}
+
+/// The answer to one [`Request`].
+#[derive(Debug)]
+pub struct Response {
+    /// Echo of [`Request::seq`].
+    pub seq: u64,
+    /// Echo of [`Request::tenant`].
+    pub tenant: usize,
+    /// The typed result: a reply, or a typed refusal/failure.
+    pub outcome: Result<Reply, DomdError>,
+    /// The snapshot epoch the request pinned (`None` when it was shed
+    /// before pinning one).
+    pub epoch: Option<u64>,
+    /// Ticks spent queued between admission and dequeue.
+    pub queued: Ticks,
+    /// Ticks spent in the handler.
+    pub service: Ticks,
+}
+
+impl Response {
+    /// True when the request was refused or abandoned by the overload
+    /// layer (safe to retry after backoff).
+    pub fn is_shed(&self) -> bool {
+        matches!(&self.outcome, Err(e) if e.is_retryable())
+    }
+}

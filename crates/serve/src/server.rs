@@ -1,0 +1,778 @@
+//! The serve loop: admission control, deadline enforcement, snapshot
+//! pinning, per-tenant circuit breaking, and typed load shedding.
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//!  submit ──deadline@admission──▶ BoundedQueue ──pop──▶ execute
+//!    │            │                    │                  │
+//!    │      DeadlineExceeded      QueueRejected      deadline@dequeue
+//!    │         (typed)          → Overloaded (typed)      │
+//!    └──────────────────────────────────────────────── pin epoch
+//!                                                         │
+//!                                   per-op stages (deadline between each,
+//!                                   cancellable inside the alert sweep)
+//! ```
+//!
+//! Invariants the chaos suite holds this module to:
+//!
+//! * **Never panic** — every failure surfaces as a typed
+//!   [`DomdError`] inside a [`Response`].
+//! * **Never a torn read** — a handler touches exactly one
+//!   [`Pinned`](domd_index::Pinned) snapshot for its whole lifetime.
+//! * **Never silent queuing** — an admission either enqueues within the
+//!   capacity bound or answers `Overloaded` immediately; queue depth is
+//!   provably bounded by [`BoundedQueue::peak_depth`].
+//! * **Never block reads on ingest** — reads pin with one pointer clone;
+//!   epoch construction happens outside that lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use domd_core::{DomdError, DomdQueryEngine, TrainedPipeline};
+use domd_features::{FeatureCache, FeatureEngine};
+use domd_index::{DurableIndex, EpochStore, FlatAvlIndex, Pinned, RecoveryReport};
+use domd_runtime::{BoundedQueue, Cancelled};
+
+use crate::breaker::{BreakerConfig, CircuitBreaker, Route};
+use crate::clock::{Clock, Ticks};
+use crate::request::{Alert, Op, Reply, Request, Response};
+use crate::state::TenantSnapshot;
+
+/// The immutable model artifacts every tenant serves with.
+#[derive(Clone)]
+pub struct SharedModel {
+    /// The trained pipeline (one artifact, shared by reference).
+    pub pipeline: Arc<TrainedPipeline>,
+    /// The feature engine configuration.
+    pub features: FeatureEngine,
+}
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent handler workers in [`ServeCore::run_batch`] /
+    /// [`ServeCore::run_scheduled`].
+    pub workers: usize,
+    /// Hard bound of the admission queue.
+    pub queue_capacity: usize,
+    /// Deadline budget stamped by [`ServeCore::stamp`] (ticks).
+    pub default_budget: Ticks,
+    /// Per-tenant circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Avails examined between deadline polls inside the alert sweep.
+    pub alert_chunk: usize,
+    /// Per-tenant feature-cache capacity (0 disables).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_budget: 200,
+            breaker: BreakerConfig::default(),
+            alert_chunk: 8,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Handler stage boundaries; the chaos harness hooks these to inject
+/// slow handlers (advance the manual clock) and mid-request epoch swaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The request passed admission and entered the queue.
+    Admitted,
+    /// The handler pinned its epoch snapshot.
+    Pinned,
+    /// About to start the expensive sweep of an alert query.
+    PreSweep,
+    /// The handler finished (response built, metrics updated).
+    Done,
+}
+
+/// Chaos/observability hook called at each [`Stage`] boundary.
+pub type StageHook = dyn Fn(Stage, &Request) + Send + Sync;
+
+/// Cumulative serving counters (all monotone; readable while serving).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    completed_ok: AtomicU64,
+    failed: AtomicU64,
+    degraded_served: AtomicU64,
+    epochs_published: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeMetrics`] plus breaker totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Requests offered to [`ServeCore::submit`].
+    pub submitted: u64,
+    /// Requests that entered the queue.
+    pub admitted: u64,
+    /// Requests shed with `Overloaded` at admission.
+    pub shed_queue_full: u64,
+    /// Requests refused or abandoned with `DeadlineExceeded`
+    /// (admission, dequeue, or mid-sweep).
+    pub shed_deadline: u64,
+    /// Requests answered with a reply.
+    pub completed_ok: u64,
+    /// Requests answered with a non-shedding error.
+    pub failed: u64,
+    /// Replies served through a degraded path.
+    pub degraded_served: u64,
+    /// Epochs published by ingest.
+    pub epochs_published: u64,
+    /// Circuit-breaker trips across tenants.
+    pub breaker_trips: u64,
+    /// Probe-driven recoveries across tenants.
+    pub breaker_recoveries: u64,
+}
+
+struct Tenant {
+    store: Arc<EpochStore<TenantSnapshot>>,
+    breaker: Mutex<CircuitBreaker>,
+    /// Shared feature cache; readers `try_lock` and fall back to the
+    /// uncached path on contention, so the cache can never block serving.
+    cache: Mutex<FeatureCache>,
+    /// Which published epoch the cache's entries were computed against.
+    cache_epoch: AtomicU64,
+}
+
+/// The multi-tenant serving core. One instance owns the admission queue,
+/// every tenant's epoch store, and the shared model artifacts.
+pub struct ServeCore {
+    config: ServeConfig,
+    clock: Arc<dyn Clock>,
+    model: SharedModel,
+    tenants: Vec<Tenant>,
+    queue: BoundedQueue<Request>,
+    metrics: ServeMetrics,
+    /// System of record for index maintenance; ingests append here
+    /// (WAL-before-apply) before publishing the epoch that contains them.
+    durable: Option<Mutex<DurableIndex<FlatAvlIndex>>>,
+    hook: Option<Arc<StageHook>>,
+}
+
+impl ServeCore {
+    /// Builds a core serving `snapshots` (one per tenant) with `model`.
+    pub fn new(
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+        model: SharedModel,
+        snapshots: Vec<TenantSnapshot>,
+    ) -> Self {
+        let cache_capacity = config.cache_capacity.max(1);
+        let tenants = snapshots
+            .into_iter()
+            .map(|s| Tenant {
+                store: Arc::new(EpochStore::new(s)),
+                breaker: Mutex::new(CircuitBreaker::new(config.breaker)),
+                cache: Mutex::new(FeatureCache::new(cache_capacity)),
+                cache_epoch: AtomicU64::new(0),
+            })
+            .collect();
+        let queue = BoundedQueue::with_capacity(config.queue_capacity);
+        ServeCore {
+            config,
+            clock,
+            model,
+            tenants,
+            queue,
+            metrics: ServeMetrics::default(),
+            durable: None,
+            hook: None,
+        }
+    }
+
+    /// Attaches the durable index store ingests must reach before they
+    /// are published (see [`DurableIndex`] for the WAL discipline).
+    pub fn with_durable(mut self, durable: DurableIndex<FlatAvlIndex>) -> Self {
+        self.durable = Some(Mutex::new(durable));
+        self
+    }
+
+    /// Installs a [`StageHook`] (chaos injection / tracing).
+    pub fn with_hook(mut self, hook: Arc<StageHook>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// The clock this core measures deadlines with.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The epoch store of tenant `t` (chaos tests publish through this
+    /// to race swaps against in-flight requests).
+    pub fn tenant_store(&self, t: usize) -> Option<Arc<EpochStore<TenantSnapshot>>> {
+        self.tenants.get(t).map(|tn| Arc::clone(&tn.store))
+    }
+
+    /// The admission queue (exposes depth/peak accounting to tests).
+    pub fn queue(&self) -> &BoundedQueue<Request> {
+        &self.queue
+    }
+
+    /// Counters so far, including per-tenant breaker totals.
+    pub fn metrics(&self) -> MetricsReport {
+        let m = &self.metrics;
+        let (mut trips, mut recoveries) = (0, 0);
+        for t in &self.tenants {
+            let b = self.lock_breaker(t);
+            trips += b.trips();
+            recoveries += b.recoveries();
+        }
+        MetricsReport {
+            submitted: m.submitted.load(Ordering::Relaxed),
+            admitted: m.admitted.load(Ordering::Relaxed),
+            shed_queue_full: m.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: m.shed_deadline.load(Ordering::Relaxed),
+            completed_ok: m.completed_ok.load(Ordering::Relaxed),
+            failed: m.failed.load(Ordering::Relaxed),
+            degraded_served: m.degraded_served.load(Ordering::Relaxed),
+            epochs_published: m.epochs_published.load(Ordering::Relaxed),
+            breaker_trips: trips,
+            breaker_recoveries: recoveries,
+        }
+    }
+
+    /// Stamps a request with the current tick and the default budget.
+    pub fn stamp(&self, seq: u64, tenant: usize, op: Op) -> Request {
+        Request {
+            seq,
+            tenant,
+            submitted: self.clock.now(),
+            budget: self.config.default_budget,
+            op,
+        }
+    }
+
+    fn fire(&self, stage: Stage, req: &Request) {
+        if let Some(hook) = &self.hook {
+            hook(stage, req);
+        }
+    }
+
+    /// Fires the installed [`StageHook`] for `req` at `stage`. Session
+    /// drivers outside this module (the line protocol) route admissions
+    /// through this so chaos hooks observe them too.
+    pub fn fire_stage(&self, stage: Stage, req: &Request) {
+        self.fire(stage, req);
+    }
+
+    fn lock_breaker<'a>(&self, tenant: &'a Tenant) -> std::sync::MutexGuard<'a, CircuitBreaker> {
+        // domd-lint: allow(no-panic) — breaker sections are short and panic-free; a poisoned lock means a worker already panicked
+        tenant.breaker.lock().expect("breaker lock")
+    }
+
+    fn refuse(&self, req: &Request, err: DomdError) -> Response {
+        if matches!(err, DomdError::DeadlineExceeded { .. }) {
+            self.metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
+        } else if matches!(err, DomdError::Overloaded { .. }) {
+            self.metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        Response {
+            seq: req.seq,
+            tenant: req.tenant,
+            outcome: Err(err),
+            epoch: None,
+            queued: 0,
+            service: 0,
+        }
+    }
+
+    fn deadline_check(&self, req: &Request, context: &str) -> Result<(), DomdError> {
+        let elapsed = self.clock.now().saturating_sub(req.submitted);
+        if elapsed >= req.budget {
+            Err(DomdError::DeadlineExceeded {
+                context: context.to_string(),
+                elapsed,
+                budget: req.budget,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Admission: deadline gate, then a bounded enqueue. Returns
+    /// `Some(response)` when the request was refused on the spot
+    /// (typed `DeadlineExceeded` / `Overloaded` / `Config`), `None` when
+    /// it was admitted and a worker will answer it.
+    pub fn submit(&self, req: Request) -> Option<Response> {
+        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        if req.tenant >= self.tenants.len() {
+            let err = DomdError::config(format!(
+                "unknown tenant {} (serving {})",
+                req.tenant,
+                self.tenants.len()
+            ));
+            return Some(self.refuse(&req, err));
+        }
+        if let Err(e) = self.deadline_check(&req, "admission") {
+            return Some(self.refuse(&req, e));
+        }
+        match self.queue.try_push(req) {
+            Ok(_) => {
+                self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(rej) => {
+                let err = DomdError::Overloaded {
+                    context: "admission queue".into(),
+                    depth: rej.depth,
+                    capacity: rej.capacity,
+                };
+                let req = rej.item;
+                Some(self.refuse(&req, err))
+            }
+        }
+    }
+
+    /// Runs one request end-to-end on the calling thread, skipping the
+    /// queue (the CLI's interactive path; also the deterministic entry
+    /// point for single-request chaos scenarios). Admission deadline
+    /// semantics still apply.
+    pub fn serve_one(&self, req: Request) -> Response {
+        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        if req.tenant >= self.tenants.len() {
+            let err = DomdError::config(format!(
+                "unknown tenant {} (serving {})",
+                req.tenant,
+                self.tenants.len()
+            ));
+            return self.refuse(&req, err);
+        }
+        if let Err(e) = self.deadline_check(&req, "admission") {
+            return self.refuse(&req, e);
+        }
+        self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        self.fire(Stage::Admitted, &req);
+        self.execute(req)
+    }
+
+    /// Handles one admitted request: dequeue deadline gate, epoch pin,
+    /// per-op stages. Called by pool workers; never panics on bad input.
+    pub fn execute(&self, req: Request) -> Response {
+        let dequeued = self.clock.now();
+        let queued = dequeued.saturating_sub(req.submitted);
+        // A request that aged out while queued is abandoned before any
+        // work — shedding late work is cheaper than finishing it.
+        if let Err(e) = self.deadline_check(&req, "dequeue") {
+            let mut resp = self.refuse(&req, e);
+            resp.queued = queued;
+            return resp;
+        }
+        let Some(tenant) = self.tenants.get(req.tenant) else {
+            return self.refuse(
+                &req,
+                DomdError::config(format!("unknown tenant {}", req.tenant)),
+            );
+        };
+
+        let pinned = tenant.store.pin();
+        self.fire(Stage::Pinned, &req);
+        let epoch = pinned.epoch();
+
+        let outcome = match &req.op {
+            Op::Status(query) => self.handle_status(&req, &pinned, query),
+            Op::Predict { avail, t_star } => {
+                self.handle_predict(&req, tenant, &pinned, *avail, *t_star)
+            }
+            Op::Alerts { t_star, k, min_delay } => {
+                self.handle_alerts(&req, tenant, &pinned, *t_star, *k, *min_delay)
+            }
+            Op::Ingest { .. } => self.handle_ingest(&req, tenant, &pinned),
+        };
+
+        let service = self.clock.now().saturating_sub(dequeued);
+        match &outcome {
+            Ok(reply) => {
+                self.metrics.completed_ok.fetch_add(1, Ordering::Relaxed);
+                let degraded = match reply {
+                    Reply::Predict { degraded, .. } => *degraded,
+                    Reply::Alerts(alerts) => alerts.iter().any(|a| a.degraded),
+                    _ => false,
+                };
+                if degraded {
+                    self.metrics.degraded_served.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.is_retryable() => {
+                self.metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.fire(Stage::Done, &req);
+        Response { seq: req.seq, tenant: req.tenant, outcome, epoch: Some(epoch), queued, service }
+    }
+
+    fn handle_status(
+        &self,
+        req: &Request,
+        pinned: &Pinned<TenantSnapshot>,
+        query: &domd_index::StatusQuery,
+    ) -> Result<Reply, DomdError> {
+        self.deadline_check(req, "status aggregate")?;
+        Ok(Reply::Status(pinned.engine.aggregate(query)))
+    }
+
+    fn handle_predict(
+        &self,
+        req: &Request,
+        tenant: &Tenant,
+        pinned: &Pinned<TenantSnapshot>,
+        avail: domd_data::AvailId,
+        t_star: f64,
+    ) -> Result<Reply, DomdError> {
+        self.deadline_check(req, "predict")?;
+        if !t_star.is_finite() {
+            return Err(DomdError::NonFinite {
+                feature: "t_star".into(),
+                step: "serve predict".into(),
+            });
+        }
+        let route = self.lock_breaker(tenant).admit();
+        let answer = match route {
+            Route::Degraded { .. } => {
+                let engine = DomdQueryEngine::with_engine(
+                    &pinned.dataset,
+                    &self.model.pipeline,
+                    self.model.features.clone(),
+                );
+                engine.query_logical_degraded(
+                    avail,
+                    t_star,
+                    "circuit open: serving via checked degraded path",
+                )
+            }
+            Route::Normal | Route::Probe => self.predict_normal(tenant, pinned, avail, t_star),
+        };
+        let (failed, reply) = match answer {
+            None => (
+                true,
+                Err(DomdError::config(format!("unknown avail {avail} for tenant {}", req.tenant))),
+            ),
+            Some(ans) => {
+                // A repair-free answer is a healthy outcome; repairs (or an
+                // empty timeline) count against the tenant's breaker.
+                let unhealthy = match route {
+                    Route::Degraded { .. } => false,
+                    _ => ans.degraded || ans.estimates.is_empty(),
+                };
+                (
+                    unhealthy,
+                    Ok(Reply::Predict {
+                        avail,
+                        estimates: ans.estimates,
+                        degraded: ans.degraded,
+                        warnings: ans.warnings,
+                    }),
+                )
+            }
+        };
+        self.lock_breaker(tenant).record(route, failed);
+        reply
+    }
+
+    /// The healthy predict path: feature-cache accelerated when the
+    /// tenant cache is free, bit-identical uncached serving when it is
+    /// contended — a reader never waits on another reader's cache lock.
+    fn predict_normal(
+        &self,
+        tenant: &Tenant,
+        pinned: &Pinned<TenantSnapshot>,
+        avail: domd_data::AvailId,
+        t_star: f64,
+    ) -> Option<domd_core::DomdAnswer> {
+        pinned.dataset.avail(avail)?;
+        let online = match tenant.cache.try_lock() {
+            Ok(mut cache) => {
+                // Entries must come from this pinned epoch; on any epoch
+                // mismatch, invalidate before reuse.
+                if tenant.cache_epoch.swap(pinned.epoch(), Ordering::AcqRel) != pinned.epoch() {
+                    cache.invalidate();
+                }
+                self.model.pipeline.predict_online_cached(
+                    &pinned.dataset,
+                    &self.model.features,
+                    &mut cache,
+                    avail,
+                    t_star,
+                )
+            }
+            Err(_) => self.model.pipeline.predict_online_checked(
+                &pinned.dataset,
+                &self.model.features,
+                avail,
+                t_star,
+            ),
+        };
+        let estimates = online
+            .estimates
+            .into_iter()
+            .map(|(t, e)| domd_core::DomdEstimate { t_star: t, estimated_delay: e })
+            .collect::<Vec<_>>();
+        Some(domd_core::DomdAnswer {
+            avail,
+            t_star_now: t_star,
+            estimates,
+            degraded: !online.warnings.is_empty(),
+            warnings: online.warnings,
+        })
+    }
+
+    fn handle_alerts(
+        &self,
+        req: &Request,
+        tenant: &Tenant,
+        pinned: &Pinned<TenantSnapshot>,
+        t_star: f64,
+        k: usize,
+        min_delay: f64,
+    ) -> Result<Reply, DomdError> {
+        self.deadline_check(req, "alert sweep")?;
+        if !t_star.is_finite() {
+            return Err(DomdError::NonFinite {
+                feature: "t_star".into(),
+                step: "serve alerts".into(),
+            });
+        }
+        let route = self.lock_breaker(tenant).admit();
+        self.fire(Stage::PreSweep, req);
+        let ongoing: Vec<domd_data::AvailId> = pinned
+            .dataset
+            .avails()
+            .iter()
+            .filter(|a| a.actual_end.is_none())
+            .map(|a| a.id)
+            .collect();
+        // The expensive index sweep: deadline re-checked cooperatively
+        // every chunk, so an exhausted budget abandons the sweep instead
+        // of finishing it late. Chunk counting keeps clock reads off the
+        // per-avail fast path.
+        let deadline = req.submitted + req.budget;
+        let counter = AtomicU64::new(0);
+        let chunk = self.config.alert_chunk.max(1) as u64;
+        let cancel = || {
+            counter.fetch_add(1, Ordering::Relaxed).is_multiple_of(chunk)
+                && self.clock.now() >= deadline
+        };
+        let swept = domd_runtime::par_map_cancellable(
+            domd_runtime::threads(),
+            &ongoing,
+            cancel,
+            |_, &avail| {
+                let online = self.model.pipeline.predict_online_checked(
+                    &pinned.dataset,
+                    &self.model.features,
+                    avail,
+                    t_star,
+                );
+                let headline = online.estimates.last().map(|&(_, e)| e);
+                (avail, headline, !online.warnings.is_empty())
+            },
+        );
+        let per_avail = match swept {
+            Ok(v) => v,
+            Err(Cancelled { .. }) => {
+                let elapsed = self.clock.now().saturating_sub(req.submitted);
+                let err = DomdError::DeadlineExceeded {
+                    context: "alert sweep".into(),
+                    elapsed,
+                    budget: req.budget,
+                };
+                // An abandoned sweep is a timeout against this tenant's
+                // model path — the breaker should see it.
+                self.lock_breaker(tenant).record(route, true);
+                return Err(err);
+            }
+        };
+        let degraded_route = matches!(route, Route::Degraded { .. });
+        let mut repairs = false;
+        let mut alerts: Vec<Alert> = per_avail
+            .into_iter()
+            .filter_map(|(avail, headline, repaired)| {
+                repairs |= repaired;
+                let estimated_delay = headline?;
+                if !estimated_delay.is_finite() || estimated_delay < min_delay {
+                    return None;
+                }
+                Some(Alert { avail, estimated_delay, degraded: repaired || degraded_route })
+            })
+            .collect();
+        // Risk ranking with a total, deterministic order: estimated delay
+        // descending, avail id ascending on ties.
+        alerts.sort_by(|a, b| {
+            b.estimated_delay
+                .total_cmp(&a.estimated_delay)
+                .then_with(|| a.avail.0.cmp(&b.avail.0))
+        });
+        alerts.truncate(k);
+        self.lock_breaker(tenant)
+            .record(route, if degraded_route { false } else { repairs });
+        Ok(Reply::Alerts(alerts))
+    }
+
+    fn handle_ingest(
+        &self,
+        req: &Request,
+        tenant: &Tenant,
+        pinned: &Pinned<TenantSnapshot>,
+    ) -> Result<Reply, DomdError> {
+        let &Op::Ingest { avail, rcc_type, swlin, created, settled, amount } = &req.op else {
+            return Err(DomdError::config("handle_ingest on a non-ingest op"));
+        };
+        self.deadline_check(req, "ingest validate")?;
+        // Validate on the pinned epoch first: a bad request must not cost
+        // a copy-on-write epoch build (nor bump the epoch counter).
+        pinned.validate_ingest(avail, created, settled, amount)?;
+        self.deadline_check(req, "ingest apply")?;
+        let (epoch, applied) = tenant.store.update(|snap| -> Result<u32, DomdError> {
+            // WAL-before-apply: the row's logical projection reaches the
+            // durable store before any published snapshot contains it.
+            if let Some(durable) = &self.durable {
+                let projected = snap.project_next(avail, created, settled).ok_or_else(|| {
+                    DomdError::config(format!("ingest references unknown avail {avail}"))
+                })?;
+                // domd-lint: allow(no-panic) — a poisoned durable lock means a worker already panicked; propagating is the only sound exit
+                durable.lock().expect("durable store lock").insert(&projected)?;
+            }
+            snap.ingest(avail, rcc_type, swlin, created, settled, amount)
+        });
+        // On failure the epoch advanced over an unchanged clone (the
+        // closure bailed before mutating); readers see identical state.
+        let row = applied?;
+        self.metrics.epochs_published.fetch_add(1, Ordering::Relaxed);
+        Ok(Reply::Ingested { row, epoch })
+    }
+
+    /// Pushes `requests` through the full admission/queue/worker loop and
+    /// returns every response, ordered by `seq`. Role 0 feeds the queue
+    /// as fast as admission allows (sheds are answered inline); the
+    /// remaining `workers` roles drain and execute. The queue is closed
+    /// when the feed ends, so this consumes the core's queue — build one
+    /// core per run.
+    pub fn run_batch(&self, requests: &[Request]) -> Vec<Response> {
+        let out: Mutex<Vec<Response>> = Mutex::new(Vec::with_capacity(requests.len()));
+        let push = |resp: Response| {
+            // domd-lint: allow(no-panic) — response sink sections are short and panic-free
+            out.lock().expect("response sink").push(resp);
+        };
+        domd_runtime::run_workers(self.config.workers + 1, |role| {
+            if role == 0 {
+                for req in requests {
+                    if let Some(resp) = self.submit(req.clone()) {
+                        push(resp);
+                    } else {
+                        self.fire(Stage::Admitted, req);
+                    }
+                }
+                self.queue.close();
+            } else {
+                while let Some(req) = self.queue.pop() {
+                    push(self.execute(req));
+                }
+            }
+        });
+        // domd-lint: allow(no-panic) — all workers joined; the sink mutex is free and unpoisoned
+        let mut responses = out.into_inner().expect("response sink");
+        responses.sort_by_key(|r| r.seq);
+        responses
+    }
+
+    /// Open-loop serving: submits each request when the clock reaches its
+    /// scheduled tick — arrivals never wait for completions, which is what
+    /// makes overload observable. Requests are re-stamped at their actual
+    /// submit tick. Returns responses ordered by `seq`.
+    pub fn run_scheduled(&self, schedule: &[(Ticks, Request)]) -> Vec<Response> {
+        let out: Mutex<Vec<Response>> = Mutex::new(Vec::with_capacity(schedule.len()));
+        let push = |resp: Response| {
+            // domd-lint: allow(no-panic) — response sink sections are short and panic-free
+            out.lock().expect("response sink").push(resp);
+        };
+        domd_runtime::run_workers(self.config.workers + 1, |role| {
+            if role == 0 {
+                for (at, req) in schedule {
+                    while self.clock.now() < *at {
+                        std::thread::yield_now();
+                    }
+                    let mut req = req.clone();
+                    req.submitted = self.clock.now();
+                    if let Some(resp) = self.submit(req.clone()) {
+                        push(resp);
+                    } else {
+                        self.fire(Stage::Admitted, &req);
+                    }
+                }
+                self.queue.close();
+            } else {
+                while let Some(req) = self.queue.pop() {
+                    push(self.execute(req));
+                }
+            }
+        });
+        // domd-lint: allow(no-panic) — all workers joined; the sink mutex is free and unpoisoned
+        let mut responses = out.into_inner().expect("response sink");
+        responses.sort_by_key(|r| r.seq);
+        responses
+    }
+}
+
+/// Prints a [`RecoveryReport`] to `err` in the operator format the
+/// `domd recover` command uses, prefixed for the serve startup context.
+/// Surfacing damage *before* the first request is the contract: an
+/// operator must see quarantined tails and discarded bytes even when
+/// recovery ultimately succeeded.
+pub fn announce_recovery(err: &mut dyn std::io::Write, report: &RecoveryReport) {
+    let _ = writeln!(
+        err,
+        "serve: recovered store at checkpoint epoch {} ({} rows, {} WAL records replayed)",
+        report.checkpoint_epoch, report.rows, report.replayed
+    );
+    if !report.damaged_generations.is_empty() {
+        let _ = writeln!(
+            err,
+            "serve: WARNING {} damaged checkpoint generation(s) skipped: {:?}",
+            report.damaged_generations.len(),
+            report.damaged_generations
+        );
+    }
+    if report.discarded_bytes > 0 {
+        let _ = writeln!(
+            err,
+            "serve: WARNING {} byte(s) of damaged WAL tail removed by compaction",
+            report.discarded_bytes
+        );
+    }
+    if let Some(fault) = &report.tail_fault {
+        let _ = writeln!(err, "serve: WARNING WAL tail fault: {fault}");
+    }
+    if let Some(quarantined) = &report.quarantined_tail {
+        let _ = writeln!(
+            err,
+            "serve: WARNING damaged WAL tail quarantined at {}",
+            quarantined.display()
+        );
+    }
+}

@@ -6,17 +6,22 @@
 # durability layer (WAL append overhead on the dynamic-maintenance path vs
 # the in-memory baseline, checkpoint cadence cost, recovery time) into
 # BENCH_pr4.json. Every timing is bit-identity-checked against its
-# reference path first; the WAL arm warns if overhead reaches 10%.
+# reference path first; the WAL arm warns if overhead reaches 10%. The
+# serve suite drives the overload-safe serving core open-loop at 1x-20x
+# data and 1x-10x offered load into BENCH_serve.json (p50/p99 latency of
+# admitted requests, sustained QPS, shed rate) and warns if the
+# max-load p99 exceeds 5x the 1x-load p99.
 #
 #   THREADS=8 scripts/bench.sh
 #   SUITE=layout SCALES=1,10 scripts/bench.sh     # PR-3 suite only
 #   SUITE=wal MUTATIONS=50000 scripts/bench.sh    # PR-4 suite only
+#   SUITE=serve LOADS=1,10 scripts/bench.sh       # serving suite only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREADS="${THREADS:-0}"        # 0 = auto-detect
 RUNS="${RUNS:-3}"
-SUITE="${SUITE:-all}"          # all | parallel | layout | wal
+SUITE="${SUITE:-all}"          # all | parallel | layout | wal | serve
 
 if [ "$SUITE" = "all" ] || [ "$SUITE" = "parallel" ]; then
   SCALES_PAR="${SCALES:-1,4}"
@@ -48,4 +53,19 @@ if [ "$SUITE" = "all" ] || [ "$SUITE" = "wal" ]; then
   target/release/bench_wal --scales "$SCALES_WAL" --runs "$RUNS" \
     --mutations "$MUTATIONS" --out "$OUT_WAL"
   echo "WAL/durability bench results written to $OUT_WAL"
+fi
+
+if [ "$SUITE" = "all" ] || [ "$SUITE" = "serve" ]; then
+  SCALES_SERVE="${SCALES:-1,5,20}"
+  LOADS="${LOADS:-1,2,5,10}"
+  REQUESTS="${REQUESTS:-300}"
+  OUT_SERVE="${OUT_SERVE:-BENCH_serve.json}"
+  cargo build --release -p domd-bench --bin bench_serve
+  ARGS=(--scales "$SCALES_SERVE" --loads "$LOADS" --requests "$REQUESTS" \
+        --runs "$RUNS" --out "$OUT_SERVE")
+  if [ "$THREADS" != "0" ]; then
+    ARGS+=(--workers "$THREADS")
+  fi
+  target/release/bench_serve "${ARGS[@]}"
+  echo "serving/overload bench results written to $OUT_SERVE"
 fi

@@ -17,6 +17,12 @@
 # spawns, nondeterminism sources (wall clocks, OS entropy, default-hasher
 # maps), unlogged DurableIndex mutations, and missing/abused lint
 # waivers. Any unwaived finding exits nonzero before clippy runs.
+# The serving gate at the end smoke-tests `domd serve` end to end: tiny
+# dataset, tiny model, one request of every type over the line protocol
+# (plus one malformed line, which must be refused without killing the
+# session), clean `quit` shutdown, and a second session whose driving
+# process is SIGTERM-killed mid-stream — the server must see EOF, drain,
+# and still exit 0.
 # Run before sending a change; CI treats any output as a failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,3 +42,45 @@ cargo test -q -p domd-storage
 cargo test -q -p domd-index durable
 cargo test -q -p domd --test recovery
 cargo test -q -p domd --test fault_injection
+
+cargo test -q -p domd-serve
+cargo build --release -q --bin domd
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SERVE_DIR"' EXIT
+target/release/domd generate --out-dir "$SERVE_DIR" --avails 6 --rccs 200 --seed 7 >/dev/null
+target/release/domd train --data-dir "$SERVE_DIR" --out "$SERVE_DIR/model.domd" \
+  --grid-step 50 >/dev/null 2>&1
+cat > "$SERVE_DIR/script.txt" <<'EOF'
+status t=55 status=active
+predict avail=1 t=40
+alert t=80 k=3 min=0
+ingest avail=1 type=NW swlin=123-45-678 created=4/1/2015 settled=5/1/2015 amount=1200
+not-a-command
+quit
+EOF
+SERVE_OUT="$(target/release/domd serve --data-dir "$SERVE_DIR" \
+  --model "$SERVE_DIR/model.domd" --script "$SERVE_DIR/script.txt" 2>/dev/null)"
+for op in status predict alert ingest; do
+  echo "$SERVE_OUT" | grep -q "op=$op" || {
+    echo "serve smoke: missing ok response for op=$op" >&2; exit 1; }
+done
+echo "$SERVE_OUT" | grep -q 'err seq=4' || {
+  echo "serve smoke: malformed line was not refused" >&2; exit 1; }
+# Killed-driver shutdown: SIGTERM the writer mid-session; the server must
+# treat the closed pipe as EOF, drain, and exit 0.
+SERVE_FIFO="$SERVE_DIR/in.fifo"
+mkfifo "$SERVE_FIFO"
+( printf 'predict avail=1 t=40\n'; exec sleep 30 ) > "$SERVE_FIFO" &
+WRITER_PID=$!
+target/release/domd serve --data-dir "$SERVE_DIR" --model "$SERVE_DIR/model.domd" \
+  < "$SERVE_FIFO" > "$SERVE_DIR/signal.out" 2>/dev/null &
+SERVE_PID=$!
+sleep 1
+kill -TERM "$WRITER_PID" 2>/dev/null || true
+if ! wait "$SERVE_PID"; then
+  echo "serve smoke: server did not exit cleanly after its driver was killed" >&2
+  exit 1
+fi
+grep -q 'op=predict' "$SERVE_DIR/signal.out" || {
+  echo "serve smoke: no response before driver kill" >&2; exit 1; }
+echo "serve smoke: OK"

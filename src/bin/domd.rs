@@ -14,6 +14,8 @@
 //! domd optimize  --data-dir data/ [--out pipeline.domd] [--quick true]
 //! domd checkpoint --store store/ [--data-dir data/]
 //! domd recover    --store store/
+//! domd serve      --data-dir data/ --model pipeline.domd [--store store/]
+//!                 [--tenants N] [--workers N] [--queue-capacity N] [--deadline-ms N]
 //! ```
 //!
 //! `generate` writes `avails.csv` and `rccs.csv`; the other commands read
@@ -34,6 +36,8 @@
 //! | 7    | non-finite value (`NonFinite`)               |
 //! | 8    | nothing left to work on (`EmptyDataset`)     |
 //! | 9    | storage corruption / unrecoverable (`Corrupt`) |
+//! | 10   | admission queue full (`Overloaded`)          |
+//! | 11   | deadline budget exhausted (`DeadlineExceeded`) |
 
 use domd::core::{DomdQueryEngine, EvalTable, PipelineConfig, PipelineInputs, TrainedPipeline};
 use domd::data::csv as nmd_csv;
@@ -55,6 +59,8 @@ fn exit_code(e: &DomdError) -> u8 {
         DomdError::NonFinite { .. } => 7,
         DomdError::EmptyDataset { .. } => 8,
         DomdError::Corrupt { .. } => 9,
+        DomdError::Overloaded { .. } => 10,
+        DomdError::DeadlineExceeded { .. } => 11,
     }
 }
 
@@ -359,8 +365,90 @@ fn cmd_checkpoint(args: &Args) -> Result<(), DomdError> {
     Ok(())
 }
 
+/// `domd serve`: the long-running request loop. Loads the extracts and
+/// the pipeline artifact, optionally recovers the durable index store
+/// (announcing any damage on stderr *before* accepting traffic), then
+/// serves the newline protocol from stdin (or `--script FILE`) until EOF
+/// or a `quit` line — the clean-shutdown path.
+///
+/// Responses stream to stdout as they complete; refusals are typed
+/// (`kind=overloaded` / `kind=deadline`, both `retryable=true`) so
+/// clients can back off, and a session summary lands on stderr.
+fn cmd_serve(args: &Args) -> Result<(), DomdError> {
+    use domd::serve::{
+        announce_recovery, run_session, ServeConfig, ServeCore, SharedModel, TenantSnapshot,
+        WallClock,
+    };
+    let ds = load_dataset(args)?;
+    let pipeline = std::sync::Arc::new(load_pipeline_file(args.require("model")?)?);
+    let tenants: usize = args.parse_opt("tenants", 1usize)?;
+    if tenants == 0 {
+        return Err(DomdError::config("--tenants must be at least 1"));
+    }
+    let config = ServeConfig {
+        workers: args.parse_opt("workers", 2usize)?.max(1),
+        queue_capacity: args.parse_opt("queue-capacity", 64usize)?,
+        default_budget: args.parse_opt("deadline-ms", 200u64)?,
+        cache_capacity: args.parse_opt("cache-capacity", 256usize)?,
+        ..ServeConfig::default()
+    };
+    // Each tenant serves its own epoch-versioned copy of the extracts; a
+    // deployment would load per-tenant data here instead.
+    let snapshots = (0..tenants).map(|_| TenantSnapshot::from_dataset(ds.clone())).collect();
+    let model = SharedModel { pipeline, features: domd::features::FeatureEngine::default() };
+    let mut core = ServeCore::new(config, WallClock::new(), model, snapshots);
+
+    if let Some(store) = args.get("store") {
+        // Startup recovery: any WAL damage is surfaced to the operator
+        // before the first request is admitted. An unrecoverable store is
+        // a typed `Corrupt` failure (exit 9) — never a partial start.
+        let (index, report) =
+            domd::index::DurableIndex::<domd::index::FlatAvlIndex>::recover(Path::new(store))?;
+        announce_recovery(&mut std::io::stderr().lock(), &report);
+        core = core.with_durable(index);
+    }
+
+    let workers = core.config().workers;
+    let capacity = core.config().queue_capacity;
+    let budget = core.config().default_budget;
+    eprintln!(
+        "serve: ready — {tenants} tenant(s), {workers} worker(s), queue capacity {capacity}, \
+         deadline {budget} ms; send `status|predict|alert|ingest` lines, `quit` or EOF to stop"
+    );
+    let mut out = std::io::stdout();
+    let stats = match args.get("script") {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| DomdError::io(format!("opening --script {path}"), e))?;
+            run_session(&core, std::io::BufReader::new(file), &mut out)
+        }
+        None => run_session(&core, std::io::BufReader::new(std::io::stdin()), &mut out),
+    };
+    let m = core.metrics();
+    eprintln!(
+        "serve: session closed — {} request(s) ({} malformed line(s) refused): {} ok, {} failed, \
+         {} shed queue-full, {} shed deadline, {} degraded, {} epoch(s) published",
+        stats.requests,
+        stats.malformed,
+        m.completed_ok,
+        m.failed,
+        m.shed_queue_full,
+        m.shed_deadline,
+        m.degraded_served,
+        m.epochs_published,
+    );
+    eprintln!(
+        "serve: queue peak {}/{}; breaker: {} trip(s), {} recover(ies)",
+        core.queue().peak_depth(),
+        capacity,
+        m.breaker_trips,
+        m.breaker_recoveries,
+    );
+    Ok(())
+}
+
 fn usage() -> &'static str {
-    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n                [--cache-capacity N]  feature-snapshot LRU entries (0 disables; default 1024)\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n  domd checkpoint --store DIR [--data-dir DIR]   compact WAL into a new checkpoint\n                                                 (--data-dir initializes an empty store)\n  domd recover    --store DIR                    replay WAL onto newest intact checkpoint\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
+    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n                [--cache-capacity N]  feature-snapshot LRU entries (0 disables; default 1024)\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n  domd checkpoint --store DIR [--data-dir DIR]   compact WAL into a new checkpoint\n                                                 (--data-dir initializes an empty store)\n  domd recover    --store DIR                    replay WAL onto newest intact checkpoint\n  domd serve      --data-dir DIR --model FILE [--store DIR] [--tenants N] [--workers N]\n                  [--queue-capacity N] [--deadline-ms N] [--cache-capacity N] [--script FILE]\n                  long-running request loop over stdin (status|predict|alert|ingest lines;\n                  quit or EOF shuts down cleanly); refusals are typed and retryable\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
 }
 
 fn main() -> ExitCode {
@@ -384,6 +472,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(&args),
         "checkpoint" => cmd_checkpoint(&args),
         "recover" => cmd_recover(&args),
+        "serve" => cmd_serve(&args),
         other => Err(DomdError::config(format!("unknown command {other:?}\n{}", usage()))),
         }
     });

@@ -22,7 +22,10 @@
 //!   the sweep, training, and batch-query hot paths;
 //! * [`storage`] — crash-safe durability: checksummed frames, atomic
 //!   file replacement, the maintenance write-ahead log, and rolling
-//!   checkpoint generations.
+//!   checkpoint generations;
+//! * [`serve`] — the overload-safe serving core: snapshot-isolated
+//!   multi-tenant request loop with admission control, deadlines, and
+//!   per-tenant circuit breaking (`domd serve`).
 //!
 //! See `examples/quickstart.rs` for the three-minute tour.
 
@@ -35,6 +38,7 @@ pub use domd_features as features;
 pub use domd_index as index;
 pub use domd_ml as ml;
 pub use domd_runtime as runtime;
+pub use domd_serve as serve;
 pub use domd_storage as storage;
 
 pub use domd_core::DomdError;
