@@ -348,6 +348,13 @@ impl<I: MaintainableIndex> DurableIndex<I> {
         self.entries.len()
     }
 
+    /// Largest live row id (`None` when empty). Writers that allocate
+    /// fresh ids seed their counter from this, so ids stay unique across
+    /// restarts even when the in-memory state they project from resets.
+    pub fn max_id(&self) -> Option<RowId> {
+        self.entries.last_key_value().map(|(id, _)| *id)
+    }
+
     /// True when no entries are live.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()

@@ -15,7 +15,10 @@
 //! ```
 //!
 //! A malformed line is answered with an `err … kind=config/parse` line —
-//! the session survives; only transport-level failures end it.
+//! the session survives; only transport-level failures end it. Every
+//! request-bearing line — parsed or malformed — consumes one sequence
+//! number, so an `err seq=` for a malformed line never collides with the
+//! seq of a later parsed request (clients match responses by seq).
 
 use std::io::{BufRead, Write};
 use std::sync::Mutex;
@@ -281,12 +284,17 @@ pub fn run_session<R: BufRead + Send, W: Write + Send>(
                     }
                 }
                 Err(e) => {
+                    // A malformed line consumes a seq of its own, so its
+                    // error response can never share a seq with the next
+                    // successfully parsed request.
+                    seq += 1;
                     // domd-lint: allow(no-panic) — stats sections are short and panic-free
                     stats.lock().expect("session stats").malformed += 1;
                     let _ = writeln!(
                         // domd-lint: allow(no-panic) — writer sections are short; a broken pipe is ignored, not fatal
                         out.lock().expect("session writer"),
-                        "err seq={seq} kind={} retryable=false msg=\"{e}\"",
+                        "err seq={} kind={} retryable=false msg=\"{e}\"",
+                        seq - 1,
                         e.kind()
                     );
                 }

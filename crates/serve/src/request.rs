@@ -86,9 +86,11 @@ pub struct Request {
 }
 
 impl Request {
-    /// Ticks remaining at `now` (0 when the budget is exhausted).
+    /// Ticks remaining at `now` (0 when the budget is exhausted). The
+    /// budget is client-supplied, so the deadline saturates instead of
+    /// overflowing on `budget=u64::MAX`.
     pub fn remaining(&self, now: Ticks) -> Ticks {
-        (self.submitted + self.budget).saturating_sub(now)
+        self.submitted.saturating_add(self.budget).saturating_sub(now)
     }
 }
 

@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 
 use domd_core::{DomdError, DomdQueryEngine, TrainedPipeline};
 use domd_features::{FeatureCache, FeatureEngine};
-use domd_index::{DurableIndex, EpochStore, FlatAvlIndex, Pinned, RecoveryReport};
+use domd_index::{DurableIndex, EpochStore, FlatAvlIndex, Pinned, RecoveryReport, RowId};
 use domd_runtime::{BoundedQueue, Cancelled};
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, Route};
@@ -135,6 +135,19 @@ pub struct MetricsReport {
     pub breaker_recoveries: u64,
 }
 
+/// One tenant's durable system of record plus its id allocator. The two
+/// live under one lock: an id is allocated and logged atomically, so two
+/// concurrent ingests can never project the same durable row id.
+struct TenantDurable {
+    index: DurableIndex<FlatAvlIndex>,
+    /// Next fresh durable row id — seeded past the store's own max id at
+    /// attach time, so ids stay unique across restarts (where the serving
+    /// arena resets to the extracts while prior ingests remain live in
+    /// the store) and are never shared between tenants (each tenant owns
+    /// its own store).
+    next_id: RowId,
+}
+
 struct Tenant {
     store: Arc<EpochStore<TenantSnapshot>>,
     breaker: Mutex<CircuitBreaker>,
@@ -143,6 +156,10 @@ struct Tenant {
     cache: Mutex<FeatureCache>,
     /// Which published epoch the cache's entries were computed against.
     cache_epoch: AtomicU64,
+    /// System of record for this tenant's index maintenance; ingests
+    /// append here (WAL-before-apply) before publishing the epoch that
+    /// contains them.
+    durable: Option<Mutex<TenantDurable>>,
 }
 
 /// The multi-tenant serving core. One instance owns the admission queue,
@@ -154,9 +171,6 @@ pub struct ServeCore {
     tenants: Vec<Tenant>,
     queue: BoundedQueue<Request>,
     metrics: ServeMetrics,
-    /// System of record for index maintenance; ingests append here
-    /// (WAL-before-apply) before publishing the epoch that contains them.
-    durable: Option<Mutex<DurableIndex<FlatAvlIndex>>>,
     hook: Option<Arc<StageHook>>,
 }
 
@@ -176,6 +190,7 @@ impl ServeCore {
                 breaker: Mutex::new(CircuitBreaker::new(config.breaker)),
                 cache: Mutex::new(FeatureCache::new(cache_capacity)),
                 cache_epoch: AtomicU64::new(0),
+                durable: None,
             })
             .collect();
         let queue = BoundedQueue::with_capacity(config.queue_capacity);
@@ -186,16 +201,60 @@ impl ServeCore {
             tenants,
             queue,
             metrics: ServeMetrics::default(),
-            durable: None,
             hook: None,
         }
     }
 
-    /// Attaches the durable index store ingests must reach before they
-    /// are published (see [`DurableIndex`] for the WAL discipline).
-    pub fn with_durable(mut self, durable: DurableIndex<FlatAvlIndex>) -> Self {
-        self.durable = Some(Mutex::new(durable));
-        self
+    /// Attaches tenant `t`'s durable index store — the system of record
+    /// its ingests must reach before they are published (see
+    /// [`DurableIndex`] for the WAL discipline). Each tenant owns its own
+    /// store: durable row ids are allocated per store, monotonically past
+    /// the store's current max, so they never collide across tenants or
+    /// across restarts. Errors when `t` is not a serving tenant.
+    pub fn with_durable(
+        mut self,
+        t: usize,
+        durable: DurableIndex<FlatAvlIndex>,
+    ) -> Result<Self, DomdError> {
+        let tenants = self.tenants.len();
+        let Some(tenant) = self.tenants.get_mut(t) else {
+            return Err(DomdError::config(format!(
+                "cannot attach durable store to unknown tenant {t} (serving {tenants})"
+            )));
+        };
+        let next_id = match durable.max_id() {
+            None => 0,
+            Some(max) => max.checked_add(1).ok_or_else(|| {
+                DomdError::config(format!(
+                    "durable store for tenant {t} has exhausted the row id space (max id {max})"
+                ))
+            })?,
+        };
+        tenant.durable = Some(Mutex::new(TenantDurable { index: durable, next_id }));
+        Ok(self)
+    }
+
+    /// Live rows in tenant `t`'s durable store (`None` when the tenant
+    /// does not exist or serves without one). Lets callers audit that
+    /// every acked ingest actually reached the system of record.
+    pub fn durable_rows(&self, t: usize) -> Option<usize> {
+        let durable = self.tenants.get(t)?.durable.as_ref()?;
+        // domd-lint: allow(no-panic) — durable sections are short; a poisoned lock means a worker already panicked
+        Some(durable.lock().expect("durable store lock").index.len())
+    }
+
+    /// Forces every tenant's durable WAL to stable storage (fsync). The
+    /// session drivers call this at clean shutdown so acknowledged
+    /// ingests survive not just a process exit (the writer's drop flush)
+    /// but a machine crash immediately after.
+    pub fn sync_durable(&self) -> Result<(), DomdError> {
+        for tenant in &self.tenants {
+            if let Some(durable) = &tenant.durable {
+                // domd-lint: allow(no-panic) — durable sections are short; a poisoned lock means a worker already panicked
+                durable.lock().expect("durable store lock").index.sync()?;
+            }
+        }
+        Ok(())
     }
 
     /// Installs a [`StageHook`] (chaos injection / tracing).
@@ -452,6 +511,17 @@ impl ServeCore {
                 step: "serve predict".into(),
             });
         }
+        // Client input errors are settled before the breaker is consulted:
+        // an unknown avail says nothing about the health of this tenant's
+        // pipeline, so it must neither count as a failure (a misconfigured
+        // client would trip everyone into degraded serving) nor consume a
+        // half-open probe.
+        if pinned.dataset.avail(avail).is_none() {
+            return Err(DomdError::config(format!(
+                "unknown avail {avail} for tenant {}",
+                req.tenant
+            )));
+        }
         let route = self.lock_breaker(tenant).admit();
         let answer = match route {
             Route::Degraded { .. } => {
@@ -469,8 +539,11 @@ impl ServeCore {
             Route::Normal | Route::Probe => self.predict_normal(tenant, pinned, avail, t_star),
         };
         let (failed, reply) = match answer {
+            // Unreachable after the pre-admit avail check (both paths read
+            // the same pinned snapshot), but kept defensive: a client-shaped
+            // config refusal, never a breaker failure.
             None => (
-                true,
+                false,
                 Err(DomdError::config(format!("unknown avail {avail} for tenant {}", req.tenant))),
             ),
             Some(ans) => {
@@ -570,8 +643,10 @@ impl ServeCore {
         // The expensive index sweep: deadline re-checked cooperatively
         // every chunk, so an exhausted budget abandons the sweep instead
         // of finishing it late. Chunk counting keeps clock reads off the
-        // per-avail fast path.
-        let deadline = req.submitted + req.budget;
+        // per-avail fast path. Saturating: the budget is client-supplied,
+        // and `submitted + u64::MAX` must mean "no deadline", not a panic
+        // in debug or an instant wrap-around deadline in release.
+        let deadline = req.submitted.saturating_add(req.budget);
         let counter = AtomicU64::new(0);
         let chunk = self.config.alert_chunk.max(1) as u64;
         let cancel = || {
@@ -651,12 +726,34 @@ impl ServeCore {
         let (epoch, applied) = tenant.store.update(|snap| -> Result<u32, DomdError> {
             // WAL-before-apply: the row's logical projection reaches the
             // durable store before any published snapshot contains it.
-            if let Some(durable) = &self.durable {
-                let projected = snap.project_next(avail, created, settled).ok_or_else(|| {
-                    DomdError::config(format!("ingest references unknown avail {avail}"))
-                })?;
+            if let Some(durable) = &tenant.durable {
                 // domd-lint: allow(no-panic) — a poisoned durable lock means a worker already panicked; propagating is the only sound exit
-                durable.lock().expect("durable store lock").insert(&projected)?;
+                let mut d = durable.lock().expect("durable store lock");
+                let projected =
+                    snap.project_next(d.next_id, avail, created, settled).ok_or_else(|| {
+                        DomdError::config(format!("ingest references unknown avail {avail}"))
+                    })?;
+                // Bound-check the allocator before touching the WAL, so a
+                // row is never logged and then failed.
+                let bumped = d.next_id.checked_add(1).ok_or_else(|| {
+                    DomdError::config("durable row id space exhausted".to_string())
+                })?;
+                // A no-op insert means the store already holds this id:
+                // the allocator and the store disagree, and acking the
+                // request would break WAL-before-apply (the row would be
+                // served but never logged). Refuse loudly instead.
+                if !d.index.insert(&projected)? {
+                    return Err(DomdError::Corrupt {
+                        context: d.index.store_dir().display().to_string(),
+                        offset: None,
+                        message: format!(
+                            "durable row id {} is already live; refusing to ack an ingest \
+                             whose WAL append would be a no-op",
+                            projected.id
+                        ),
+                    });
+                }
+                d.next_id = bumped;
             }
             snap.ingest(avail, rcc_type, swlin, created, settled, amount)
         });

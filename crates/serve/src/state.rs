@@ -71,9 +71,14 @@ impl TenantSnapshot {
 
     /// The logical projection the next ingested row will occupy — the
     /// record a write-ahead log must persist *before* [`Self::ingest`]
-    /// applies the row.
+    /// applies the row. The caller supplies the durable row id: durable
+    /// ids are allocated by the store (monotone past its own max), not
+    /// derived from this snapshot's arena length, so they never collide
+    /// across tenants or across restarts where the arena resets while
+    /// previously ingested rows remain live in the store.
     pub fn project_next(
         &self,
+        id: RowId,
         avail: AvailId,
         created: Date,
         settled: Date,
@@ -81,7 +86,7 @@ impl TenantSnapshot {
         let a = self.dataset.avail(avail)?;
         let planned = a.planned_duration().max(1);
         Some(LogicalRcc {
-            id: self.engine.arena().len() as RowId,
+            id,
             avail,
             start: logical_time(created, a.actual_start, planned),
             end: logical_time(settled, a.actual_start, planned),
@@ -183,7 +188,8 @@ mod tests {
         let a = s.dataset.avails()[1].clone();
         let created = a.actual_start + 3;
         let settled = a.actual_start + 12;
-        let projected = s.project_next(a.id, created, settled).unwrap();
+        let next_row = s.engine.arena().len() as RowId;
+        let projected = s.project_next(next_row, a.id, created, settled).unwrap();
         let swlin: Swlin = "00100200".parse().unwrap();
         let row =
             s.ingest(a.id, RccType::NewWork, swlin, created, settled, 10.0).unwrap();

@@ -356,13 +356,15 @@ fn startup_recovery_over_damaged_stores_never_panics_and_serves() {
                     );
                 }
                 // The recovered store serves, and ingests reach its WAL.
+                let rows_before = di.len();
                 let core = ServeCore::new(
                     ServeConfig { workers: 2, queue_capacity: 8, ..ServeConfig::default() },
                     ManualClock::new(),
                     model(),
                     vec![TenantSnapshot::from_dataset(ds.clone())],
                 )
-                .with_durable(di);
+                .with_durable(0, di)
+                .expect("tenant 0 exists");
                 let requests: Vec<Request> = (0..6u64)
                     .map(|i| {
                         core.stamp(
@@ -391,6 +393,15 @@ fn startup_recovery_over_damaged_stores_never_panics_and_serves() {
                     .filter(|r| matches!(r.outcome, Ok(domd_serve::Reply::Ingested { .. })))
                     .count();
                 assert_eq!(ingested, 3, "{scenario} ({kind}): ingests must apply after recovery");
+                // WAL-before-apply means *reach the WAL*, even though the
+                // recovered store already holds row ids the snapshot's
+                // arena length would collide with: every acked ingest must
+                // be live in the durable store, never silently dropped.
+                assert_eq!(
+                    core.durable_rows(0),
+                    Some(rows_before + ingested),
+                    "{scenario} ({kind}): acked ingests missing from the durable store"
+                );
             }
         }
         let _ = std::fs::remove_dir_all(&dir);

@@ -366,10 +366,19 @@ fn cmd_checkpoint(args: &Args) -> Result<(), DomdError> {
 }
 
 /// `domd serve`: the long-running request loop. Loads the extracts and
-/// the pipeline artifact, optionally recovers the durable index store
-/// (announcing any damage on stderr *before* accepting traffic), then
-/// serves the newline protocol from stdin (or `--script FILE`) until EOF
-/// or a `quit` line — the clean-shutdown path.
+/// the pipeline artifact, optionally opens the durable store — one
+/// sub-store per tenant under `--store DIR` (`DIR/tenant-0`, …),
+/// initialized from the extracts' projection on first start, recovered
+/// (announcing any damage on stderr *before* accepting traffic) on every
+/// later one — then serves the newline protocol from stdin (or
+/// `--script FILE`) until EOF or a `quit` line — the clean-shutdown path.
+///
+/// A recovered sub-store must match the extracts' projection exactly:
+/// the store logs only each row's logical projection (not its RCC
+/// type/SWLIN/amount), so rows the extracts do not contain cannot be
+/// rebuilt into serving state. Startup refuses such a store with a clear
+/// error rather than silently serving reads that cannot see durably
+/// acknowledged rows.
 ///
 /// Responses stream to stdout as they complete; refusals are typed
 /// (`kind=overloaded` / `kind=deadline`, both `retryable=true`) so
@@ -399,13 +408,68 @@ fn cmd_serve(args: &Args) -> Result<(), DomdError> {
     let mut core = ServeCore::new(config, WallClock::new(), model, snapshots);
 
     if let Some(store) = args.get("store") {
-        // Startup recovery: any WAL damage is surfaced to the operator
-        // before the first request is admitted. An unrecoverable store is
-        // a typed `Corrupt` failure (exit 9) — never a partial start.
-        let (index, report) =
-            domd::index::DurableIndex::<domd::index::FlatAvlIndex>::recover(Path::new(store))?;
-        announce_recovery(&mut std::io::stderr().lock(), &report);
-        core = core.with_durable(index);
+        use domd::index::{DurableIndex, FlatAvlIndex};
+        let base = Path::new(store);
+        // Serve keeps one durable sub-store per tenant: per-store row ids
+        // can never collide across tenants. A store initialized at the
+        // top level (e.g. by `domd checkpoint --store`) is a different
+        // layout — refuse it with directions instead of shadowing it with
+        // fresh, empty sub-stores.
+        let top = domd::storage::Store::open(base).map_err(DomdError::from)?;
+        if top.is_initialized().map_err(DomdError::from)? {
+            return Err(DomdError::config(format!(
+                "store {} is initialized at its top level, but `domd serve` keeps one \
+                 sub-store per tenant ({}/tenant-0, ...); move the existing store into \
+                 tenant-0 or pass a fresh directory",
+                base.display(),
+                base.display()
+            )));
+        }
+        let projected = domd::index::project_dataset(&ds);
+        for t in 0..tenants {
+            let dir = base.join(format!("tenant-{t}"));
+            let sub = domd::storage::Store::open(&dir).map_err(DomdError::from)?;
+            let index = if !sub.is_initialized().map_err(DomdError::from)? {
+                // First start: the epoch-0 checkpoint is the extracts'
+                // own projection, so serving state and store agree from
+                // the first ingest on.
+                let index: DurableIndex<FlatAvlIndex> = DurableIndex::create(&dir, &projected)?;
+                eprintln!(
+                    "serve: tenant {t}: initialized durable store {} from the extracts \
+                     ({} row(s) at epoch 0)",
+                    dir.display(),
+                    index.len()
+                );
+                index
+            } else {
+                // Startup recovery: any WAL damage is surfaced to the
+                // operator before the first request is admitted. An
+                // unrecoverable store is a typed `Corrupt` failure
+                // (exit 9) — never a partial start.
+                let (index, report) = DurableIndex::<FlatAvlIndex>::recover(&dir)?;
+                eprintln!("serve: tenant {t}: durable store {}", dir.display());
+                announce_recovery(&mut std::io::stderr().lock(), &report);
+                // The serving snapshot is rebuilt from the extracts only,
+                // and the store logs logical projections only — so a
+                // store holding rows the extracts lack cannot be rebuilt
+                // into serving state. Refuse loudly: silently starting
+                // would hide durably acknowledged rows from every read.
+                if index.entries() != projected {
+                    return Err(DomdError::config(format!(
+                        "store {} diverges from the extracts: {} live row(s) in the store vs \
+                         {} projected from the extracts. The store logs only each row's \
+                         logical projection, so rows missing from the extracts cannot be \
+                         rebuilt into serving state. Re-export extracts that include every \
+                         previously ingested RCC, or point --store at a fresh directory.",
+                        dir.display(),
+                        index.len(),
+                        projected.len()
+                    )));
+                }
+                index
+            };
+            core = core.with_durable(t, index)?;
+        }
     }
 
     let workers = core.config().workers;
@@ -424,6 +488,9 @@ fn cmd_serve(args: &Args) -> Result<(), DomdError> {
         }
         None => run_session(&core, std::io::BufReader::new(std::io::stdin()), &mut out),
     };
+    // Clean shutdown: fsync every tenant's WAL so acknowledged ingests
+    // survive a machine crash right after exit, not just the exit itself.
+    core.sync_durable()?;
     let m = core.metrics();
     eprintln!(
         "serve: session closed — {} request(s) ({} malformed line(s) refused): {} ok, {} failed, \
@@ -448,7 +515,7 @@ fn cmd_serve(args: &Args) -> Result<(), DomdError> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n                [--cache-capacity N]  feature-snapshot LRU entries (0 disables; default 1024)\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n  domd checkpoint --store DIR [--data-dir DIR]   compact WAL into a new checkpoint\n                                                 (--data-dir initializes an empty store)\n  domd recover    --store DIR                    replay WAL onto newest intact checkpoint\n  domd serve      --data-dir DIR --model FILE [--store DIR] [--tenants N] [--workers N]\n                  [--queue-capacity N] [--deadline-ms N] [--cache-capacity N] [--script FILE]\n                  long-running request loop over stdin (status|predict|alert|ingest lines;\n                  quit or EOF shuts down cleanly); refusals are typed and retryable\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
+    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n                [--cache-capacity N]  feature-snapshot LRU entries (0 disables; default 1024)\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n  domd checkpoint --store DIR [--data-dir DIR]   compact WAL into a new checkpoint\n                                                 (--data-dir initializes an empty store)\n  domd recover    --store DIR                    replay WAL onto newest intact checkpoint\n  domd serve      --data-dir DIR --model FILE [--store DIR] [--tenants N] [--workers N]\n                  [--queue-capacity N] [--deadline-ms N] [--cache-capacity N] [--script FILE]\n                  long-running request loop over stdin (status|predict|alert|ingest lines;\n                  quit or EOF shuts down cleanly); refusals are typed and retryable;\n                  --store keeps one durable sub-store per tenant (DIR/tenant-0, ...),\n                  initialized from the extracts on first start, recovered afterwards\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
 }
 
 fn main() -> ExitCode {
