@@ -145,6 +145,10 @@ mod tests {
         assert!(a.iter().any(|f| f.rel == "crates/analyzer/src/lexer.rs"), "finds itself");
         assert!(a.iter().any(|f| f.rel == "src/lib.rs"), "finds the umbrella root");
         assert!(
+            a.iter().any(|f| f.rel == "crates/ml/src/flat.rs"),
+            "the flat-forest inference kernel must stay inside the clean sweep"
+        );
+        assert!(
             a.iter().all(|f| !f.rel.contains("/fixtures/")),
             "the violating fixture corpus must never enter a workspace scan"
         );

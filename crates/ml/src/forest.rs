@@ -6,6 +6,8 @@
 //! trees. Against the boosted ensemble this isolates what boosting itself
 //! contributes beyond tree bagging on this data.
 
+use crate::flat::{Combine, FlatForest, TrainingBins, MAX_TRAIN_BINS};
+use crate::gbt::HIST_MIN_ROWS;
 use crate::matrix::DenseMatrix;
 use crate::tree::{RegressionTree, TreeParams};
 use rand::rngs::SmallRng;
@@ -50,6 +52,8 @@ impl Default for ForestParams {
 pub struct ForestModel {
     trees: Vec<RegressionTree>,
     gains: Vec<f64>,
+    /// Branchless compilation of `trees` (derived state, built at fit time).
+    flat: FlatForest,
 }
 
 /// Decorrelates per-tree RNG streams derived from `seed + tree index`
@@ -93,6 +97,14 @@ impl ForestModel {
         let n_sample = ((n as f64 * params.sample_fraction).round() as usize).clamp(1, n);
         let n_feats = ((p as f64 * params.max_features).round() as usize).clamp(1, p);
 
+        // Past the histogram threshold, one shared binning pass replaces
+        // the per-node sorts in every tree (same guard as the GBT).
+        let bins = if n >= HIST_MIN_ROWS {
+            Some(TrainingBins::build(x, MAX_TRAIN_BINS, threads))
+        } else {
+            None
+        };
+
         // Each tree draws from its own seeded stream (rather than one RNG
         // threaded through the loop), making trees independent work items:
         // the pooled and sequential fits produce identical forests.
@@ -109,7 +121,12 @@ impl ForestModel {
             }
             let mut feats: Vec<usize> = feat_pool[..n_feats].to_vec();
             feats.sort_unstable();
-            RegressionTree::fit(x, &grad, &hess, &rows, &feats, tree_params)
+            match &bins {
+                Some(b) => {
+                    RegressionTree::fit_binned(x, &grad, &hess, &rows, &feats, tree_params, 1, b)
+                }
+                None => RegressionTree::fit(x, &grad, &hess, &rows, &feats, tree_params),
+            }
         });
         // Gains merge in tree order, so the sum sees one float sequence.
         let mut gains = vec![0.0; p];
@@ -118,18 +135,34 @@ impl ForestModel {
                 gains[j] += g;
             }
         }
-        ForestModel { trees, gains }
+        let flat = FlatForest::from_trees(&trees, Combine::Averaged);
+        ForestModel { trees, gains, flat }
     }
 
-    /// Prediction for one feature row (mean over trees).
+    /// Prediction for one feature row (mean over trees; branchless kernel).
     pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.flat.predict_one(row)
+    }
+
+    /// Predictions for every row of `x` (branchless kernel).
+    pub fn predict(&self, x: &DenseMatrix) -> Vec<f64> {
+        self.flat.predict(x)
+    }
+
+    /// Reference prediction via the pointer walker (bit-identity gates).
+    pub fn predict_row_pointer(&self, row: &[f64]) -> f64 {
         let sum: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
         sum / self.trees.len() as f64
     }
 
-    /// Predictions for every row of `x`.
-    pub fn predict(&self, x: &DenseMatrix) -> Vec<f64> {
-        (0..x.n_rows()).map(|i| self.predict_row(x.row(i))).collect()
+    /// Batch form of [`ForestModel::predict_row_pointer`].
+    pub fn predict_pointer(&self, x: &DenseMatrix) -> Vec<f64> {
+        (0..x.n_rows()).map(|i| self.predict_row_pointer(x.row(i))).collect()
+    }
+
+    /// The compiled inference kernel.
+    pub fn flat(&self) -> &FlatForest {
+        &self.flat
     }
 
     /// Gain-based feature importance summed over trees.

@@ -7,7 +7,15 @@
 //! variance control; gain-based feature importance powers both RFE feature
 //! selection and the top-k contribution explanations the paper's SMEs
 //! review.
+//!
+//! Fitting compiles the finished ensemble into a [`FlatForest`]
+//! (see [`crate::flat`]) that `predict`/`predict_row` route through; the
+//! pointer walker survives as [`GbtModel::predict_pointer`] /
+//! [`GbtModel::predict_row_pointer`], the reference arm of the
+//! bit-identity gates. Past [`HIST_MIN_ROWS`] training rows, split
+//! finding switches to the histogram search over pre-binned columns.
 
+use crate::flat::{Combine, FlatForest, TrainingBins, MAX_TRAIN_BINS};
 use crate::loss::Loss;
 use crate::matrix::DenseMatrix;
 use crate::tree::{RegressionTree, TreeParams};
@@ -65,11 +73,21 @@ pub struct GbtModel {
     learning_rate: f64,
     trees: Vec<RegressionTree>,
     gains: Vec<f64>,
+    /// Branchless compilation of `trees`, built at fit/load time (derived
+    /// state: never serialized, recompiled by `read_text`).
+    flat: FlatForest,
 }
 
 /// Minimum row count before the per-round prediction refresh is chunked
 /// across the pool; below this the chunk bookkeeping outweighs the work.
 const PAR_PREDICT_MIN_ROWS: usize = 4096;
+
+/// Minimum training rows before split finding switches from exact greedy
+/// to the histogram search. The paper's ~150-row modeling population (and
+/// the 2048-row parallel-equivalence suites) stay on the exact path, so
+/// seed-scale fits are bit-identical to every prior release; only
+/// fleet-scale training pays for — and benefits from — binning.
+pub const HIST_MIN_ROWS: usize = 4096;
 
 impl GbtModel {
     /// Fits the ensemble on `x` (rows = instances) against targets `y`,
@@ -117,6 +135,12 @@ impl GbtModel {
         let mut gains = vec![0.0; p];
         let mut row_pool = all_rows.clone();
         let mut col_pool = all_cols.clone();
+        // One binning pass serves every round and node of a large fit.
+        let bins = if n >= HIST_MIN_ROWS {
+            Some(TrainingBins::build(x, MAX_TRAIN_BINS, threads))
+        } else {
+            None
+        };
 
         for _ in 0..params.n_estimators {
             for i in 0..n {
@@ -137,14 +161,28 @@ impl GbtModel {
             } else {
                 &all_cols
             };
-            let tree = RegressionTree::fit_threaded(x, &grad, &hess, rows, cols, tree_params, threads);
+            let tree = match &bins {
+                Some(b) => {
+                    RegressionTree::fit_binned(x, &grad, &hess, rows, cols, tree_params, threads, b)
+                }
+                None => {
+                    RegressionTree::fit_threaded(x, &grad, &hess, rows, cols, tree_params, threads)
+                }
+            };
+            // Refresh predictions through the branchless kernel: compile
+            // the one new tree and read its raw leaf values directly. The
+            // per-row arithmetic (`+= lr * value`) is unchanged from the
+            // pointer walk, so both branches below — and every thread
+            // count — produce bit-identical predictions.
+            let round = FlatForest::from_trees(
+                std::slice::from_ref(&tree),
+                Combine::Boosted { base_score: 0.0, learning_rate: 1.0 },
+            );
             if threads > 1 && n >= PAR_PREDICT_MIN_ROWS {
-                // Chunked refresh: each worker evaluates a contiguous row
-                // range; the per-row arithmetic is unchanged, so results
-                // match the sequential loop bit for bit.
+                // Chunked refresh: each worker evaluates a contiguous row range.
                 let chunks = domd_runtime::chunk_ranges(n, threads);
                 let deltas = domd_runtime::par_map(threads, &chunks, |_, range| {
-                    range.clone().map(|i| tree.predict_row(x.row(i))).collect::<Vec<f64>>()
+                    range.clone().map(|i| round.tree_value(0, x.row(i))).collect::<Vec<f64>>()
                 });
                 for (range, delta) in chunks.iter().zip(&deltas) {
                     for (i, d) in range.clone().zip(delta) {
@@ -153,7 +191,7 @@ impl GbtModel {
                 }
             } else {
                 for (i, p) in preds.iter_mut().enumerate() {
-                    *p += params.learning_rate * tree.predict_row(x.row(i));
+                    *p += params.learning_rate * round.tree_value(0, x.row(i));
                 }
             }
             for (j, g) in tree.feature_gains().iter().enumerate() {
@@ -162,11 +200,28 @@ impl GbtModel {
             trees.push(tree);
         }
 
-        GbtModel { base_score, learning_rate: params.learning_rate, trees, gains }
+        let flat = FlatForest::from_trees(
+            &trees,
+            Combine::Boosted { base_score, learning_rate: params.learning_rate },
+        );
+        GbtModel { base_score, learning_rate: params.learning_rate, trees, gains, flat }
     }
 
-    /// Prediction for one feature row.
+    /// Prediction for one feature row (branchless kernel).
     pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.flat.predict_one(row)
+    }
+
+    /// Predictions for every row of `x` (branchless kernel, tree-at-a-time
+    /// over row blocks).
+    pub fn predict(&self, x: &DenseMatrix) -> Vec<f64> {
+        self.flat.predict(x)
+    }
+
+    /// Reference prediction via the pointer walker — the baseline arm of
+    /// the bit-identity gates (`prop_flat`, `bench_gbt`). Identical output
+    /// to [`GbtModel::predict_row`] for every input.
+    pub fn predict_row_pointer(&self, row: &[f64]) -> f64 {
         let mut out = self.base_score;
         for t in &self.trees {
             out += self.learning_rate * t.predict_row(row);
@@ -174,9 +229,15 @@ impl GbtModel {
         out
     }
 
-    /// Predictions for every row of `x`.
-    pub fn predict(&self, x: &DenseMatrix) -> Vec<f64> {
-        (0..x.n_rows()).map(|i| self.predict_row(x.row(i))).collect()
+    /// Batch form of [`GbtModel::predict_row_pointer`].
+    pub fn predict_pointer(&self, x: &DenseMatrix) -> Vec<f64> {
+        (0..x.n_rows()).map(|i| self.predict_row_pointer(x.row(i))).collect()
+    }
+
+    /// The compiled inference kernel (for binned batch scoring and the
+    /// benchmark arms).
+    pub fn flat(&self) -> &FlatForest {
+        &self.flat
     }
 
     /// Gain-based feature importance, summed over all trees.
@@ -373,6 +434,9 @@ impl GbtModel {
             (0..n_trees).map(|_| RegressionTree::read_text(r)).collect::<Result<_, _>>()?;
         let toks = r.tagged("gbt-gains")?;
         let gains: Vec<f64> = r.parse_all(&toks, "gain")?;
-        Ok(GbtModel { base_score, learning_rate, trees, gains })
+        // The flat kernel is derived state: recompiled on load so v1/v2
+        // artifacts written before it existed pick it up transparently.
+        let flat = FlatForest::from_trees(&trees, Combine::Boosted { base_score, learning_rate });
+        Ok(GbtModel { base_score, learning_rate, trees, gains, flat })
     }
 }

@@ -8,6 +8,10 @@
 //! * [`gbt`] — Newton-boosted regression trees over arbitrary
 //!   twice-differentiable losses (the XGBoost stand-in), with gain-based
 //!   feature importance;
+//! * [`flat`] — the branchless flat-forest inference kernel every trained
+//!   ensemble compiles into (SoA node pool, tree-at-a-time batch
+//!   traversal, quantized descent), plus the pre-binned columns behind
+//!   histogram split finding;
 //! * [`linear`] — elastic-net linear regression by coordinate descent (the
 //!   simpler baseline family);
 //! * [`loss`] — ℓ1 / ℓ2 / Huber / pseudo-Huber losses (Section 3.2.3);
@@ -18,6 +22,7 @@
 //! * [`matrix`], [`stats`] — dense matrices and statistical primitives.
 
 #![deny(unsafe_code)]
+pub mod flat;
 pub mod forest;
 pub mod gbt;
 pub mod hpt;
@@ -33,6 +38,7 @@ pub mod stats;
 pub mod tree;
 pub mod validate;
 
+pub use flat::{BinnedBlock, Combine, FeatureBins, FlatForest, TrainingBins};
 pub use forest::{ForestModel, ForestParams};
 pub use interpret::{partial_dependence, permutation_importance, PdpPoint};
 pub use gbt::{GbtModel, GbtParams};

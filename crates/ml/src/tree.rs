@@ -4,10 +4,22 @@
 //! Split quality follows the XGBoost objective: with gradient sum `G` and
 //! hessian sum `H` per side and L2 leaf regularization `lambda`, a split's
 //! gain is `0.5 * (G_L^2/(H_L+λ) + G_R^2/(H_R+λ) − G^2/(H+λ)) − γ` and the
-//! optimal leaf weight is `−G/(H+λ)`. Exact greedy enumeration over sorted
-//! feature values is used — the modeling population is ~150 rows, so
-//! histogram approximations would only add error.
+//! optimal leaf weight is `−G/(H+λ)`.
+//!
+//! Two split searches share the gain arithmetic:
+//!
+//! * **exact greedy** ([`RegressionTree::fit_threaded`]) enumerates every
+//!   boundary between sorted feature values — the paper's ~150-row
+//!   modeling population always takes this path, preserving the seed
+//!   behaviour bit for bit;
+//! * **histogram** ([`RegressionTree::fit_binned`]) scans the ≤256
+//!   pre-binned value buckets of a [`TrainingBins`](crate::flat::TrainingBins),
+//!   turning the per-node `O(rows · log rows)` sort into an `O(rows)`
+//!   accumulate + `O(bins)` scan. The ensemble trainers switch to it only
+//!   past a row-count guard (see `gbt::HIST_MIN_ROWS`), so small fits are
+//!   untouched.
 
+use crate::flat::TrainingBins;
 use crate::matrix::DenseMatrix;
 
 /// Structural hyperparameters of a single tree.
@@ -30,7 +42,7 @@ impl Default for TreeParams {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum Node {
+pub(crate) enum Node {
     Split { feature: u32, threshold: f64, left: u32, right: u32 },
     Leaf { value: f64 },
 }
@@ -51,6 +63,9 @@ struct Builder<'a> {
     params: TreeParams,
     /// Worker cap for the per-feature split search (1 = sequential).
     threads: usize,
+    /// Pre-binned columns for the histogram split search (`None` = exact
+    /// greedy over sorted feature values).
+    bins: Option<&'a TrainingBins>,
     nodes: Vec<Node>,
     gains: Vec<f64>,
 }
@@ -103,6 +118,47 @@ impl RegressionTree {
             features,
             params,
             threads: threads.max(1),
+            bins: None,
+            nodes: Vec::new(),
+            gains: vec![0.0; x.n_cols()],
+        };
+        let mut rows = rows.to_vec();
+        b.build(&mut rows, 0);
+        RegressionTree { nodes: b.nodes, gains: b.gains }
+    }
+
+    /// As [`RegressionTree::fit_threaded`], but finds splits by sweeping
+    /// the per-feature histograms of `bins` instead of sorting the node's
+    /// rows at every feature: one `O(rows)` accumulation pass plus an
+    /// `O(bins)` boundary scan per feature. Candidate thresholds are the
+    /// bin cuts, so the fitted tree is a (deterministic) approximation of
+    /// the exact-greedy one; predictions of the *same* fitted tree remain
+    /// bit-identical across thread counts because per-bin accumulation
+    /// visits rows in list order and the winning feature is reduced in
+    /// feature order, exactly like the exact path.
+    #[allow(clippy::too_many_arguments)] // mirrors fit_threaded + the bin table
+    pub fn fit_binned(
+        x: &DenseMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        features: &[usize],
+        params: TreeParams,
+        threads: usize,
+        bins: &TrainingBins,
+    ) -> Self {
+        assert_eq!(grad.len(), x.n_rows());
+        assert_eq!(hess.len(), x.n_rows());
+        assert_eq!(bins.n_rows(), x.n_rows(), "bins must cover the training matrix");
+        assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
+        let mut b = Builder {
+            x,
+            grad,
+            hess,
+            features,
+            params,
+            threads: threads.max(1),
+            bins: Some(bins),
             nodes: Vec::new(),
             gains: vec![0.0; x.n_cols()],
         };
@@ -132,6 +188,12 @@ impl RegressionTree {
     /// Node count (diagnostics).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Node pool, for compilation into the branchless kernel
+    /// (`flat::FlatForest` re-encodes these into its SoA layout).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Depth of the tree (diagnostics; 0 = single leaf).
@@ -206,15 +268,21 @@ impl Builder<'_> {
             && rows.len() * self.features.len() >= PAR_SPLIT_MIN_WORK;
 
         let per_feature: Vec<Option<BestSplit>> = if fan_out {
-            domd_runtime::par_map(self.threads, self.features, |_, &f| {
-                let mut order = Vec::with_capacity(rows.len());
-                self.scan_feature(f, rows, g_sum, h_sum, &mut order)
+            domd_runtime::par_map(self.threads, self.features, |_, &f| match self.bins {
+                Some(b) => self.scan_feature_hist(b, f, rows, g_sum, h_sum),
+                None => {
+                    let mut order = Vec::with_capacity(rows.len());
+                    self.scan_feature(f, rows, g_sum, h_sum, &mut order)
+                }
             })
         } else {
             let mut order: Vec<usize> = Vec::with_capacity(rows.len());
             self.features
                 .iter()
-                .map(|&f| self.scan_feature(f, rows, g_sum, h_sum, &mut order))
+                .map(|&f| match self.bins {
+                    Some(b) => self.scan_feature_hist(b, f, rows, g_sum, h_sum),
+                    None => self.scan_feature(f, rows, g_sum, h_sum, &mut order),
+                })
                 .collect()
         };
 
@@ -285,6 +353,71 @@ impl Builder<'_> {
                     threshold: 0.5 * (v + v_next),
                     gain,
                 });
+            }
+        }
+        best
+    }
+
+    /// Histogram scan of a single feature: one pass over `rows`
+    /// accumulating per-bin gradient/hessian/count, then a prefix sweep
+    /// over bin boundaries. A candidate threshold is the cut value itself
+    /// (not a midpoint): `code(x) <= b ⟺ x <= cut(f, b)`, so the in-place
+    /// partition in `build` separates exactly the rows whose mass the
+    /// gain was computed from.
+    fn scan_feature_hist(
+        &self,
+        bins: &TrainingBins,
+        f: usize,
+        rows: &[usize],
+        g_sum: f64,
+        h_sum: f64,
+    ) -> Option<BestSplit> {
+        let n_cuts = bins.n_cuts(f);
+        if n_cuts == 0 {
+            return None; // constant feature: nothing to separate
+        }
+        let codes = bins.codes(f);
+        let nb = n_cuts + 1;
+        let mut g = vec![0.0; nb];
+        let mut h = vec![0.0; nb];
+        let mut cnt = vec![0usize; nb];
+        for &r in rows {
+            let b = codes[r] as usize;
+            g[b] += self.grad[r];
+            h[b] += self.hess[r];
+            cnt[b] += 1;
+        }
+
+        let lambda = self.params.lambda;
+        let parent_score = g_sum * g_sum / (h_sum + lambda);
+        let mut best: Option<BestSplit> = None;
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        let mut nl = 0usize;
+        for b in 0..n_cuts {
+            gl += g[b];
+            hl += h[b];
+            nl += cnt[b];
+            if nl == 0 {
+                continue; // no rows at or below this cut yet
+            }
+            let nr = rows.len() - nl;
+            if nr == 0 {
+                break; // every remaining boundary leaves the right side empty
+            }
+            let gr = g_sum - gl;
+            let hr = h_sum - hl;
+            // Same OR'd support rule as the exact scan above: hessian mass
+            // or sample count must clear min_child_weight on each side.
+            let mcw = self.params.min_child_weight;
+            if (hl < mcw && (nl as f64) < mcw) || (hr < mcw && (nr as f64) < mcw) {
+                continue;
+            }
+            let gain = 0.5
+                * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                - self.params.gamma;
+            if gain > 0.0 && best.as_ref().is_none_or(|cur| gain > cur.gain) {
+                best = Some(BestSplit { feature: f, threshold: bins.cut(f, b), gain });
             }
         }
         best

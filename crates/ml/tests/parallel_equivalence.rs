@@ -51,6 +51,31 @@ fn gbt_parallel_split_search_is_bit_identical() {
 }
 
 #[test]
+fn gbt_histogram_path_is_bit_identical_across_threads() {
+    // 4608 rows crosses HIST_MIN_ROWS, so this exercises the histogram
+    // split search (binned columns + per-bin accumulation) end to end:
+    // the TrainingBins build, every per-round fit_binned, the flat-kernel
+    // prediction refresh, and the final compiled predict must all agree
+    // bit for bit whatever the worker cap.
+    let (x, y) = synthetic_xy(4608, 12, 11);
+    let params = GbtParams {
+        n_estimators: 6,
+        subsample: 0.9,
+        colsample_bytree: 0.8,
+        seed: 3,
+        ..GbtParams::default()
+    };
+    let reference = GbtModel::fit_threaded(&x, &y, &params, 1);
+    let ref_pred = reference.predict(&x);
+    // Flat kernel vs pointer walker on the same model (the inference gate).
+    assert_bits_eq(&ref_pred, &reference.predict_pointer(&x), "gbt hist flat-vs-pointer");
+    for threads in [2usize, 4, 8] {
+        let pooled = GbtModel::fit_threaded(&x, &y, &params, threads).predict(&x);
+        assert_bits_eq(&ref_pred, &pooled, &format!("gbt hist threads {threads}"));
+    }
+}
+
+#[test]
 fn forest_pooled_trees_are_bit_identical() {
     let (x, y) = synthetic_xy(300, 6, 21);
     for seed in [0u64, 5] {

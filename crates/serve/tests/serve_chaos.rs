@@ -296,6 +296,113 @@ fn mid_request_epoch_swaps_never_tear_reads() {
     }
 }
 
+/// The serving core predicts through forests compiled at train time, and
+/// an epoch swap must republish against them: the predict after an
+/// ingest pins the new epoch (never a stale one), and both before and
+/// after the swap the served (cache-path) answer is bit-identical to an
+/// uncached reference computed on a fresh pin of the same store.
+#[test]
+fn epoch_swaps_republish_compiled_forests_and_cached_matches_uncached() {
+    let ds = base_dataset();
+    let shared = model();
+    let a0 = ds.avails()[0].clone();
+
+    // Every boosted step serves through a forest compiled when the model
+    // was fitted — bit-identical to the pointer walker before any
+    // request touches it, so no request ever pays a compile.
+    let mut gbt_steps = 0usize;
+    for (i, step) in shared.pipeline.steps.iter().enumerate() {
+        if let domd_ml::TrainedModel::Gbt(m) = &step.model {
+            gbt_steps += 1;
+            assert!(m.flat().n_trees() > 0, "step {i}: no compiled forest");
+            let width = shared.pipeline.step_input_names(i).len();
+            for probe in 0..4 {
+                let row: Vec<f64> = (0..width)
+                    .map(|j| (j as f64).mul_add(0.37, f64::from(probe) - 1.5))
+                    .collect();
+                assert_eq!(
+                    m.predict_row(&row).to_bits(),
+                    m.predict_row_pointer(&row).to_bits(),
+                    "step {i}: compiled forest diverged from the pointer walker"
+                );
+            }
+        }
+    }
+    assert!(gbt_steps > 0, "pipeline has no boosted steps to compile");
+
+    let core = ServeCore::new(
+        ServeConfig { workers: 1, queue_capacity: 8, ..ServeConfig::default() },
+        ManualClock::new(),
+        model(),
+        vec![TenantSnapshot::from_dataset(ds.clone())],
+    );
+    let store = core.tenant_store(0).expect("tenant 0 exists");
+    let served_estimates = |resp: &Response| -> Vec<(u64, u64)> {
+        match &resp.outcome {
+            Ok(domd_serve::Reply::Predict { estimates, .. }) => estimates
+                .iter()
+                .map(|e| (e.t_star.to_bits(), e.estimated_delay.to_bits()))
+                .collect(),
+            other => panic!("expected a predict reply, got {other:?}"),
+        }
+    };
+    let uncached_reference = || -> Vec<(u64, u64)> {
+        let pinned = store.pin();
+        shared
+            .pipeline
+            .predict_online_checked(&pinned.dataset, &shared.features, a0.id, 40.0)
+            .estimates
+            .iter()
+            .map(|(t, e)| (t.to_bits(), e.to_bits()))
+            .collect()
+    };
+
+    // Epoch 0: the cache-path answer matches the uncached reference.
+    // Requests go through `execute` directly (`run_batch` consumes the
+    // core's queue) so each predict brackets the swap deterministically.
+    let before = core.execute(core.stamp(0, 0, Op::Predict { avail: a0.id, t_star: 40.0 }));
+    assert_eq!(before.epoch, Some(0), "first predict must pin epoch 0");
+    assert_eq!(
+        served_estimates(&before),
+        uncached_reference(),
+        "cached serving diverged from the uncached path before the swap"
+    );
+
+    // Swap: ingest builds and publishes epoch 1.
+    let swlin = Swlin::from_packed(556_677).expect("valid packed swlin");
+    let ingest = core.execute(core.stamp(
+        1,
+        0,
+        Op::Ingest {
+            avail: a0.id,
+            rcc_type: RccType::Growth,
+            swlin,
+            created: a0.actual_start + 1,
+            settled: a0.actual_start + 5,
+            amount: 31.0,
+        },
+    ));
+    match &ingest.outcome {
+        Ok(domd_serve::Reply::Ingested { epoch, .. }) => {
+            assert_eq!(*epoch, 1, "ingest must publish epoch 1");
+        }
+        other => panic!("expected an ingested reply, got {other:?}"),
+    }
+    assert_eq!(core.metrics().epochs_published, 1, "swap must count as a publication");
+
+    // Epoch 1: the next predict pins the republished epoch — never the
+    // stale one its cache was filled against — and the invalidated cache
+    // recomputes through the compiled kernel to the same bits as an
+    // uncached read of the new epoch.
+    let after = core.execute(core.stamp(2, 0, Op::Predict { avail: a0.id, t_star: 40.0 }));
+    assert_eq!(after.epoch, Some(1), "stale epoch served after the swap");
+    assert_eq!(
+        served_estimates(&after),
+        uncached_reference(),
+        "cached serving diverged from the uncached path after the swap"
+    );
+}
+
 fn chaos_dir(label: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("domd-serve-chaos-{label}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);

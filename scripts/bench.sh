@@ -10,18 +10,23 @@
 # serve suite drives the overload-safe serving core open-loop at 1x-20x
 # data and 1x-10x offered load into BENCH_serve.json (p50/p99 latency of
 # admitted requests, sustained QPS, shed rate) and warns if the
-# max-load p99 exceeds 5x the 1x-load p99.
+# max-load p99 exceeds 5x the 1x-load p99. The gbt suite benches the
+# branchless flat-forest inference kernel against the pointer walker
+# (pointer vs flat vs flat+binned at 1x/4x/20x rows, bit-identity-gated)
+# plus histogram-vs-exact tree training into BENCH_gbt.json, warning if
+# the flat kernel misses its 5x acceptance target at the largest scale.
 #
 #   THREADS=8 scripts/bench.sh
 #   SUITE=layout SCALES=1,10 scripts/bench.sh     # PR-3 suite only
 #   SUITE=wal MUTATIONS=50000 scripts/bench.sh    # PR-4 suite only
 #   SUITE=serve LOADS=1,10 scripts/bench.sh       # serving suite only
+#   SUITE=gbt TREES=600 scripts/bench.sh          # flat-kernel suite only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREADS="${THREADS:-0}"        # 0 = auto-detect
 RUNS="${RUNS:-3}"
-SUITE="${SUITE:-all}"          # all | parallel | layout | wal | serve
+SUITE="${SUITE:-all}"          # all | parallel | layout | wal | serve | gbt
 
 if [ "$SUITE" = "all" ] || [ "$SUITE" = "parallel" ]; then
   SCALES_PAR="${SCALES:-1,4}"
@@ -68,4 +73,17 @@ if [ "$SUITE" = "all" ] || [ "$SUITE" = "serve" ]; then
   fi
   target/release/bench_serve "${ARGS[@]}"
   echo "serving/overload bench results written to $OUT_SERVE"
+fi
+
+if [ "$SUITE" = "all" ] || [ "$SUITE" = "gbt" ]; then
+  SCALES_GBT="${SCALES:-1,4,20}"
+  TREES="${TREES:-600}"
+  DEPTH="${DEPTH:-10}"
+  TRAIN_ROWS="${TRAIN_ROWS:-16384}"
+  OUT_GBT="${OUT_GBT:-BENCH_gbt.json}"
+  cargo build --release -p domd-bench --bin bench_gbt
+  target/release/bench_gbt --scales "$SCALES_GBT" --runs "$RUNS" \
+    --trees "$TREES" --depth "$DEPTH" --train-rows "$TRAIN_ROWS" \
+    --out "$OUT_GBT"
+  echo "flat-forest kernel bench results written to $OUT_GBT"
 fi

@@ -17,6 +17,9 @@
 # spawns, nondeterminism sources (wall clocks, OS entropy, default-hasher
 # maps), unlogged DurableIndex mutations, and missing/abused lint
 # waivers. Any unwaived finding exits nonzero before clippy runs.
+# The flat-forest kernel gate proves the branchless compiled descent
+# bit-identical to the pointer walker (property suite, threaded histogram
+# training, and a tiny-scale identity-gated bench smoke).
 # The serving gate at the end smoke-tests `domd serve` end to end: tiny
 # dataset, tiny model, one request of every type over the line protocol
 # (plus one malformed line, which must be refused without killing the
@@ -37,6 +40,17 @@ DOMD_THREADS=2 cargo test -q -p domd-features --test parallel_equivalence
 DOMD_THREADS=2 cargo test -q -p domd-core --test parallel_equivalence
 cargo test -q -p domd-index --test cache_invalidation
 cargo test -q -p domd --test cache_invalidation
+
+# Flat-forest kernel gate: the compiled descent (plain, batch, quantized)
+# must stay bit-identical to the pointer walker — property suite plus the
+# threaded histogram-training equivalence, then a tiny-scale smoke run of
+# the gbt bench (its built-in identity gates assert before any timing).
+DOMD_THREADS=2 cargo test -q -p domd-ml --test prop_flat
+DOMD_THREADS=2 cargo test -q -p domd-ml --test parallel_equivalence
+cargo build --release -q -p domd-bench --bin bench_gbt
+target/release/bench_gbt --scales 1 --runs 1 --trees 16 --depth 4 \
+  --rows 256 --train-rows 512 --out /dev/null >/dev/null
+echo "gbt kernel gate: OK"
 
 cargo test -q -p domd-storage
 cargo test -q -p domd-index durable
