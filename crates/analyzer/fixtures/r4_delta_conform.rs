@@ -1,0 +1,17 @@
+// lint-fixture: path=crates/index/src/delta.rs
+// R4 conforming in the delta module: a delta application site either
+// appends to the WAL in the same body or carries an inventoried waiver
+// stating the mutation replays an already-logged record.
+
+impl Fixture {
+    pub fn apply_logged(&mut self, rcc: &LogicalRcc) -> Result<(), StorageError> {
+        self.wal.append(&record_of(rcc))?;
+        self.index.insert_logical(rcc);
+        Ok(())
+    }
+
+    fn apply_derived(&mut self, rcc: &LogicalRcc) {
+        // domd-lint: allow(wal-order) — applies a delta already durable in the serving layer's WAL //~waiver wal-order
+        self.index.remove_logical(rcc);
+    }
+}

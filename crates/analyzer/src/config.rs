@@ -39,8 +39,12 @@ pub const TIME_ALLOWED: &[&str] = &["crates/bench/", "crates/serve/src/clock.rs"
 /// shedding, so it must either check capacity first or carry a waiver.
 pub const QUEUE_ALLOWED: &[&str] = &["crates/runtime/"];
 
-/// The file governed by R4 (`wal-order`): the WAL-before-apply wrapper.
-pub const WAL_ORDER_FILE: &str = "crates/index/src/durable.rs";
+/// The files governed by R4 (`wal-order`): the WAL-before-apply wrapper
+/// and the delta-application module whose mutations are derived from the
+/// wrapper's log order (a delta applied without that provenance must
+/// carry a same-body `append` or a waiver explaining the derivation).
+pub const WAL_ORDER_FILES: &[&str] =
+    &["crates/index/src/durable.rs", "crates/index/src/delta.rs"];
 
 /// Methods that mutate the wrapped index (R4): each call must be
 /// preceded, within the same `fn` body, by a WAL `append`.

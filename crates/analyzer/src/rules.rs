@@ -164,8 +164,9 @@ pub fn scan_file(rel_path: &str, source: &str) -> FileScan {
         }
     }
 
-    // R4 — wal-order, only in the durable wrapper.
-    if rel_path == config::WAL_ORDER_FILE {
+    // R4 — wal-order, in the durable wrapper and the delta module whose
+    // mutations replay the wrapper's log order.
+    if config::WAL_ORDER_FILES.contains(&rel_path) {
         wal_order(toks, &in_test, &mut findings, rel_path);
     }
 
@@ -692,13 +693,16 @@ mod tests {
     fn wal_order_requires_append_before_mutation() {
         let bad = "impl D {\n  fn apply(&mut self) {\n    self.index.insert_logical(&r);\n  }\n}";
         let good = "impl D {\n  fn apply(&mut self) {\n    self.wal.append(&rec);\n    self.index.insert_logical(&r);\n  }\n}";
-        let scan = scan_file(config::WAL_ORDER_FILE, bad);
-        assert_eq!(
-            scan.violations.iter().map(|f| (f.line, f.rule)).collect::<Vec<_>>(),
-            vec![(3, Rule::WalOrder)]
-        );
-        assert!(scan_file(config::WAL_ORDER_FILE, good).violations.is_empty());
-        // The same source outside the durable wrapper is not R4's business.
+        for governed in config::WAL_ORDER_FILES {
+            let scan = scan_file(governed, bad);
+            assert_eq!(
+                scan.violations.iter().map(|f| (f.line, f.rule)).collect::<Vec<_>>(),
+                vec![(3, Rule::WalOrder)],
+                "{governed} must be governed by R4"
+            );
+            assert!(scan_file(governed, good).violations.is_empty());
+        }
+        // The same source outside the governed files is not R4's business.
         assert!(scan_file(LIB, bad).violations.is_empty());
     }
 

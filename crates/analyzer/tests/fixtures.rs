@@ -78,6 +78,7 @@ fn violating_fixtures_report_exactly_their_markers() {
         // (self-check dedupes per line; the raw scan does not).
         ("r3_nondet_violate.rs", Rule::Nondeterminism, 7),
         ("r4_wal_violate.rs", Rule::WalOrder, 3),
+        ("r4_delta_violate.rs", Rule::WalOrder, 2),
         ("r5_header_violate.rs", Rule::LintHeader, 1),
     ];
     for (name, rule, expected) in cases {
@@ -121,12 +122,19 @@ fn conforming_fixtures_are_clean_and_waivers_are_inventoried() {
         let scan = scan_file(&pretend, &source);
         assert!(scan.violations.is_empty(), "{name}: {:#?}", scan.violations);
     }
-    // The WAL conform fixture carries exactly one justified waiver.
-    let scan = scan_file("crates/index/src/durable.rs", &read("r4_wal_conform.rs"));
-    assert!(scan.violations.is_empty(), "{:#?}", scan.violations);
-    assert_eq!(scan.waivers.len(), 1);
-    assert_eq!(scan.waivers[0].rule, Rule::WalOrder);
-    assert!(scan.waivers[0].justification.contains("already durable"));
+    // The WAL conform fixtures each carry exactly one justified waiver:
+    // the durable wrapper's replay helper and the delta module's
+    // derived-from-the-log application site.
+    for (path, name) in [
+        ("crates/index/src/durable.rs", "r4_wal_conform.rs"),
+        ("crates/index/src/delta.rs", "r4_delta_conform.rs"),
+    ] {
+        let scan = scan_file(path, &read(name));
+        assert!(scan.violations.is_empty(), "{name}: {:#?}", scan.violations);
+        assert_eq!(scan.waivers.len(), 1, "{name}: {:#?}", scan.waivers);
+        assert_eq!(scan.waivers[0].rule, Rule::WalOrder);
+        assert!(scan.waivers[0].justification.contains("already durable"));
+    }
 }
 
 #[test]

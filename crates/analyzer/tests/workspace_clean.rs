@@ -32,9 +32,14 @@ fn every_waiver_is_justified_and_attributed() {
             w.justification
         );
     }
-    // The WAL replay path is the one place allowed to mutate the index
-    // without a same-body append; its waivers must stay in durable.rs.
+    // Mutating the index without a same-body append is only waivable in
+    // the R4-governed files: the durable wrapper's replay path and the
+    // delta module, whose applications are derived from the WAL's order.
     for w in report.waivers.iter().filter(|w| w.rule == Rule::WalOrder) {
-        assert_eq!(w.file, "crates/index/src/durable.rs", "unexpected wal-order waiver");
+        assert!(
+            domd_analyzer::config::WAL_ORDER_FILES.contains(&w.file.as_str()),
+            "unexpected wal-order waiver in {}",
+            w.file
+        );
     }
 }

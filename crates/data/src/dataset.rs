@@ -32,19 +32,49 @@ impl Dataset {
     /// the per-avail ranges.
     pub fn new(avails: Vec<Avail>, mut rccs: Vec<Rcc>) -> Self {
         rccs.sort_by_key(|a| (a.avail, a.created, a.id));
-        let mut by_avail =
-            FxHashMap::with_capacity_and_hasher(avails.len(), Default::default());
-        let mut start = 0usize;
-        while start < rccs.len() {
-            let aid = rccs[start].avail;
-            let mut end = start + 1;
-            while end < rccs.len() && rccs[end].avail == aid {
-                end += 1;
-            }
-            by_avail.insert(aid, (start, end));
-            start = end;
-        }
+        let by_avail = build_ranges(&rccs, avails.len());
         Dataset { avails, rccs, by_avail }
+    }
+
+    /// Inserts `fresh` RCC rows by a single linear merge into the sorted
+    /// table — O(n + k log k) for k new rows against the O((n+k) log (n+k))
+    /// full re-sort a [`Dataset::new`] rebuild pays — and re-indexes the
+    /// per-avail ranges. Produces exactly the dataset `Dataset::new` would
+    /// build from the concatenated rows: the merge keys on the same
+    /// `(avail, created, id)` triple and keeps existing rows first on ties,
+    /// matching the stable sort.
+    pub fn with_rccs_merged(&self, mut fresh: Vec<Rcc>) -> Dataset {
+        let key = |r: &Rcc| (r.avail, r.created, r.id);
+        fresh.sort_by_key(key);
+        let mut rccs = Vec::with_capacity(self.rccs.len() + fresh.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.rccs.len() && j < fresh.len() {
+            if key(&self.rccs[i]) <= key(&fresh[j]) {
+                rccs.push(self.rccs[i].clone());
+                i += 1;
+            } else {
+                rccs.push(fresh[j].clone());
+                j += 1;
+            }
+        }
+        rccs.extend_from_slice(&self.rccs[i..]);
+        rccs.extend_from_slice(&fresh[j..]);
+        let by_avail = build_ranges(&rccs, self.avails.len());
+        Dataset { avails: self.avails.clone(), rccs, by_avail }
+    }
+
+    /// A dataset restricted to `ids` (ids without an avail here are
+    /// dropped), preserving each kept avail's RCC rows and their relative
+    /// order. Because the RCC table is sorted by `(avail, created, id)`,
+    /// any per-avail computation over the selection — a feature sweep, a
+    /// per-avail aggregate — sees exactly the row sequence the full
+    /// dataset holds, at the cost of only the selected rows.
+    pub fn select_avails(&self, ids: &[AvailId]) -> Dataset {
+        let avails: Vec<Avail> =
+            ids.iter().filter_map(|id| self.avail(*id)).cloned().collect();
+        let rccs: Vec<Rcc> =
+            avails.iter().flat_map(|a| self.rccs_of(a.id)).cloned().collect();
+        Dataset::new(avails, rccs)
     }
 
     /// All avails, in insertion order.
@@ -129,6 +159,23 @@ impl Dataset {
         let train: Vec<AvailId> = rest[n_val..].to_vec();
         Split { train, validation, test }
     }
+}
+
+/// Per-avail `(start, end)` ranges over an RCC table already sorted by
+/// `(avail, created, id)`.
+fn build_ranges(rccs: &[Rcc], n_avails: usize) -> FxHashMap<AvailId, (usize, usize)> {
+    let mut by_avail = FxHashMap::with_capacity_and_hasher(n_avails, Default::default());
+    let mut start = 0usize;
+    while start < rccs.len() {
+        let aid = rccs[start].avail;
+        let mut end = start + 1;
+        while end < rccs.len() && rccs[end].avail == aid {
+            end += 1;
+        }
+        by_avail.insert(aid, (start, end));
+        start = end;
+    }
+    by_avail
 }
 
 /// Table 5-style dataset statistics.
@@ -223,6 +270,46 @@ mod tests {
             assert!(rs.iter().all(|r| r.avail == a.id));
         }
         assert!(ds.rccs_of(AvailId(999)).is_empty());
+    }
+
+    #[test]
+    fn merged_insert_equals_full_rebuild() {
+        let ds = toy_dataset(5);
+        // New rows landing at the front, middle, and back of avail ranges,
+        // plus a tie on (avail, created) resolved by id.
+        let fresh = vec![
+            mk_rcc(900, 2, 205),
+            mk_rcc(901, 0, 0),
+            mk_rcc(902, 4, 999),
+            mk_rcc(903, 2, 200), // same (avail, created) as rcc 20
+        ];
+        let merged = ds.with_rccs_merged(fresh.clone());
+        let mut all = ds.rccs().to_vec();
+        all.extend(fresh);
+        let rebuilt = Dataset::new(ds.avails().to_vec(), all);
+        assert_eq!(merged.rccs().len(), rebuilt.rccs().len());
+        for (m, r) in merged.rccs().iter().zip(rebuilt.rccs()) {
+            assert_eq!(m.id, r.id, "merge must reproduce the rebuilt order");
+        }
+        for a in merged.avails() {
+            assert_eq!(
+                merged.rccs_of(a.id).len(),
+                rebuilt.rccs_of(a.id).len(),
+                "ranges must match for avail {}",
+                a.id
+            );
+        }
+    }
+
+    #[test]
+    fn merged_insert_into_empty_and_with_empty() {
+        let ds = toy_dataset(3);
+        let same = ds.with_rccs_merged(Vec::new());
+        assert_eq!(same.rccs().len(), ds.rccs().len());
+        let empty = Dataset::new(ds.avails().to_vec(), Vec::new());
+        let filled = empty.with_rccs_merged(ds.rccs().to_vec());
+        assert_eq!(filled.rccs().len(), ds.rccs().len());
+        assert_eq!(filled.rccs_of(AvailId(1)).len(), 3);
     }
 
     #[test]

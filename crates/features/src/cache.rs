@@ -72,6 +72,16 @@ impl FeatureCache {
         self.epoch += 1;
     }
 
+    /// Surgical invalidation for a classified delta: drops only the
+    /// snapshots of the given avails — an RCC delta changes the features
+    /// of exactly its own avail — keeping everything else warm under the
+    /// *same* epoch. Returns `(dropped, retained)`. Callers that cannot
+    /// classify a mutation must use [`FeatureCache::invalidate`] instead
+    /// (degraded, never silently stale).
+    pub fn invalidate_avails(&mut self, avails: &[AvailId]) -> (usize, usize) {
+        self.cache.retain_rekey(|k| !avails.iter().any(|a| a.0 == k.avail), |k| *k)
+    }
+
     /// Snapshots currently stored.
     pub fn len(&self) -> usize {
         self.cache.len()
@@ -165,6 +175,32 @@ mod tests {
         cache.features_at(&eng, &ds, a, 40.0);
         assert_eq!(cache.stats().hits, 1, "post-invalidate lookup must miss");
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn invalidate_avails_is_surgical() {
+        let (ds, eng) = setup();
+        let mut cache = FeatureCache::new(64);
+        let a = ds.avails()[0].id;
+        let b = ds.avails()[1].id;
+        for t in [10.0, 20.0] {
+            cache.features_at(&eng, &ds, a, t);
+            cache.features_at(&eng, &ds, b, t);
+        }
+        let (dropped, retained) = cache.invalidate_avails(&[a]);
+        assert_eq!((dropped, retained), (2, 2));
+        assert_eq!(cache.epoch(), 0, "surgical invalidation keeps the epoch");
+        let hits_before = cache.stats().hits;
+        cache.features_at(&eng, &ds, b, 10.0);
+        assert_eq!(cache.stats().hits, hits_before + 1, "untouched avail stays warm");
+        cache.features_at(&eng, &ds, a, 10.0);
+        assert_eq!(cache.stats().hits, hits_before + 1, "dropped avail must recompute");
+        // Bits of the recomputed snapshot equal the cold path.
+        let cold = eng.features_for_avail_at(&ds, a, 10.0);
+        let warm = cache.features_at(&eng, &ds, a, 10.0);
+        for (c, w) in cold.iter().zip(warm.iter()) {
+            assert_eq!(c.to_bits(), w.to_bits());
+        }
     }
 
     #[test]

@@ -11,18 +11,24 @@
 //! * [`engine`] — tensor generation via one incremental Status Query sweep,
 //!   plus the online single-avail path for live DoMD queries;
 //! * [`cache`] — a memoizing LRU over the online per-avail feature
-//!   snapshots with epoch-based invalidation;
-//! * [`tensor`] — the materialized tensor with per-grid-point slices.
+//!   snapshots with epoch-based invalidation (plus surgical per-avail
+//!   invalidation for classified deltas);
+//! * [`tensor`] — the materialized tensor with per-grid-point slices;
+//! * [`maintain`] — the delta-maintained tensor: copy-on-write slices
+//!   whose affected avail rows are patched by subset re-sweeps instead of
+//!   regenerating, bit-identical to a full regeneration.
 
 #![deny(unsafe_code)]
 pub mod cache;
 pub mod engine;
+pub mod maintain;
 pub mod spec;
 pub mod static_features;
 pub mod tensor;
 
 pub use cache::{FeatureCache, FeatureKey};
 pub use engine::FeatureEngine;
+pub use maintain::MaintainedTensor;
 pub use spec::{Aggregation, FeatureCatalog, FeatureSpec, StatusFilter, SwlinGroup, TypeFilter};
 pub use static_features::{static_matrix, static_row, N_STATIC, STATIC_FEATURE_NAMES};
 pub use tensor::FeatureTensor;

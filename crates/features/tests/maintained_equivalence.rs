@@ -1,0 +1,164 @@
+//! Correctness gate for the delta-maintained tensor: after every patch
+//! batch, [`MaintainedTensor`] must be bit-identical to a from-scratch
+//! `generate_tensor_threaded` over the mutated dataset — at every thread
+//! count — and copy-on-write must leave pinned readers untouched.
+
+use domd_data::dataset::Dataset;
+use domd_data::{generate, AvailId, GeneratorConfig, Rcc, RccId};
+use domd_features::{FeatureEngine, FeatureTensor, MaintainedTensor};
+
+/// SplitMix64 — deterministic, dependency-free.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn assert_bit_identical(a: &FeatureTensor, b: &FeatureTensor, label: &str) {
+    assert_eq!(a.n_steps(), b.n_steps(), "{label}: step count");
+    for s in 0..a.n_steps() {
+        let xs = a.slice(s).as_slice();
+        let ys = b.slice(s).as_slice();
+        assert_eq!(xs.len(), ys.len(), "{label}: slice {s} size");
+        for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: slice {s} flat index {i}: {x} vs {y}");
+        }
+    }
+}
+
+/// Fresh RCC rows for `avail`, templated off the avail's existing rows so
+/// types/SWLINs stay in-distribution.
+fn fresh_rows(rng: &mut Mix, ds: &Dataset, avail: AvailId, n: usize, next_id: &mut u32) -> Vec<Rcc> {
+    let pool: Vec<&Rcc> = ds.rccs().iter().filter(|r| r.avail == avail).collect();
+    let start = ds.avail(avail).expect("avail exists").actual_start;
+    (0..n)
+        .map(|_| {
+            let template = pool[rng.below(pool.len() as u64) as usize];
+            let created = start + rng.below(70) as i32;
+            *next_id += 1;
+            Rcc {
+                id: RccId(9_000_000 + *next_id),
+                avail,
+                rcc_type: template.rcc_type,
+                swlin: template.swlin,
+                created,
+                settled: created + 1 + rng.below(80) as i32,
+                amount: 40.0 + rng.below(4000) as f64,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn patched_tensor_matches_full_regeneration_after_every_batch() {
+    let mut rng = Mix(0x00D0_7A11);
+    let mut ds = generate(&GeneratorConfig { n_avails: 10, target_rccs: 900, scale: 1, seed: 21 });
+    let all: Vec<AvailId> = ds.avails().iter().map(|a| a.id).collect();
+    let grid: Vec<f64> = (0..=5).map(|i| f64::from(i) * 20.0).collect();
+    let engine = FeatureEngine::default();
+
+    let mut maintained =
+        MaintainedTensor::from_tensor(&engine.generate_tensor_threaded(&ds, &all, &grid, 1));
+
+    let mut next_id = 0u32;
+    for batch in 0..6 {
+        // Mutate 1–3 distinct avails per batch, a few rows each.
+        let n_touched = 1 + rng.below(3) as usize;
+        let mut touched: Vec<AvailId> = Vec::new();
+        let mut fresh: Vec<Rcc> = Vec::new();
+        for _ in 0..n_touched {
+            let a = all[rng.below(all.len() as u64) as usize];
+            let n_rows = 1 + rng.below(4) as usize;
+            fresh.extend(fresh_rows(&mut rng, &ds, a, n_rows, &mut next_id));
+            touched.push(a);
+        }
+        ds = ds.with_rccs_merged(fresh);
+        let reference = engine.generate_tensor_threaded(&ds, &all, &grid, 1);
+
+        // Every thread count must patch to the same bits; patch a clone per
+        // count so each starts from the same pre-batch state.
+        for threads in [1usize, 2, 3, 8] {
+            let mut candidate = maintained.clone();
+            let patched = candidate.patch_avails(&engine, &ds, &touched, threads);
+            let mut distinct = touched.clone();
+            distinct.sort_unstable_by_key(|a| a.0);
+            distinct.dedup();
+            assert_eq!(patched, distinct.len(), "batch {batch} threads {threads}: patch count");
+            assert_bit_identical(
+                &candidate.to_tensor(),
+                &reference,
+                &format!("batch {batch} threads {threads}"),
+            );
+            if threads == 1 {
+                maintained = candidate;
+            }
+        }
+    }
+}
+
+#[test]
+fn copy_on_write_leaves_pinned_readers_untouched() {
+    let mut rng = Mix(0xBEEF);
+    let ds = generate(&GeneratorConfig { n_avails: 6, target_rccs: 500, scale: 1, seed: 7 });
+    let all: Vec<AvailId> = ds.avails().iter().map(|a| a.id).collect();
+    let grid = [0.0, 50.0, 100.0];
+    let engine = FeatureEngine::default();
+
+    let base = engine.generate_tensor_threaded(&ds, &all, &grid, 2);
+    let mut maintained = MaintainedTensor::from_tensor(&base);
+    // A pinned reader: shares the slices via Arc, exactly like an earlier
+    // published epoch would.
+    let pinned = maintained.clone();
+
+    let mut next_id = 0u32;
+    let target = all[2];
+    let ds2 = ds.with_rccs_merged(fresh_rows(&mut rng, &ds, target, 5, &mut next_id));
+    let patched = maintained.patch_avails(&engine, &ds2, &[target], 2);
+    assert_eq!(patched, 1);
+
+    // The pinned snapshot still carries the pre-patch bits...
+    assert_bit_identical(&pinned.to_tensor(), &base, "pinned reader");
+    // ...while the maintained tensor equals a full regeneration.
+    let reference = engine.generate_tensor_threaded(&ds2, &all, &grid, 1);
+    assert_bit_identical(&maintained.to_tensor(), &reference, "maintained");
+    // And the patch really changed something (the delta adds live rows).
+    let before = pinned.row(1, maintained.row_of(target).expect("present"));
+    let after = maintained.row(1, maintained.row_of(target).expect("present"));
+    assert!(
+        before.iter().zip(after).any(|(b, a)| b.to_bits() != a.to_bits()),
+        "patch must alter the target avail's row"
+    );
+}
+
+#[test]
+fn duplicate_and_absent_ids_are_tolerated() {
+    let mut rng = Mix(1);
+    let ds = generate(&GeneratorConfig { n_avails: 5, target_rccs: 300, scale: 1, seed: 3 });
+    let all: Vec<AvailId> = ds.avails().iter().map(|a| a.id).collect();
+    let grid = [30.0];
+    let engine = FeatureEngine::default();
+    let mut maintained =
+        MaintainedTensor::from_tensor(&engine.generate_tensor_threaded(&ds, &all, &grid, 1));
+
+    let mut next_id = 0u32;
+    let target = all[0];
+    let ds2 = ds.with_rccs_merged(fresh_rows(&mut rng, &ds, target, 2, &mut next_id));
+    // Duplicates collapse; an id outside the tensor is skipped, not patched.
+    let absent = AvailId(u32::MAX);
+    let patched = maintained.patch_avails(&engine, &ds2, &[target, target, absent], 2);
+    assert_eq!(patched, 1);
+    let reference = engine.generate_tensor_threaded(&ds2, &all, &grid, 1);
+    assert_bit_identical(&maintained.to_tensor(), &reference, "dedup");
+    // Empty selection is a no-op.
+    assert_eq!(maintained.patch_avails(&engine, &ds2, &[], 4), 0);
+}

@@ -14,6 +14,15 @@
 //! epoch is part of the key, a snapshot computed under an older epoch can
 //! never be looked up again — stale entries simply age out of the LRU.
 //!
+//! **Surgical invalidation** (delta maintenance): when a mutation arrives
+//! as a typed [`RccDelta`], [`CachedStatusQueryEngine::apply_delta`]
+//! classifies every resident snapshot against the delta's
+//! (type, SWLIN subtree, status, `t*`) footprint. Keys the delta cannot
+//! affect are *re-keyed* to the new epoch and stay warm; only the affected
+//! ones are dropped. If the delta or any resident key cannot be classified
+//! (malformed key encoding, NaN timestamp, unknown row), the whole cache is
+//! dropped and a counter bumped — degraded, never silently stale.
+//!
 //! **Bit-identity** holds by construction: a miss stores the exact
 //! [`StatusAggregate`] the cold path produced (same `f64` summation order),
 //! and a hit returns that stored value verbatim, so cached and uncached
@@ -25,6 +34,7 @@
 //! through a `Mutex` acquired *once per shard per batch*, never per query.
 
 use crate::arena::RccArena;
+use crate::delta::RccDelta;
 use crate::status_query::{StatusAggregate, StatusQuery, StatusQueryEngine};
 use crate::traits::MaintainableIndex;
 use crate::types::{HeapSize, LogicalRcc, RowId};
@@ -228,6 +238,39 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 }
 
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Rebuilds the cache keeping only the entries `keep` accepts, mapping
+    /// each survivor's key through `rekey`. Recency order is preserved:
+    /// entries are re-inserted least-recent first, so each insert becomes
+    /// the momentary head and the original head ends up the head again.
+    /// Returns `(dropped, retained)`. Counters are kept; re-insertion
+    /// cannot evict because at most `len()` entries come back.
+    pub fn retain_rekey(
+        &mut self,
+        mut keep: impl FnMut(&K) -> bool,
+        mut rekey: impl FnMut(&K) -> K,
+    ) -> (usize, usize) {
+        let mut live: Vec<(K, V)> = Vec::with_capacity(self.map.len());
+        let mut slot = self.tail;
+        while slot != NIL {
+            let s = &self.slots[slot as usize];
+            live.push((s.key.clone(), s.value.clone()));
+            slot = s.prev;
+        }
+        self.clear();
+        let (mut dropped, mut retained) = (0, 0);
+        for (k, v) in live {
+            if keep(&k) {
+                retained += 1;
+                self.insert(rekey(&k), v);
+            } else {
+                dropped += 1;
+            }
+        }
+        (dropped, retained)
+    }
+}
+
 impl<K, V> HeapSize for LruCache<K, V> {
     fn heap_bytes(&self) -> usize {
         // HashMap buckets store (K, u32) plus control bytes; the pair size
@@ -282,6 +325,94 @@ impl SnapshotKey {
 /// with room to spare.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
+/// How one applied delta invalidated the memoized snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invalidation {
+    /// Only the keys whose result the delta could change were dropped;
+    /// the survivors were re-keyed to the new epoch and stay warm.
+    Surgical {
+        /// Entries the delta's footprint touched (discarded).
+        dropped: usize,
+        /// Entries carried over to the new epoch.
+        retained: usize,
+    },
+    /// The delta (or a resident key) could not be classified; every entry
+    /// was dropped and [`CachedStatusQueryEngine::full_invalidations`]
+    /// bumped. Degraded, never silently stale.
+    Full,
+}
+
+/// The (type, SWLIN, time-interval) footprint of one applied delta: the
+/// classifier deciding which memoized snapshots the delta can affect.
+#[derive(Debug, Clone, Copy)]
+struct DeltaFootprint {
+    /// `RccType::index()` of the mutated row.
+    type_idx: u8,
+    /// Packed SWLIN code of the mutated row.
+    packed: u32,
+    /// Logical start (a settle never moves it).
+    start: f64,
+    /// Upper bound of the `t*` range where Active results can differ:
+    /// the row's end for insert/remove, `max(old_end, new_end)` for settle.
+    active_hi: f64,
+    /// Lower bound of the `t*` range where Settled results can differ:
+    /// the row's end for insert/remove, `min(old_end, new_end)` for settle.
+    settled_lo: f64,
+}
+
+impl DeltaFootprint {
+    /// Reads the footprint off the arena *after* the delta was applied;
+    /// `old_end` is the row's logical end from before (equal to the
+    /// current end for insert/remove).
+    fn capture(arena: &RccArena, row: RowId, old_end: f64) -> DeltaFootprint {
+        let end = arena.end(row);
+        DeltaFootprint {
+            type_idx: arena.rcc_type(row).index() as u8,
+            packed: arena.swlin(row).packed(),
+            start: arena.start(row),
+            active_hi: end.max(old_end),
+            settled_lo: end.min(old_end),
+        }
+    }
+
+    /// Whether the delta can change the snapshot stored under `key`;
+    /// `None` when the key cannot be classified (full invalidation).
+    fn affects(&self, key: &SnapshotKey) -> Option<bool> {
+        // Group-by filters: a key scoped to a different type or a SWLIN
+        // subtree not containing the mutated row can never see it.
+        if key.rcc_type != u8::MAX && key.rcc_type != self.type_idx {
+            return Some(false);
+        }
+        match (key.prefix, key.len) {
+            (u32::MAX, u8::MAX) => {}
+            (p, l) if (1..=8).contains(&l) => {
+                // u64 arithmetic: an adversarial prefix would overflow the
+                // u32 product the tree-side range computation performs.
+                let unit = 10u64.pow(8 - u32::from(l));
+                let lo = u64::from(p) * unit;
+                if !(lo..lo + unit).contains(&u64::from(self.packed)) {
+                    return Some(false);
+                }
+            }
+            _ => return None, // inconsistent prefix encoding
+        }
+        let t = f64::from_bits(key.t_bits);
+        if t.is_nan() {
+            return None;
+        }
+        // A settle also changes the row's *duration*, which feeds the
+        // aggregate of every set the row is a member of — so each arm
+        // covers membership changes and contained-member mutations alike.
+        Some(match key.status {
+            0 => self.start <= t && t < self.active_hi,
+            1 => t >= self.settled_lo,
+            2 => t >= self.start,
+            3 => t < self.start,
+            _ => return None, // unknown status arm
+        })
+    }
+}
+
 /// A [`StatusQueryEngine`] wrapped with a memoizing snapshot LRU.
 #[derive(Debug)]
 pub struct CachedStatusQueryEngine<I> {
@@ -290,6 +421,9 @@ pub struct CachedStatusQueryEngine<I> {
     /// Private caches for the batch path, one per shard, kept across
     /// batches so repeated batches stay warm.
     shard_caches: Vec<Mutex<LruCache<SnapshotKey, StatusAggregate>>>,
+    /// Times a delta fell back to dropping the whole cache (see
+    /// [`Invalidation::Full`]).
+    full_invalidations: u64,
 }
 
 impl<I: MaintainableIndex> CachedStatusQueryEngine<I> {
@@ -304,6 +438,7 @@ impl<I: MaintainableIndex> CachedStatusQueryEngine<I> {
             engine,
             cache: LruCache::new(capacity),
             shard_caches: Vec::new(),
+            full_invalidations: 0,
         }
     }
 
@@ -354,6 +489,67 @@ impl<I: MaintainableIndex> CachedStatusQueryEngine<I> {
     /// memoized snapshot keyed under the old epoch is dead on arrival).
     pub fn insert(&mut self, rcc: &Rcc, avail: &Avail) -> RowId {
         self.engine.insert(rcc, avail)
+    }
+
+    /// Times a delta fell back to full invalidation (never silently stale).
+    pub fn full_invalidations(&self) -> u64 {
+        self.full_invalidations
+    }
+
+    /// Delta-aware maintenance: applies the delta to the engine, then
+    /// surgically invalidates only the resident snapshots its
+    /// (type, SWLIN, status, `t*`) footprint can touch, re-keying the
+    /// survivors to the new epoch so they keep hitting. An unclassifiable
+    /// delta or resident key degrades to a counted full invalidation.
+    pub fn apply_delta(&mut self, delta: &RccDelta) -> (Option<RowId>, Invalidation) {
+        let old_epoch = self.engine.epoch();
+        let old_end = match delta {
+            RccDelta::Settle { row, .. } if self.engine.is_live(*row) => {
+                Some(self.engine.arena().end(*row))
+            }
+            _ => None,
+        };
+        let applied = self.engine.apply_delta(delta);
+        let Some(row) = applied else {
+            // The engine refused the delta (unknown row): nothing changed,
+            // but a delta we cannot map to a row is exactly the
+            // unclassifiable case — drop everything rather than reason
+            // about it.
+            self.invalidate_all();
+            return (None, Invalidation::Full);
+        };
+        let end_now = self.engine.arena().end(row);
+        let fp = DeltaFootprint::capture(self.engine.arena(), row, old_end.unwrap_or(end_now));
+        let new_epoch = self.engine.epoch();
+        let classifiable = self.cache.map.keys().all(|k| fp.affects(k).is_some())
+            && self.shard_caches.iter().all(|shard| {
+                // domd-lint: allow(no-panic) — a poisoned shard lock means a worker already panicked; propagating is the only sound exit
+                let cache = shard.lock().expect("shard cache lock");
+                cache.map.keys().all(|k| fp.affects(k).is_some())
+            });
+        if !classifiable {
+            self.invalidate_all();
+            return (Some(row), Invalidation::Full);
+        }
+        let keep = |k: &SnapshotKey| k.epoch == old_epoch && fp.affects(k) == Some(false);
+        let rekey = |k: &SnapshotKey| SnapshotKey { epoch: new_epoch, ..*k };
+        let (mut dropped, mut retained) = self.cache.retain_rekey(keep, rekey);
+        for shard in &self.shard_caches {
+            // domd-lint: allow(no-panic) — a poisoned shard lock means a worker already panicked; propagating is the only sound exit
+            let (d, r) = shard.lock().expect("shard cache lock").retain_rekey(keep, rekey);
+            dropped += d;
+            retained += r;
+        }
+        (Some(row), Invalidation::Surgical { dropped, retained })
+    }
+
+    fn invalidate_all(&mut self) {
+        self.cache.clear();
+        for shard in &self.shard_caches {
+            // domd-lint: allow(no-panic) — a poisoned shard lock means a worker already panicked; propagating is the only sound exit
+            shard.lock().expect("shard cache lock").clear();
+        }
+        self.full_invalidations += 1;
     }
 }
 

@@ -1,0 +1,260 @@
+//! Typed delta stream and incremental view maintenance (ROADMAP item 1).
+//!
+//! The grouped Status Query aggregates are hierarchical queries over the
+//! avail⋈RCC join; per Kara/Nikolic/Olteanu/Zhang (PAPERS.md), maintaining
+//! such views by deltas beats recomputation whenever mutation traffic is a
+//! small fraction of the dataset. A [`RccDelta`] describes one mutation of
+//! the RCC relation — insert, settle (the logical end moves), or remove —
+//! and is emitted at the *same call sites*, in the *same order*, as the
+//! serving layer's `DurableIndex` WAL-before-apply mutations: the stream
+//! is derived from the WAL mutation order, one typed delta per logged
+//! record, so applying a delta here replays a change that is already
+//! durable. (The WAL record itself carries only the logical projection —
+//! no type, SWLIN, or amount — which is why the typed stream is extracted
+//! where the mutation is issued rather than parsed back out of the log.)
+//!
+//! Propagation is O(log n) per delta instead of the O(n log n) rebuild of
+//! a from-scratch engine: the logical index absorbs the row via
+//! `insert_logical` / `remove_logical`, and each group tree touches only
+//! the mutated row's type partition and SWLIN root-to-leaf path. The arena
+//! is append-only — a removed row stays behind as an orphan no index or
+//! tree references — so every aggregate, visited in ascending row-id
+//! order, stays bit-identical to a from-scratch
+//! [`StatusQueryEngine::from_arena_rows`] over the live rows of the same
+//! arena. That bit-identity is the correctness gate of the delta
+//! equivalence suite.
+
+use crate::status_query::StatusQueryEngine;
+use crate::traits::MaintainableIndex;
+use crate::types::RowId;
+use domd_data::avail::Avail;
+use domd_data::date::Date;
+use domd_data::rcc::Rcc;
+use std::sync::Arc;
+
+/// One mutation of the RCC relation, in WAL order.
+#[derive(Debug, Clone)]
+pub enum RccDelta {
+    /// A new RCC row enters the relation.
+    Insert {
+        /// The full row (the WAL's logical projection lacks type, SWLIN
+        /// and amount, so the typed stream carries the record itself).
+        rcc: Rcc,
+        /// The availability the row belongs to.
+        avail: Avail,
+    },
+    /// Row `row` re-settles at `settled` (covers both settle and reopen:
+    /// the new date may precede or follow the old one).
+    Settle {
+        /// The maintained engine's row id.
+        row: RowId,
+        /// The new settlement date.
+        settled: Date,
+        /// The row's own availability, so the logical end is recomputed
+        /// with the identical `logical_time` call the original projection
+        /// used (bit-identity depends on it).
+        avail: Avail,
+    },
+    /// Row `row` leaves the relation; its arena storage is orphaned.
+    Remove {
+        /// The maintained engine's row id.
+        row: RowId,
+    },
+}
+
+impl<I: MaintainableIndex> StatusQueryEngine<I> {
+    /// Applies one delta in O(log n). Returns the affected row id, or
+    /// `None` when the delta names a row the engine does not hold (out of
+    /// bounds, already removed, or under a mismatched avail) — the engine
+    /// is left untouched in that case, so a malformed delta can never
+    /// corrupt the view.
+    pub fn apply_delta(&mut self, delta: &RccDelta) -> Option<RowId> {
+        match delta {
+            RccDelta::Insert { rcc, avail } => Some(self.insert(rcc, avail)),
+            RccDelta::Settle { row, settled, avail } => {
+                if !self.is_live(*row) || self.arena.avail(*row) != avail.id {
+                    return None;
+                }
+                let arena = Arc::make_mut(&mut self.arena);
+                let old = arena.settle(*row, *settled, avail);
+                let new = arena.logical(*row);
+                // domd-lint: allow(wal-order) — applies a settle the serving layer's DurableIndex already WAL-logged; the delta stream is derived from that log order
+                let removed = self.index.remove_logical(&old);
+                debug_assert!(removed, "live rows are indexed");
+                // domd-lint: allow(wal-order) — applies a settle the serving layer's DurableIndex already WAL-logged; the delta stream is derived from that log order
+                let inserted = self.index.insert_logical(&new);
+                debug_assert!(inserted, "a re-settled row cannot collide with itself");
+                Some(*row)
+            }
+            RccDelta::Remove { row } => {
+                if !self.is_live(*row) {
+                    return None;
+                }
+                let lr = self.arena.logical(*row);
+                // domd-lint: allow(wal-order) — applies a removal the serving layer's DurableIndex already WAL-logged; the delta stream is derived from that log order
+                let removed = self.index.remove_logical(&lr);
+                debug_assert!(removed, "live rows are indexed");
+                let rcc_type = self.arena.rcc_type(*row);
+                let swlin = self.arena.swlin(*row);
+                self.type_tree.remove(rcc_type, *row);
+                self.swlin_tree.remove(swlin, *row);
+                Some(*row)
+            }
+        }
+    }
+
+    /// Applies a batch in stream order, returning the affected row ids
+    /// (deltas naming unknown rows are skipped, matching
+    /// [`Self::apply_delta`]).
+    pub fn apply_deltas(&mut self, deltas: &[RccDelta]) -> Vec<RowId> {
+        deltas.iter().filter_map(|d| self.apply_delta(d)).collect()
+    }
+
+    /// True when `row` is currently in the view. Removal deletes the
+    /// group-tree entries while the arena keeps the orphaned columns, so
+    /// membership in the row's type partition is the liveness test.
+    pub fn is_live(&self, row: RowId) -> bool {
+        (row as usize) < self.arena.len()
+            && self
+                .type_tree
+                .ids_of(self.arena.rcc_type(row))
+                .binary_search(&row)
+                .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::avl::AvlIndex;
+    use crate::status_query::{StatusQuery, StatusQueryEngine};
+    use crate::types::project_dataset;
+    use domd_data::rcc::{RccId, RccStatus, RccType};
+    use domd_data::{generate, GeneratorConfig};
+
+    fn engine() -> (domd_data::dataset::Dataset, StatusQueryEngine<AvlIndex>) {
+        let ds = generate(&GeneratorConfig { n_avails: 10, target_rccs: 600, scale: 1, seed: 3 });
+        let proj = project_dataset(&ds);
+        let eng = StatusQueryEngine::<AvlIndex>::build(&ds, &proj);
+        (ds, eng)
+    }
+
+    fn probe_queries() -> Vec<StatusQuery> {
+        let mut out = Vec::new();
+        for t in [0.0, 20.0, 45.0, 60.0, 90.0, 110.0] {
+            for status in
+                [RccStatus::Active, RccStatus::Settled, RccStatus::Created, RccStatus::NotCreated]
+            {
+                out.push(StatusQuery { rcc_type: None, swlin_prefix: None, status, t_star: t });
+                out.push(StatusQuery {
+                    rcc_type: Some(RccType::Growth),
+                    swlin_prefix: None,
+                    status,
+                    t_star: t,
+                });
+                out.push(StatusQuery {
+                    rcc_type: None,
+                    swlin_prefix: Some((4, 1)),
+                    status,
+                    t_star: t,
+                });
+            }
+        }
+        out
+    }
+
+    fn assert_matches_scratch(eng: &StatusQueryEngine<AvlIndex>) {
+        let live = eng.live_rows();
+        let scratch =
+            StatusQueryEngine::<AvlIndex>::from_arena_rows(Arc::clone(eng.arena()), &live);
+        for q in probe_queries() {
+            assert_eq!(eng.execute(&q), scratch.execute(&q), "rows diverge on {q:?}");
+            let a = eng.aggregate(&q);
+            let b = scratch.aggregate(&q);
+            assert_eq!(a.count, b.count, "count diverges on {q:?}");
+            assert_eq!(a.sum_amount.to_bits(), b.sum_amount.to_bits(), "amount bits {q:?}");
+            assert_eq!(a.sum_duration.to_bits(), b.sum_duration.to_bits(), "duration bits {q:?}");
+        }
+    }
+
+    #[test]
+    fn settle_moves_row_between_status_sets() {
+        let (ds, mut eng) = engine();
+        let avail = ds.avails()[0].clone();
+        let rcc = Rcc {
+            id: RccId(9_100_000),
+            avail: avail.id,
+            rcc_type: RccType::NewWork,
+            swlin: "511-22-333".parse().unwrap(),
+            created: avail.actual_start + 1,
+            settled: avail.actual_start + 10,
+            amount: 900.0,
+        };
+        let row = eng
+            .apply_delta(&RccDelta::Insert { rcc, avail: avail.clone() })
+            .expect("insert always applies");
+        let start = eng.arena().start(row);
+        let old_end = eng.arena().end(row);
+        let probe = (start + old_end) / 2.0;
+        assert!(eng.execute(&active_q(probe)).contains(&row));
+        // Push the settlement far out: the row must become active at the
+        // old end and stop being settled there.
+        eng.apply_delta(&RccDelta::Settle {
+            row,
+            settled: avail.actual_start + 400,
+            avail: avail.clone(),
+        })
+        .expect("live row settles");
+        assert!(eng.arena().end(row) > old_end);
+        assert!(eng.execute(&active_q(old_end)).contains(&row));
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn remove_orphans_row_everywhere() {
+        let (_, mut eng) = engine();
+        let row = 5;
+        assert!(eng.is_live(row));
+        let t = eng.arena().start(row);
+        eng.apply_delta(&RccDelta::Remove { row }).expect("live row removes");
+        assert!(!eng.is_live(row));
+        assert!(!eng.execute(&created_q(t + 1.0)).contains(&row));
+        // Idempotence: a second removal is refused, not corrupting.
+        assert_eq!(eng.apply_delta(&RccDelta::Remove { row }), None);
+        assert_matches_scratch(&eng);
+    }
+
+    #[test]
+    fn malformed_deltas_leave_engine_untouched() {
+        let (ds, mut eng) = engine();
+        let before = eng.epoch();
+        let avail = ds.avails()[0].clone();
+        let out_of_bounds = eng.arena().len() as RowId + 7;
+        assert_eq!(eng.apply_delta(&RccDelta::Remove { row: out_of_bounds }), None);
+        assert_eq!(
+            eng.apply_delta(&RccDelta::Settle {
+                row: out_of_bounds,
+                settled: avail.actual_start + 5,
+                avail: avail.clone(),
+            }),
+            None
+        );
+        // Mismatched avail on a live row is refused too.
+        let row = 0;
+        let wrong = ds.avails().iter().find(|a| a.id != eng.arena().avail(row)).unwrap().clone();
+        assert_eq!(
+            eng.apply_delta(&RccDelta::Settle { row, settled: wrong.actual_start + 5, avail: wrong }),
+            None
+        );
+        assert_eq!(eng.epoch(), before, "refused deltas must not bump the epoch");
+        assert_matches_scratch(&eng);
+    }
+
+    fn active_q(t: f64) -> StatusQuery {
+        StatusQuery { rcc_type: None, swlin_prefix: None, status: RccStatus::Active, t_star: t }
+    }
+
+    fn created_q(t: f64) -> StatusQuery {
+        StatusQuery { rcc_type: None, swlin_prefix: None, status: RccStatus::Created, t_star: t }
+    }
+}

@@ -33,11 +33,19 @@
 //! [`incremental`] provides the `StatStructure` delta computation of
 //! Section 4.3, which advances per-group aggregates across the logical
 //! timeline touching only the RCCs whose endpoints fall in each new window.
+//! [`delta`] maintains a built engine against a typed insert/settle/remove
+//! stream in the DurableIndex WAL order — O(log n) per delta, bit-identical
+//! to a from-scratch rebuild over the live rows — and the snapshot cache
+//! invalidates surgically: only the keys a delta's (type, SWLIN, status,
+//! `t*`) footprint can touch are dropped, the rest are re-keyed to the new
+//! epoch (with a counted full-invalidation fallback when a delta cannot be
+//! classified).
 
 #![deny(unsafe_code)]
 pub mod arena;
 pub mod avl;
 pub mod cache;
+pub mod delta;
 pub mod durable;
 pub mod eytzinger;
 pub mod flat_avl;
@@ -54,8 +62,10 @@ pub mod types;
 pub use arena::RccArena;
 pub use avl::{AvlIndex, AvlTree};
 pub use cache::{
-    CacheStats, CachedStatusQueryEngine, LruCache, SnapshotKey, DEFAULT_CACHE_CAPACITY,
+    CacheStats, CachedStatusQueryEngine, Invalidation, LruCache, SnapshotKey,
+    DEFAULT_CACHE_CAPACITY,
 };
+pub use delta::RccDelta;
 pub use durable::{DurableIndex, RecoveryReport, DEFAULT_CHECKPOINT_EVERY};
 pub use eytzinger::EytzingerIndex;
 pub use flat_avl::{FlatAvlIndex, FlatAvlTree};

@@ -93,13 +93,13 @@ impl GroupRows<'_> {
 /// index `I`, and a shared columnar [`RccArena`] for aggregation.
 #[derive(Debug, Clone)]
 pub struct StatusQueryEngine<I> {
-    index: I,
-    type_tree: RccTypeTree,
-    swlin_tree: SwlinTree,
+    pub(crate) index: I,
+    pub(crate) type_tree: RccTypeTree,
+    pub(crate) swlin_tree: SwlinTree,
     /// Columnar RCC storage; `Arc` so feature/bench layers can share it
     /// without cloning columns. Dynamic inserts copy-on-write via
     /// [`Arc::make_mut`].
-    arena: Arc<RccArena>,
+    pub(crate) arena: Arc<RccArena>,
 }
 
 impl<I: LogicalTimeIndex> StatusQueryEngine<I> {
@@ -115,6 +115,21 @@ impl<I: LogicalTimeIndex> StatusQueryEngine<I> {
         let index = I::build(&arena.projected());
         let type_tree = RccTypeTree::build(arena.type_rows());
         let swlin_tree = SwlinTree::build(arena.swlin_rows());
+        StatusQueryEngine { index, type_tree, swlin_tree, arena }
+    }
+
+    /// Builds the engine over the subset `live` (ascending row ids) of an
+    /// existing arena. This is the from-scratch reference for delta
+    /// maintenance (see [`crate::delta`]): removed rows stay in the arena
+    /// as orphans, so a recompute must index only the surviving rows — over
+    /// the *same* arena, in the same ascending-id visit order, so that every
+    /// `f64` aggregation is bit-identical to the maintained engine's.
+    pub fn from_arena_rows(arena: Arc<RccArena>, live: &[RowId]) -> Self {
+        debug_assert!(live.windows(2).all(|w| w[0] < w[1]), "live rows must ascend");
+        let projected: Vec<LogicalRcc> = live.iter().map(|&r| arena.logical(r)).collect();
+        let index = I::build(&projected);
+        let type_tree = RccTypeTree::build(live.iter().map(|&r| (arena.rcc_type(r), r)));
+        let swlin_tree = SwlinTree::build(live.iter().map(|&r| (arena.swlin(r), r)));
         StatusQueryEngine { index, type_tree, swlin_tree, arena }
     }
 
@@ -148,8 +163,27 @@ impl<I: LogicalTimeIndex> StatusQueryEngine<I> {
             RccStatus::Active => self.index.active_at(q.t_star),
             RccStatus::Settled => self.index.settled_by(q.t_star),
             RccStatus::Created => self.index.created_by(q.t_star),
-            RccStatus::NotCreated => self.index.not_created_by(q.t_star),
+            // The index's `not_created_by` complements over a dense
+            // `0..len` universe, which breaks once delta maintenance
+            // removes rows (ids go sparse, see `crate::delta`); complement
+            // against the live rows the group trees hold instead. With no
+            // removals the two are identical.
+            RccStatus::NotCreated => {
+                difference_sorted(&self.live_rows(), &self.index.created_by(q.t_star))
+            }
         }
+    }
+
+    /// Every live row id, ascending: the union of the three type-tree
+    /// partitions (disjoint by construction). Delta removal deletes from
+    /// the group trees, so this — not `0..arena.len()` — is the row
+    /// universe status complements and from-scratch rebuilds must use.
+    pub fn live_rows(&self) -> Vec<RowId> {
+        let merged = crate::traits::merge_disjoint_sorted(
+            self.type_tree.ids_of(RccType::Growth),
+            self.type_tree.ids_of(RccType::NewWork),
+        );
+        crate::traits::merge_disjoint_sorted(&merged, self.type_tree.ids_of(RccType::NewGrowth))
     }
 
     /// Full Algorithm StatusQ: ascending row ids answering the query.
@@ -226,6 +260,21 @@ impl<I: HeapSize> HeapSize for StatusQueryEngine<I> {
             + self.swlin_tree.heap_bytes()
             + self.arena.heap_bytes()
     }
+}
+
+/// Ascending `a \ b` for sorted id lists.
+fn difference_sorted(a: &[RowId], b: &[RowId]) -> Vec<RowId> {
+    let mut out = Vec::with_capacity(a.len().saturating_sub(b.len()));
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
 }
 
 /// Intersection of two ascending id lists.

@@ -47,7 +47,7 @@ pub use loadgen::{
     classify_retry, generate_schedule, LoadGenConfig, RetryDecision, RetryPolicy, TrafficMix,
 };
 pub use protocol::{parse_line, render_response, run_session, SessionStats};
-pub use request::{Alert, Op, Reply, Request, Response};
+pub use request::{Alert, IngestRow, Op, Reply, Request, Response};
 pub use server::{
     announce_recovery, MetricsReport, ServeConfig, ServeCore, SharedModel, Stage, StageHook,
 };

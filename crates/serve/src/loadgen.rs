@@ -23,7 +23,7 @@ use domd_index::StatusQuery;
 use rand::prelude::*;
 
 use crate::clock::Ticks;
-use crate::request::{Op, Request};
+use crate::request::{IngestRow, Op, Request};
 
 /// Relative weights of the operation mix.
 #[derive(Debug, Clone, Copy)]
@@ -145,26 +145,39 @@ pub fn generate_schedule(config: &LoadGenConfig, datasets: &[&Dataset]) -> Vec<(
 }
 
 fn ingest_op(ds: &Dataset, avail: AvailId, rng: &mut SmallRng) -> Op {
-    // domd-lint: allow(no-panic) — generate_schedule indexes avails from the same dataset, so the id resolves
-    let a = ds.avail(avail).expect("avail drawn from this dataset");
-    let offset = rng.gen_range(0..a.planned_duration().max(2));
-    let duration = rng.gen_range(1..30);
-    let packed = rng.gen_range(0..100_000_000u32);
+    // Batches of 1–3 rows: most ingests stay single-row (the pre-batching
+    // regime), with enough multi-row batches to exercise the atomic
+    // batch-publish path under chaos traffic.
+    let n_rows = match rng.gen_range(0..4u32) {
+        0 | 1 => 1,
+        2 => 2,
+        _ => 3,
+    };
     let types = [
         domd_data::RccType::Growth,
         domd_data::RccType::NewWork,
         domd_data::RccType::NewGrowth,
     ];
-    // domd-lint: allow(no-panic) — every u32 below 100_000_000 packs into 8 SWLIN digits
-    let swlin = domd_data::Swlin::from_packed(packed).expect("8-digit packed SWLIN");
-    Op::Ingest {
-        avail,
-        rcc_type: types[rng.gen_range(0..3usize)],
-        swlin,
-        created: a.actual_start + offset,
-        settled: a.actual_start + offset + duration,
-        amount: rng.gen_range(1.0..5_000.0),
-    }
+    let rows = (0..n_rows)
+        .map(|_| {
+            // domd-lint: allow(no-panic) — generate_schedule indexes avails from the same dataset, so the id resolves
+            let a = ds.avail(avail).expect("avail drawn from this dataset");
+            let offset = rng.gen_range(0..a.planned_duration().max(2));
+            let duration = rng.gen_range(1..30);
+            let packed = rng.gen_range(0..100_000_000u32);
+            // domd-lint: allow(no-panic) — every u32 below 100_000_000 packs into 8 SWLIN digits
+            let swlin = domd_data::Swlin::from_packed(packed).expect("8-digit packed SWLIN");
+            IngestRow {
+                avail,
+                rcc_type: types[rng.gen_range(0..3usize)],
+                swlin,
+                created: a.actual_start + offset,
+                settled: a.actual_start + offset + duration,
+                amount: rng.gen_range(1.0..5_000.0),
+            }
+        })
+        .collect();
+    Op::Ingest { rows }
 }
 
 /// What a client should do with a refused or failed request.

@@ -11,8 +11,14 @@
 //! predict tenant=0 avail=12 t=55 budget=300
 //! alert tenant=1 t=80 k=5 min=10
 //! ingest tenant=0 avail=12 type=NW swlin=123-45-678 created=2015-03-04 settled=2015-04-02 amount=1200
+//! ingest tenant=0 row=12:NW:123-45-678:2015-03-04:2015-04-02:1200 row=12:G:00100200:2015-03-05:2015-03-20:90
 //! quit
 //! ```
+//!
+//! `ingest` takes either the legacy discrete-key single-row form or any
+//! number of `row=avail:type:swlin:created:settled:amount` batch rows;
+//! the whole batch applies atomically under one published epoch, so
+//! batching pays the copy-on-write build once per request.
 //!
 //! A malformed line is answered with an `err … kind=config/parse` line —
 //! the session survives; only transport-level failures end it. Every
@@ -29,7 +35,7 @@ use domd_data::AvailId;
 use domd_index::StatusQuery;
 
 use crate::clock::Ticks;
-use crate::request::{Op, Reply, Request, Response};
+use crate::request::{IngestRow, Op, Reply, Request, Response};
 use crate::server::{ServeCore, Stage};
 
 /// Parses one protocol line. Returns `Ok(None)` for blank lines,
@@ -127,29 +133,41 @@ pub fn parse_line(
             min_delay: parse_f64("min")?.unwrap_or(0.0),
         },
         "ingest" => {
-            let need = |key: &str| {
-                get(key).ok_or_else(|| {
-                    DomdError::config(format!("ingest requires {key}=<value>"))
-                })
+            // Batch form: every `row=` pair is one RCC; the legacy
+            // discrete-key form parses as a one-row batch.
+            let specs: Vec<&str> =
+                kv.iter().filter(|(k, _)| *k == "row").map(|(_, v)| *v).collect();
+            let rows = if specs.is_empty() {
+                let need = |key: &str| {
+                    get(key).ok_or_else(|| {
+                        DomdError::config(format!("ingest requires {key}=<value>"))
+                    })
+                };
+                vec![IngestRow {
+                    avail: AvailId(
+                        need("avail")?
+                            .parse::<u32>()
+                            .map_err(|e| DomdError::config(format!("bad avail: {e}")))?,
+                    ),
+                    rcc_type: need("type")?.parse().map_err(DomdError::config)?,
+                    swlin: need("swlin")?.parse().map_err(DomdError::config)?,
+                    created: need("created")?
+                        .parse()
+                        .map_err(|e| DomdError::config(format!("bad created: {e}")))?,
+                    settled: need("settled")?
+                        .parse()
+                        .map_err(|e| DomdError::config(format!("bad settled: {e}")))?,
+                    amount: need("amount")?
+                        .parse::<f64>()
+                        .map_err(|e| DomdError::config(format!("bad amount: {e}")))?,
+                }]
+            } else {
+                specs
+                    .into_iter()
+                    .map(parse_ingest_row)
+                    .collect::<Result<Vec<_>, DomdError>>()?
             };
-            Op::Ingest {
-                avail: AvailId(
-                    need("avail")?
-                        .parse::<u32>()
-                        .map_err(|e| DomdError::config(format!("bad avail: {e}")))?,
-                ),
-                rcc_type: need("type")?.parse().map_err(DomdError::config)?,
-                swlin: need("swlin")?.parse().map_err(DomdError::config)?,
-                created: need("created")?
-                    .parse()
-                    .map_err(|e| DomdError::config(format!("bad created: {e}")))?,
-                settled: need("settled")?
-                    .parse()
-                    .map_err(|e| DomdError::config(format!("bad settled: {e}")))?,
-                amount: need("amount")?
-                    .parse::<f64>()
-                    .map_err(|e| DomdError::config(format!("bad amount: {e}")))?,
-            }
+            Op::Ingest { rows }
         }
         other => {
             return Err(DomdError::config(format!(
@@ -158,6 +176,33 @@ pub fn parse_line(
         }
     };
     Ok(Some(Request { seq, tenant, submitted: now, budget, op }))
+}
+
+/// Parses one `row=` batch spec: `avail:type:swlin:created:settled:amount`
+/// (colon-separated; dates and SWLINs never contain a colon).
+fn parse_ingest_row(spec: &str) -> Result<IngestRow, DomdError> {
+    let fields: Vec<&str> = spec.split(':').collect();
+    let [avail, rcc_type, swlin, created, settled, amount] = fields[..] else {
+        return Err(DomdError::config(format!(
+            "bad ingest row {spec:?}; use avail:type:swlin:created:settled:amount"
+        )));
+    };
+    Ok(IngestRow {
+        avail: AvailId(
+            avail.parse::<u32>().map_err(|e| DomdError::config(format!("bad row avail: {e}")))?,
+        ),
+        rcc_type: rcc_type.parse().map_err(DomdError::config)?,
+        swlin: swlin.parse().map_err(DomdError::config)?,
+        created: created
+            .parse()
+            .map_err(|e| DomdError::config(format!("bad row created: {e}")))?,
+        settled: settled
+            .parse()
+            .map_err(|e| DomdError::config(format!("bad row settled: {e}")))?,
+        amount: amount
+            .parse::<f64>()
+            .map_err(|e| DomdError::config(format!("bad row amount: {e}")))?,
+    })
 }
 
 /// Renders one response line (`ok …` / `err …`).
@@ -201,8 +246,8 @@ pub fn render_response(resp: &Response) -> String {
                         ));
                     }
                 }
-                Reply::Ingested { row, epoch } => {
-                    out.push_str(&format!(" op=ingest row={row} new_epoch={epoch}"));
+                Reply::Ingested { row, rows, epoch } => {
+                    out.push_str(&format!(" op=ingest row={row} rows={rows} new_epoch={epoch}"));
                 }
             }
         }
@@ -340,6 +385,8 @@ mod tests {
         .unwrap()
         .unwrap();
         assert!(r.op.is_mutation());
+        let Op::Ingest { rows } = &r.op else { panic!("expected ingest") };
+        assert_eq!(rows.len(), 1, "legacy discrete-key form is a one-row batch");
 
         assert!(parse_line("quit", 5, 0, 100).unwrap().is_none());
         assert!(parse_line("", 5, 0, 100).unwrap().is_none());
@@ -349,6 +396,33 @@ mod tests {
         assert!(parse_line("status t=55 status=bogus", 5, 0, 100).is_err());
         assert!(parse_line("predict t=55", 5, 0, 100).is_err());
         assert!(parse_line("status t=55 stray-token", 5, 0, 100).is_err());
+    }
+
+    #[test]
+    fn ingest_batch_form_parses_each_row() {
+        let r = parse_line(
+            "ingest tenant=1 row=3:NW:123-45-678:2015-01-02:2015-02-01:10 \
+             row=4:G:00100200:2015-01-05:2015-01-20:90.5",
+            7, 0, 100,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(r.tenant, 1);
+        let Op::Ingest { rows } = &r.op else { panic!("expected ingest") };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].avail.0, 3);
+        assert_eq!(rows[1].avail.0, 4);
+        assert_eq!(rows[1].amount, 90.5);
+
+        // Malformed batch rows are refused as config errors.
+        assert!(parse_line("ingest row=3:NW:123-45-678:2015-01-02", 8, 0, 100).is_err());
+        assert!(parse_line(
+            "ingest row=x:NW:123-45-678:2015-01-02:2015-02-01:10",
+            8,
+            0,
+            100
+        )
+        .is_err());
     }
 
     #[test]
@@ -364,7 +438,7 @@ mod tests {
         let ok = Response {
             seq: 9,
             tenant: 1,
-            outcome: Ok(Reply::Ingested { row: 4, epoch: 2 }),
+            outcome: Ok(Reply::Ingested { row: 4, rows: 1, epoch: 2 }),
             epoch: Some(2),
             queued: 1,
             service: 3,

@@ -36,21 +36,31 @@ pub enum Op {
         /// Only avails whose estimated delay is at least this many days.
         min_delay: f64,
     },
-    /// Ingest one new RCC into the tenant's next epoch.
+    /// Ingest a batch of new RCCs into the tenant's next epoch. The whole
+    /// batch is applied atomically: one copy-on-write build, one durable
+    /// WAL pass, one published epoch — so batching amortizes the entire
+    /// ingest-to-queryable cost across the rows.
     Ingest {
-        /// The avail the RCC belongs to.
-        avail: AvailId,
-        /// RCC category.
-        rcc_type: RccType,
-        /// Ship-work breakdown code.
-        swlin: Swlin,
-        /// Physical creation date.
-        created: Date,
-        /// Physical settlement date.
-        settled: Date,
-        /// Settled amount in man-days.
-        amount: f64,
+        /// The rows to apply (at least one).
+        rows: Vec<IngestRow>,
     },
+}
+
+/// One RCC in an ingest batch.
+#[derive(Debug, Clone)]
+pub struct IngestRow {
+    /// The avail the RCC belongs to.
+    pub avail: AvailId,
+    /// RCC category.
+    pub rcc_type: RccType,
+    /// Ship-work breakdown code.
+    pub swlin: Swlin,
+    /// Physical creation date.
+    pub created: Date,
+    /// Physical settlement date.
+    pub settled: Date,
+    /// Settled amount in man-days.
+    pub amount: f64,
 }
 
 impl Op {
@@ -67,6 +77,18 @@ impl Op {
     /// True for operations that build a new epoch.
     pub fn is_mutation(&self) -> bool {
         matches!(self, Op::Ingest { .. })
+    }
+
+    /// A single-row ingest batch (the pre-batching request shape).
+    pub fn ingest_one(
+        avail: AvailId,
+        rcc_type: RccType,
+        swlin: Swlin,
+        created: Date,
+        settled: Date,
+        amount: f64,
+    ) -> Op {
+        Op::Ingest { rows: vec![IngestRow { avail, rcc_type, swlin, created, settled, amount }] }
     }
 }
 
@@ -125,11 +147,14 @@ pub enum Reply {
     },
     /// Risk-ranked alerts, highest estimated delay first.
     Alerts(Vec<Alert>),
-    /// The ingest was applied and published.
+    /// The ingest batch was applied and published.
     Ingested {
-        /// Dense row id in the tenant's arena.
+        /// Dense row id of the batch's first row in the tenant's arena
+        /// (subsequent rows occupy the following ids).
         row: u32,
-        /// The snapshot epoch that now contains the row.
+        /// Rows applied by the batch.
+        rows: u32,
+        /// The snapshot epoch that now contains the whole batch.
         epoch: u64,
     },
 }

@@ -36,7 +36,7 @@ use domd_runtime::{BoundedQueue, Cancelled};
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, Route};
 use crate::clock::{Clock, Ticks};
-use crate::request::{Alert, Op, Reply, Request, Response};
+use crate::request::{Alert, IngestRow, Op, Reply, Request, Response};
 use crate::state::TenantSnapshot;
 
 /// The immutable model artifacts every tenant serves with.
@@ -107,6 +107,9 @@ pub struct ServeMetrics {
     failed: AtomicU64,
     degraded_served: AtomicU64,
     epochs_published: AtomicU64,
+    rows_ingested: AtomicU64,
+    cache_surgical: AtomicU64,
+    cache_full: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeMetrics`] plus breaker totals.
@@ -129,6 +132,15 @@ pub struct MetricsReport {
     pub degraded_served: u64,
     /// Epochs published by ingest.
     pub epochs_published: u64,
+    /// RCC rows applied by ingest batches (≥ `epochs_published`; the
+    /// ratio is the measured batching factor).
+    pub rows_ingested: u64,
+    /// Feature-cache invalidations classified surgically (only the
+    /// batch's avails dropped; everything else stayed warm).
+    pub cache_invalidations_surgical: u64,
+    /// Feature-cache invalidations that fell back to wholesale dropping
+    /// (unclassifiable delta or contended cache — never silently stale).
+    pub cache_invalidations_full: u64,
     /// Circuit-breaker trips across tenants.
     pub breaker_trips: u64,
     /// Probe-driven recoveries across tenants.
@@ -307,6 +319,9 @@ impl ServeCore {
             failed: m.failed.load(Ordering::Relaxed),
             degraded_served: m.degraded_served.load(Ordering::Relaxed),
             epochs_published: m.epochs_published.load(Ordering::Relaxed),
+            rows_ingested: m.rows_ingested.load(Ordering::Relaxed),
+            cache_invalidations_surgical: m.cache_surgical.load(Ordering::Relaxed),
+            cache_invalidations_full: m.cache_full.load(Ordering::Relaxed),
             breaker_trips: trips,
             breaker_recoveries: recoveries,
         }
@@ -715,53 +730,107 @@ impl ServeCore {
         tenant: &Tenant,
         pinned: &Pinned<TenantSnapshot>,
     ) -> Result<Reply, DomdError> {
-        let &Op::Ingest { avail, rcc_type, swlin, created, settled, amount } = &req.op else {
+        let Op::Ingest { rows } = &req.op else {
             return Err(DomdError::config("handle_ingest on a non-ingest op"));
         };
+        if rows.is_empty() {
+            return Err(DomdError::config("ingest batch is empty"));
+        }
         self.deadline_check(req, "ingest validate")?;
-        // Validate on the pinned epoch first: a bad request must not cost
-        // a copy-on-write epoch build (nor bump the epoch counter).
-        pinned.validate_ingest(avail, created, settled, amount)?;
+        // Validate the whole batch on the pinned epoch first: a bad
+        // request must not cost a copy-on-write epoch build (nor bump the
+        // epoch counter), and a batch is all-or-nothing.
+        for r in rows {
+            pinned.validate_ingest(r.avail, r.created, r.settled, r.amount)?;
+        }
         self.deadline_check(req, "ingest apply")?;
-        let (epoch, applied) = tenant.store.update(|snap| -> Result<u32, DomdError> {
-            // WAL-before-apply: the row's logical projection reaches the
+        let (epoch, applied) = tenant.store.update(|snap| -> Result<Vec<RowId>, DomdError> {
+            // WAL-before-apply: every row's logical projection reaches the
             // durable store before any published snapshot contains it.
             if let Some(durable) = &tenant.durable {
                 // domd-lint: allow(no-panic) — a poisoned durable lock means a worker already panicked; propagating is the only sound exit
                 let mut d = durable.lock().expect("durable store lock");
-                let projected =
-                    snap.project_next(d.next_id, avail, created, settled).ok_or_else(|| {
-                        DomdError::config(format!("ingest references unknown avail {avail}"))
+                for r in rows {
+                    let projected = snap
+                        .project_next(d.next_id, r.avail, r.created, r.settled)
+                        .ok_or_else(|| {
+                            DomdError::config(format!(
+                                "ingest references unknown avail {}",
+                                r.avail
+                            ))
+                        })?;
+                    // Bound-check the allocator before touching the WAL, so
+                    // a row is never logged and then failed.
+                    let bumped = d.next_id.checked_add(1).ok_or_else(|| {
+                        DomdError::config("durable row id space exhausted".to_string())
                     })?;
-                // Bound-check the allocator before touching the WAL, so a
-                // row is never logged and then failed.
-                let bumped = d.next_id.checked_add(1).ok_or_else(|| {
-                    DomdError::config("durable row id space exhausted".to_string())
-                })?;
-                // A no-op insert means the store already holds this id:
-                // the allocator and the store disagree, and acking the
-                // request would break WAL-before-apply (the row would be
-                // served but never logged). Refuse loudly instead.
-                if !d.index.insert(&projected)? {
-                    return Err(DomdError::Corrupt {
-                        context: d.index.store_dir().display().to_string(),
-                        offset: None,
-                        message: format!(
-                            "durable row id {} is already live; refusing to ack an ingest \
-                             whose WAL append would be a no-op",
-                            projected.id
-                        ),
-                    });
+                    // A no-op insert means the store already holds this id:
+                    // the allocator and the store disagree, and acking the
+                    // request would break WAL-before-apply (the row would
+                    // be served but never logged). Refuse loudly instead —
+                    // rows already logged for this batch stay in the WAL
+                    // unserved (WAL ⊇ served is preserved; nothing is
+                    // acked).
+                    if !d.index.insert(&projected)? {
+                        return Err(DomdError::Corrupt {
+                            context: d.index.store_dir().display().to_string(),
+                            offset: None,
+                            message: format!(
+                                "durable row id {} is already live; refusing to ack an ingest \
+                                 whose WAL append would be a no-op",
+                                projected.id
+                            ),
+                        });
+                    }
+                    d.next_id = bumped;
                 }
-                d.next_id = bumped;
             }
-            snap.ingest(avail, rcc_type, swlin, created, settled, amount)
+            snap.ingest_batch(rows)
         });
         // On failure the epoch advanced over an unchanged clone (the
         // closure bailed before mutating); readers see identical state.
-        let row = applied?;
+        let applied = applied?;
         self.metrics.epochs_published.fetch_add(1, Ordering::Relaxed);
-        Ok(Reply::Ingested { row, epoch })
+        self.metrics.rows_ingested.fetch_add(applied.len() as u64, Ordering::Relaxed);
+        self.maintain_feature_cache(tenant, epoch, rows);
+        // domd-lint: allow(no-panic) — the batch was refused above when empty
+        let row = *applied.first().expect("non-empty batch applies rows");
+        Ok(Reply::Ingested { row, rows: applied.len() as u32, epoch })
+    }
+
+    /// Delta-aware feature-cache maintenance after publishing `epoch`:
+    /// an RCC delta changes only its own avail's feature rows, so when
+    /// the cache's entries were computed against the immediately
+    /// preceding epoch, only the batch's avails are dropped and every
+    /// other entry stays warm into the new epoch. Anything else — the
+    /// cache bound to an older epoch, or its lock contended — falls back
+    /// to wholesale invalidation (counted, never silently stale; a
+    /// contended lock defers it to the next predict's epoch check).
+    fn maintain_feature_cache(&self, tenant: &Tenant, epoch: u64, rows: &[IngestRow]) {
+        match tenant.cache.try_lock() {
+            Ok(mut cache) => {
+                let prev = tenant.cache_epoch.swap(epoch, Ordering::AcqRel);
+                if prev == epoch {
+                    // Already rebound to this epoch (a predict raced the
+                    // publish); its entries already reflect the batch.
+                } else if prev.saturating_add(1) == epoch {
+                    let avails: Vec<domd_data::AvailId> =
+                        rows.iter().map(|r| r.avail).collect();
+                    cache.invalidate_avails(&avails);
+                    self.metrics.cache_surgical.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // Unclassifiable: entries are more than one delta
+                    // behind this publish.
+                    cache.invalidate();
+                    self.metrics.cache_full.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                // Contended: the next predict's epoch check invalidates
+                // wholesale before any entry is reused.
+                self.metrics.cache_full.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Pushes `requests` through the full admission/queue/worker loop and

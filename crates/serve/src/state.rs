@@ -10,17 +10,23 @@
 //!
 //! Ingest is copy-on-write (`Dataset` clone + `StatusQueryEngine` clone
 //! with `Arc::make_mut` arena sharing), so building epoch `e + 1` never
-//! perturbs readers pinned on `e`. The rebuild cost is linear in the
-//! tenant's data; true delta maintenance of the feature path is a
-//! roadmap item, and the serving layer is deliberately agnostic to it —
-//! only `ingest` would change.
+//! perturbs readers pinned on `e`. Epoch `e + 1` is delta-maintained,
+//! not rebuilt: the batch becomes a [`domd_index::RccDelta`] stream
+//! applied through the engine's incremental path (each insert touches
+//! only its SWLIN/type root-to-leaf paths), and the dataset view is a
+//! sorted merge ([`Dataset::with_rccs_merged`], `O(n + k)`) instead of
+//! `Dataset::new`'s full re-sort — both bit-identical to a from-scratch
+//! rebuild, which the `delta_equivalence` and `snapshot_isolation`
+//! suites re-check after every batch.
 
 use std::sync::Arc;
 
 use domd_core::DomdError;
 use domd_data::rcc::{Rcc, RccId, RccType, Swlin};
 use domd_data::{logical_time, AvailId, Dataset, Date};
-use domd_index::{FlatAvlIndex, LogicalRcc, RccArena, RowId, StatusQueryEngine};
+use domd_index::{FlatAvlIndex, LogicalRcc, RccArena, RccDelta, RowId, StatusQueryEngine};
+
+use crate::request::IngestRow;
 
 /// One immutable epoch of a tenant's serving state.
 #[derive(Debug, Clone)]
@@ -93,8 +99,8 @@ impl TenantSnapshot {
         })
     }
 
-    /// Applies one ingest to this (cloned) snapshot: appends the RCC to
-    /// the arena/index and rebuilds the dataset view. Call only after
+    /// Applies one ingest to this (cloned) snapshot — a one-row batch
+    /// through [`Self::ingest_batch`]. Call only after
     /// [`Self::validate_ingest`] accepted the same fields.
     pub fn ingest(
         &mut self,
@@ -105,30 +111,55 @@ impl TenantSnapshot {
         settled: Date,
         amount: f64,
     ) -> Result<RowId, DomdError> {
-        let a = self
-            .dataset
-            .avail(avail)
-            .ok_or_else(|| DomdError::config(format!("ingest references unknown avail {avail}")))?
-            .clone();
-        let rcc = Rcc {
-            id: RccId(self.next_rcc),
-            avail,
-            rcc_type,
-            swlin,
-            created,
-            settled,
-            amount,
-        };
-        self.next_rcc += 1;
-        let row = self.engine.insert(&rcc, &a);
-        // Rebuild the dataset view so the feature path sees the new row.
-        // `Dataset::new` re-sorts; the arena keeps its own dense order, and
-        // nothing cross-references the two by position after construction.
-        let avails = self.dataset.avails().to_vec();
-        let mut rccs = self.dataset.rccs().to_vec();
-        rccs.push(rcc);
-        self.dataset = Arc::new(Dataset::new(avails, rccs));
-        Ok(row)
+        let rows = [IngestRow { avail, rcc_type, swlin, created, settled, amount }];
+        let applied = self.ingest_batch(&rows)?;
+        // domd-lint: allow(no-panic) — a one-row batch that returned Ok applied exactly one row
+        Ok(*applied.first().expect("one-row batch applies one row"))
+    }
+
+    /// Applies a whole ingest batch to this (cloned) snapshot via the
+    /// incremental delta path: every row becomes an
+    /// [`RccDelta::Insert`] applied through the engine (touching only its
+    /// SWLIN/type root-to-leaf paths), and the dataset view is delta-merged
+    /// in one `O(n + k)` pass instead of rebuilt — bit-identical to a
+    /// from-scratch rebuild either way. Returns the arena row ids in batch
+    /// order. Nothing is mutated unless every row's avail resolves.
+    pub fn ingest_batch(&mut self, rows: &[IngestRow]) -> Result<Vec<RowId>, DomdError> {
+        // Resolve every avail before touching any state, so a refused
+        // batch leaves the snapshot byte-identical (the serve layer
+        // publishes the clone even on refusal).
+        let mut avails = Vec::with_capacity(rows.len());
+        for r in rows {
+            let a = self.dataset.avail(r.avail).ok_or_else(|| {
+                DomdError::config(format!("ingest references unknown avail {}", r.avail))
+            })?;
+            avails.push(a.clone());
+        }
+        let mut fresh = Vec::with_capacity(rows.len());
+        let mut deltas = Vec::with_capacity(rows.len());
+        for (r, a) in rows.iter().zip(avails) {
+            let rcc = Rcc {
+                id: RccId(self.next_rcc),
+                avail: r.avail,
+                rcc_type: r.rcc_type,
+                swlin: r.swlin,
+                created: r.created,
+                settled: r.settled,
+                amount: r.amount,
+            };
+            self.next_rcc += 1;
+            fresh.push(rcc.clone());
+            deltas.push(RccDelta::Insert { rcc, avail: a });
+        }
+        let applied = self.engine.apply_deltas(&deltas);
+        debug_assert_eq!(applied.len(), rows.len(), "inserts always apply");
+        // Delta-maintain the dataset view: merge the batch into the
+        // already-sorted RCC vector. The merge yields exactly the order
+        // `Dataset::new` would produce, so the feature path's bits are
+        // unchanged; the arena keeps its own dense order, and nothing
+        // cross-references the two by position after construction.
+        self.dataset = Arc::new(self.dataset.with_rccs_merged(fresh));
+        Ok(applied)
     }
 }
 
@@ -180,6 +211,94 @@ mod tests {
         assert_eq!(e.kind(), "config");
         let e = s.validate_ingest(a.id, a.actual_start, a.actual_start + 1, f64::NAN).unwrap_err();
         assert_eq!(e.kind(), "non-finite");
+    }
+
+    #[test]
+    fn batch_ingest_matches_sequential_single_rows() {
+        let mut batched = snapshot();
+        let mut sequential = snapshot();
+        let a = batched.dataset.avails()[0].clone();
+        let b = batched.dataset.avails()[2].clone();
+        let swlin: Swlin = "123-45-678".parse().unwrap();
+        let rows = [
+            IngestRow {
+                avail: a.id,
+                rcc_type: RccType::Growth,
+                swlin,
+                created: a.actual_start + 2,
+                settled: a.actual_start + 8,
+                amount: 10.0,
+            },
+            IngestRow {
+                avail: b.id,
+                rcc_type: RccType::NewWork,
+                swlin,
+                created: b.actual_start + 1,
+                settled: b.actual_start + 4,
+                amount: 20.0,
+            },
+            IngestRow {
+                avail: a.id,
+                rcc_type: RccType::NewGrowth,
+                swlin,
+                created: a.actual_start,
+                settled: a.actual_start + 3,
+                amount: 30.0,
+            },
+        ];
+        let ids = batched.ingest_batch(&rows).unwrap();
+        let seq_ids: Vec<RowId> = rows
+            .iter()
+            .map(|r| {
+                sequential
+                    .ingest(r.avail, r.rcc_type, r.swlin, r.created, r.settled, r.amount)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(ids, seq_ids, "batch row ids equal sequential row ids");
+        assert_eq!(batched.dataset.rccs().len(), sequential.dataset.rccs().len());
+        for (x, y) in batched.dataset.rccs().iter().zip(sequential.dataset.rccs()) {
+            assert_eq!(x.id, y.id, "dataset orders must coincide");
+            assert_eq!(x.amount.to_bits(), y.amount.to_bits());
+        }
+        for status in [RccStatus::Active, RccStatus::Settled, RccStatus::Created] {
+            let q = StatusQuery { rcc_type: None, swlin_prefix: None, status, t_star: 50.0 };
+            let (x, y) = (batched.engine.aggregate(&q), sequential.engine.aggregate(&q));
+            assert_eq!(x.count, y.count);
+            assert_eq!(x.sum_amount.to_bits(), y.sum_amount.to_bits());
+            assert_eq!(x.sum_duration.to_bits(), y.sum_duration.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_with_unknown_avail_applies_nothing() {
+        let mut s = snapshot();
+        let a = s.dataset.avails()[0].clone();
+        let rows_before = s.engine.arena().len();
+        let rccs_before = s.dataset.rccs().len();
+        let swlin: Swlin = "123-45-678".parse().unwrap();
+        let rows = [
+            IngestRow {
+                avail: a.id,
+                rcc_type: RccType::Growth,
+                swlin,
+                created: a.actual_start,
+                settled: a.actual_start + 2,
+                amount: 5.0,
+            },
+            IngestRow {
+                avail: AvailId(9_999),
+                rcc_type: RccType::Growth,
+                swlin,
+                created: a.actual_start,
+                settled: a.actual_start + 2,
+                amount: 5.0,
+            },
+        ];
+        let err = s.ingest_batch(&rows).unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert_eq!(s.engine.arena().len(), rows_before, "refused batch must not apply rows");
+        assert_eq!(s.dataset.rccs().len(), rccs_before);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! races, and storage faults during startup recovery.
 //!
 //! Scenario count: 160 general serve-loop storms + 40 swap-heavy
-//! mid-request mutation runs + 48 corrupted-startup recoveries = 248
-//! seeded scenarios, past the 200 the robustness bar asks for.
+//! mid-request mutation runs + 16 batched-ingest storms + 48
+//! corrupted-startup recoveries = 264 seeded scenarios, past the 200 the
+//! robustness bar asks for.
 //!
 //! Every scenario asserts the four serving invariants:
 //!
@@ -282,10 +283,121 @@ fn run_swap_scenario(seed: u64) {
     }
 }
 
+/// One batched-ingest chaos scenario: ingest-heavy seeded traffic whose
+/// batches carry 1–3 rows each (the loadgen mix), racing slow-handler
+/// clock advances, with a durable store attached so WAL-before-apply
+/// covers whole batches. On top of the four serving invariants, batch
+/// accounting must hold: every ack covers its whole batch, each acked
+/// batch published exactly one (dense) epoch, `rows_ingested` equals the
+/// sum of acked batch sizes, and every acked row reached the WAL.
+fn run_batched_ingest_scenario(seed: u64) {
+    let scenario = format!("batched-ingest seed {seed}");
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x0B47_C4ED));
+    let workers = rng.gen_range(1..5usize);
+    let capacity = rng.gen_range(4..16usize);
+    let advance_pinned = rng.gen_range(0..10u64);
+
+    let ds = base_dataset();
+    let traffic = generate_schedule(
+        &LoadGenConfig {
+            seed: seed ^ 0xBA7C,
+            tenants: 1,
+            requests: 24,
+            budget: 5_000,
+            mix: domd_serve::TrafficMix { status: 10, predict: 10, alert: 0, ingest: 80 },
+            ..LoadGenConfig::default()
+        },
+        &[&ds],
+    );
+    let requests: Vec<Request> = traffic.into_iter().map(|(_, r)| r).collect();
+    assert!(
+        requests
+            .iter()
+            .any(|r| matches!(&r.op, Op::Ingest { rows } if rows.len() > 1)),
+        "{scenario}: traffic must carry multi-row batches"
+    );
+
+    let clock = ManualClock::new();
+    let hook = {
+        let clock = Arc::clone(&clock);
+        Arc::new(move |stage: Stage, _req: &Request| {
+            if stage == Stage::Pinned {
+                clock.advance(advance_pinned);
+            }
+        })
+    };
+    let dir = chaos_dir(&format!("batch{seed}"));
+    let projected = project_dataset(&ds);
+    let di: DurableIndex<FlatAvlIndex> =
+        DurableIndex::create(&dir, &projected).expect("create store");
+    let rows_before = di.len();
+    let core = ServeCore::new(
+        ServeConfig {
+            workers,
+            queue_capacity: capacity,
+            default_budget: 5_000,
+            ..ServeConfig::default()
+        },
+        clock,
+        model(),
+        vec![TenantSnapshot::from_dataset(ds.clone())],
+    )
+    .with_durable(0, di)
+    .expect("tenant 0 exists")
+    .with_hook(hook);
+
+    let responses = assert_no_panic(&scenario, || core.run_batch(&requests));
+    assert_serve_invariants(&scenario, &core, &requests, &responses);
+
+    let (mut acked_batches, mut acked_rows) = (0u64, 0u64);
+    for resp in &responses {
+        if let Ok(domd_serve::Reply::Ingested { rows, .. }) = &resp.outcome {
+            acked_batches += 1;
+            acked_rows += u64::from(*rows);
+            let Op::Ingest { rows: sent } = &requests[resp.seq as usize].op else {
+                panic!("{scenario}: ingest ack for a non-ingest request");
+            };
+            assert_eq!(
+                *rows as usize,
+                sent.len(),
+                "{scenario}: seq {} ack must cover the whole batch",
+                resp.seq
+            );
+        }
+    }
+    let m = core.metrics();
+    assert_eq!(m.epochs_published, acked_batches, "{scenario}: one epoch per acked batch");
+    assert_eq!(m.rows_ingested, acked_rows, "{scenario}: rows_ingested counts acked rows");
+    assert!(
+        m.cache_invalidations_surgical + m.cache_invalidations_full <= acked_batches,
+        "{scenario}: at most one cache invalidation per acked batch: {m:?}"
+    );
+    // The traffic is valid by construction, so the store's epoch counter
+    // equals the acked batches: batch publication keeps epochs dense.
+    assert_eq!(
+        core.tenant_store(0).map(|s| s.epoch()),
+        Some(acked_batches),
+        "{scenario}: batched publication must keep epochs dense"
+    );
+    assert_eq!(
+        core.durable_rows(0),
+        Some(rows_before + acked_rows as usize),
+        "{scenario}: every acked row must reach the WAL"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn serve_storms_hold_invariants_under_slow_handlers_and_tight_queues() {
     for seed in 0..160u64 {
         run_general_scenario(seed);
+    }
+}
+
+#[test]
+fn batched_ingest_storms_hold_batch_accounting_and_invariants() {
+    for seed in 0..16u64 {
+        run_batched_ingest_scenario(seed);
     }
 }
 
@@ -373,14 +485,14 @@ fn epoch_swaps_republish_compiled_forests_and_cached_matches_uncached() {
     let ingest = core.execute(core.stamp(
         1,
         0,
-        Op::Ingest {
-            avail: a0.id,
-            rcc_type: RccType::Growth,
+        Op::ingest_one(
+            a0.id,
+            RccType::Growth,
             swlin,
-            created: a0.actual_start + 1,
-            settled: a0.actual_start + 5,
-            amount: 31.0,
-        },
+            a0.actual_start + 1,
+            a0.actual_start + 5,
+            31.0,
+        ),
     ));
     match &ingest.outcome {
         Ok(domd_serve::Reply::Ingested { epoch, .. }) => {
@@ -480,15 +592,15 @@ fn startup_recovery_over_damaged_stores_never_panics_and_serves() {
                             if i % 2 == 0 {
                                 Op::Predict { avail: a0.id, t_star: 30.0 }
                             } else {
-                                Op::Ingest {
-                                    avail: a0.id,
-                                    rcc_type: RccType::NewWork,
-                                    swlin: Swlin::from_packed(777 + seed as u32)
+                                Op::ingest_one(
+                                    a0.id,
+                                    RccType::NewWork,
+                                    Swlin::from_packed(777 + seed as u32)
                                         .expect("valid packed swlin"),
-                                    created: a0.actual_start + 2,
-                                    settled: a0.actual_start + 9,
-                                    amount: 12.5,
-                                }
+                                    a0.actual_start + 2,
+                                    a0.actual_start + 9,
+                                    12.5,
+                                )
                             },
                         )
                     })

@@ -65,14 +65,14 @@ fn core_for(ds: &Dataset, tenants: usize) -> ServeCore {
 
 fn ingest_op(ds: &Dataset, salt: u32) -> Op {
     let a = &ds.avails()[0];
-    Op::Ingest {
-        avail: a.id,
-        rcc_type: RccType::NewWork,
-        swlin: Swlin::from_packed(1_000 + salt).expect("valid packed swlin"),
-        created: a.actual_start + 2,
-        settled: a.actual_start + 9,
-        amount: 12.5,
-    }
+    Op::ingest_one(
+        a.id,
+        RccType::NewWork,
+        Swlin::from_packed(1_000 + salt).expect("valid packed swlin"),
+        a.actual_start + 2,
+        a.actual_start + 9,
+        12.5,
+    )
 }
 
 /// Runs `n` ingests through `serve_one` on tenant `t`, asserting each is

@@ -17,8 +17,8 @@ use domd_data::{generate, Dataset, GeneratorConfig};
 use domd_features::FeatureEngine;
 use domd_index::StatusQuery;
 use domd_serve::{
-    ManualClock, Op, Reply, Request, Response, ServeConfig, ServeCore, SharedModel, Stage,
-    TenantSnapshot,
+    IngestRow, ManualClock, Op, Reply, Request, Response, ServeConfig, ServeCore, SharedModel,
+    Stage, TenantSnapshot,
 };
 
 fn base_dataset() -> Dataset {
@@ -42,8 +42,10 @@ fn model() -> SharedModel {
     SharedModel { pipeline, features: FeatureEngine::default() }
 }
 
-/// A deterministic read/ingest mix: every third request mutates, the
-/// rest split between Status Queries and predictions.
+/// A deterministic read/ingest mix: every third request mutates (with
+/// alternating one- and two-row batches, so batched publication is under
+/// the bit-identity contract too), the rest split between Status Queries
+/// and predictions.
 fn mixed_requests(ds: &Dataset, n: usize) -> Vec<Request> {
     let avails = ds.avails();
     let statuses =
@@ -59,14 +61,22 @@ fn mixed_requests(ds: &Dataset, n: usize) -> Vec<Request> {
                     t_star: 10.0 + (i as f64) * 3.0,
                 }),
                 1 => Op::Predict { avail: a.id, t_star: 15.0 + (i as f64) * 2.0 },
-                _ => Op::Ingest {
-                    avail: a.id,
-                    rcc_type: [RccType::Growth, RccType::NewWork, RccType::NewGrowth][i % 3],
-                    swlin: Swlin::from_packed((i as u32 * 1_037) % 100_000_000).unwrap(),
-                    created: a.actual_start + (i as i32 % 5),
-                    settled: a.actual_start + (i as i32 % 5) + 3 + (i as i32 % 7),
-                    amount: 100.0 + i as f64,
-                },
+                _ => {
+                    let row = |j: usize| IngestRow {
+                        avail: avails[(i + j) % avails.len()].id,
+                        rcc_type: [RccType::Growth, RccType::NewWork, RccType::NewGrowth]
+                            [(i + j) % 3],
+                        swlin: Swlin::from_packed(((i + 13 * j) as u32 * 1_037) % 100_000_000)
+                            .unwrap(),
+                        created: avails[(i + j) % avails.len()].actual_start + (i as i32 % 5),
+                        settled: avails[(i + j) % avails.len()].actual_start
+                            + (i as i32 % 5)
+                            + 3
+                            + (i as i32 % 7),
+                        amount: 100.0 + (i + 17 * j) as f64,
+                    };
+                    Op::Ingest { rows: (0..1 + (i / 3) % 2).map(row).collect() }
+                }
             };
             Request { seq: i as u64, tenant: 0, submitted: 0, budget: u64::MAX / 2, op }
         })
@@ -81,11 +91,15 @@ fn snapshot_at(base: &Dataset, applied: &[(u64, Op)], epoch: u64) -> TenantSnaps
     let mut upto: Vec<&(u64, Op)> = applied.iter().filter(|(e, _)| *e <= epoch).collect();
     upto.sort_by_key(|(e, _)| *e);
     for (_, op) in upto {
-        let Op::Ingest { avail, rcc_type, swlin, created, settled, amount } = op else {
+        let Op::Ingest { rows } = op else {
             panic!("replay log holds a non-ingest op");
         };
-        s.ingest(*avail, *rcc_type, *swlin, *created, *settled, *amount)
-            .expect("replayed ingest was valid when served");
+        // Replay row-by-row through the single-row path: the batch path
+        // must be bit-identical to it (that's the equivalence under test).
+        for r in rows {
+            s.ingest(r.avail, r.rcc_type, r.swlin, r.created, r.settled, r.amount)
+                .expect("replayed ingest was valid when served");
+        }
     }
     s
 }
@@ -339,14 +353,14 @@ fn cached_and_uncached_predictions_are_bit_identical_across_epochs() {
         }
         // Publish a new epoch directly through the store; the next round's
         // cached reads must invalidate and re-agree with the recompute.
-        let op = Op::Ingest {
-            avail: a.id,
-            rcc_type: RccType::NewWork,
+        let op = Op::ingest_one(
+            a.id,
+            RccType::NewWork,
             swlin,
-            created: a.actual_start + 2,
-            settled: a.actual_start + 6,
-            amount: 77.0 + round as f64,
-        };
+            a.actual_start + 2,
+            a.actual_start + 6,
+            77.0 + round as f64,
+        );
         let (epoch, _) = store.update(|snap| {
             snap.ingest(a.id, RccType::NewWork, swlin, a.actual_start + 2, a.actual_start + 6, 77.0 + round as f64)
                 .expect("direct ingest is valid")

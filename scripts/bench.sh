@@ -21,12 +21,20 @@
 #   SUITE=wal MUTATIONS=50000 scripts/bench.sh    # PR-4 suite only
 #   SUITE=serve LOADS=1,10 scripts/bench.sh       # serving suite only
 #   SUITE=gbt TREES=600 scripts/bench.sh          # flat-kernel suite only
+#   SUITE=ingest BATCHES=6 scripts/bench.sh       # delta-ingest suite only
+#
+# The ingest suite benches the delta-maintained ingest path (typed RccDelta
+# stream + sorted dataset merge + per-avail tensor patch) against the full
+# re-sweep it replaced (re-sort, engine rebuild, full tensor regeneration)
+# into BENCH_ingest.json, bit-identity-gated on both the Status Query
+# aggregates and the patched tensor, warning if the delta path misses its
+# 10x ingest-to-queryable acceptance target at the largest scale.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREADS="${THREADS:-0}"        # 0 = auto-detect
 RUNS="${RUNS:-3}"
-SUITE="${SUITE:-all}"          # all | parallel | layout | wal | serve | gbt
+SUITE="${SUITE:-all}"          # all | parallel | layout | wal | serve | gbt | ingest
 
 if [ "$SUITE" = "all" ] || [ "$SUITE" = "parallel" ]; then
   SCALES_PAR="${SCALES:-1,4}"
@@ -86,4 +94,19 @@ if [ "$SUITE" = "all" ] || [ "$SUITE" = "gbt" ]; then
     --trees "$TREES" --depth "$DEPTH" --train-rows "$TRAIN_ROWS" \
     --out "$OUT_GBT"
   echo "flat-forest kernel bench results written to $OUT_GBT"
+fi
+
+if [ "$SUITE" = "all" ] || [ "$SUITE" = "ingest" ]; then
+  SCALES_INGEST="${SCALES:-1,2,4}"
+  BATCHES="${BATCHES:-6}"
+  BATCH_ROWS="${BATCH_ROWS:-8}"
+  OUT_INGEST="${OUT_INGEST:-BENCH_ingest.json}"
+  cargo build --release -p domd-bench --bin bench_ingest
+  ARGS=(--scales "$SCALES_INGEST" --batches "$BATCHES" \
+        --batch-rows "$BATCH_ROWS" --runs "$RUNS" --out "$OUT_INGEST")
+  if [ "$THREADS" != "0" ]; then
+    ARGS+=(--threads "$THREADS")
+  fi
+  target/release/bench_ingest "${ARGS[@]}"
+  echo "delta-ingest bench results written to $OUT_INGEST"
 fi

@@ -41,6 +41,13 @@ DOMD_THREADS=2 cargo test -q -p domd-core --test parallel_equivalence
 cargo test -q -p domd-index --test cache_invalidation
 cargo test -q -p domd --test cache_invalidation
 
+# Delta-maintenance gate: the incremental Status Query engine and the
+# patched feature tensor must stay bit-identical to their from-scratch
+# recomputes after every delta batch, at every thread count, and a pinned
+# epoch must never observe a concurrently published delta.
+DOMD_THREADS=2 cargo test -q -p domd-index --test delta_equivalence
+DOMD_THREADS=2 cargo test -q -p domd-features --test maintained_equivalence
+
 # Flat-forest kernel gate: the compiled descent (plain, batch, quantized)
 # must stay bit-identical to the pointer walker — property suite plus the
 # threaded histogram-training equivalence, then a tiny-scale smoke run of

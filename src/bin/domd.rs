@@ -494,7 +494,8 @@ fn cmd_serve(args: &Args) -> Result<(), DomdError> {
     let m = core.metrics();
     eprintln!(
         "serve: session closed — {} request(s) ({} malformed line(s) refused): {} ok, {} failed, \
-         {} shed queue-full, {} shed deadline, {} degraded, {} epoch(s) published",
+         {} shed queue-full, {} shed deadline, {} degraded, {} epoch(s) published, \
+         {} row(s) ingested",
         stats.requests,
         stats.malformed,
         m.completed_ok,
@@ -503,6 +504,11 @@ fn cmd_serve(args: &Args) -> Result<(), DomdError> {
         m.shed_deadline,
         m.degraded_served,
         m.epochs_published,
+        m.rows_ingested,
+    );
+    eprintln!(
+        "serve: feature-cache invalidations — {} surgical, {} full-fallback",
+        m.cache_invalidations_surgical, m.cache_invalidations_full,
     );
     eprintln!(
         "serve: queue peak {}/{}; breaker: {} trip(s), {} recover(ies)",
