@@ -32,14 +32,19 @@
 //! *durable epoch* that survives rebuilds (the inner index's epoch restarts
 //! at zero whenever `I::build` runs).
 
+use crate::delta::RccDelta;
 use crate::traits::MaintainableIndex;
 use crate::types::{LogicalRcc, RowId};
-use domd_data::avail::AvailId;
+use domd_data::avail::{Avail, AvailId};
+use domd_data::date::Date;
+use domd_data::rcc::{Rcc, RccId, RccType, Swlin};
 use domd_storage::{
-    Checkpoint, CheckpointEntry, Store, StorageError, WalOp, WalRecord, WalWriter,
+    Checkpoint, CheckpointEntry, FullRcc, Store, StorageError, WalOp, WalRecord, WalWriter,
+    CHECKPOINT_VERSION,
 };
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Mutations applied between automatic checkpoint compactions. Small
@@ -47,6 +52,73 @@ use std::path::{Path, PathBuf};
 /// (entry-set-sized) checkpoint write amortizes away; `bench_wal` measures
 /// the end-to-end overhead of this default at under 10% per mutation.
 pub const DEFAULT_CHECKPOINT_EVERY: u64 = 4096;
+
+/// One durable row: the logical projection every index layer consumes,
+/// plus (for rows written by full-row v2 records) the complete RCC — the
+/// payload that lets recovery rebuild serving snapshots from the store
+/// alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRow {
+    /// The logical projection `(id, avail, start, end)`.
+    pub logical: LogicalRcc,
+    /// The full RCC, when this row's history was logged with v2 records.
+    /// `None` for rows only ever touched by v1 (pre-full-row) mutations.
+    pub rcc: Option<Rcc>,
+}
+
+/// Why [`DurableIndex::rebuild_deltas`] could not produce a complete
+/// delta stream from the store.
+#[derive(Debug, Clone)]
+pub enum RebuildError {
+    /// A live row carries no full RCC payload and the caller's v1
+    /// resolver could not supply one — the store needs `domd
+    /// migrate-store` (or re-exported extracts) before log-only rebuild.
+    MissingFull {
+        /// The row in question.
+        id: RowId,
+        /// Its owning avail.
+        avail: AvailId,
+    },
+    /// A full payload (stored or resolved) disagrees with the logical
+    /// projection's owning avail — the store describes two histories.
+    AvailMismatch {
+        /// The row in question.
+        id: RowId,
+        /// The avail the logical projection records.
+        logical: AvailId,
+        /// The avail the full RCC records.
+        full: AvailId,
+    },
+    /// The caller's avail set does not contain a live row's avail.
+    UnknownAvail {
+        /// The row in question.
+        id: RowId,
+        /// The avail no caller-side `Avail` exists for.
+        avail: AvailId,
+    },
+}
+
+impl fmt::Display for RebuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebuildError::MissingFull { id, avail } => write!(
+                f,
+                "row {id} (avail {}) has no full RCC payload and no resolver matched it; \
+                 run `domd migrate-store` or re-export extracts",
+                avail.0
+            ),
+            RebuildError::AvailMismatch { id, logical, full } => write!(
+                f,
+                "row {id}: logical projection names avail {} but the full payload names \
+                 avail {}",
+                logical.0, full.0
+            ),
+            RebuildError::UnknownAvail { id, avail } => {
+                write!(f, "row {id} belongs to avail {} which the dataset does not hold", avail.0)
+            }
+        }
+    }
+}
 
 /// What [`DurableIndex::recover`] did, for operator display (`domd recover`).
 #[derive(Debug, Clone)]
@@ -76,6 +148,17 @@ pub struct RecoveryReport {
     pub epoch: u64,
     /// Live entries after replay.
     pub rows: usize,
+    /// Payload layout version of the checkpoint recovered onto (1 =
+    /// projection-only entries, 2 = full-row entries).
+    pub checkpoint_version: u32,
+    /// Version-1 (projection-only) records among the replayed prefix.
+    pub replayed_v1: usize,
+    /// Version-2 (full-row) records among the replayed prefix.
+    pub replayed_v2: usize,
+    /// Live entries carrying a full RCC payload after replay — when this
+    /// equals [`RecoveryReport::rows`], serving snapshots rebuild from
+    /// the store alone.
+    pub full_rows: usize,
 }
 
 /// A [`MaintainableIndex`] whose mutations survive process crashes.
@@ -84,7 +167,7 @@ pub struct DurableIndex<I> {
     store: Store,
     wal: WalWriter,
     index: I,
-    entries: BTreeMap<RowId, LogicalRcc>,
+    entries: BTreeMap<RowId, StoredRow>,
     /// Durable mutation counter; unlike `index.current_epoch()` it does not
     /// reset when the inner index is rebuilt during recovery.
     epoch: u64,
@@ -103,25 +186,56 @@ impl<I: MaintainableIndex> DurableIndex<I> {
     /// instead. Fails with [`StorageError::Malformed`] on duplicate row
     /// ids — a checkpoint must map each id to exactly one entry.
     pub fn create(dir: &Path, rccs: &[LogicalRcc]) -> Result<Self, StorageError> {
+        Self::create_rows(dir, rccs.iter().map(|r| StoredRow { logical: *r, rcc: None }))
+    }
+
+    /// Like [`DurableIndex::create`], but seeds every row with its full
+    /// RCC, so the epoch-0 checkpoint already carries everything a
+    /// log-only rebuild needs. Fails with [`StorageError::Malformed`]
+    /// when a projection and its RCC disagree on the owning avail.
+    pub fn create_full(
+        dir: &Path,
+        rows: impl IntoIterator<Item = (LogicalRcc, Rcc)>,
+    ) -> Result<Self, StorageError> {
+        let rows: Vec<StoredRow> = rows
+            .into_iter()
+            .map(|(logical, rcc)| StoredRow { logical, rcc: Some(rcc) })
+            .collect();
+        for row in &rows {
+            check_avail_agreement(dir, row)?;
+        }
+        Self::create_rows(dir, rows)
+    }
+
+    fn create_rows(
+        dir: &Path,
+        rows: impl IntoIterator<Item = StoredRow>,
+    ) -> Result<Self, StorageError> {
         let store = Store::open(dir)?;
         if store.is_initialized()? {
             return Err(StorageError::AlreadyInitialized { dir: dir.display().to_string() });
         }
         let mut entries = BTreeMap::new();
-        for r in rccs {
-            if entries.insert(r.id, *r).is_some() {
+        for row in rows {
+            let id = row.logical.id;
+            if entries.insert(id, row).is_some() {
                 return Err(StorageError::malformed(
                     dir.display().to_string(),
                     0,
-                    format!("duplicate row id {} in initial entry set", r.id),
+                    format!("duplicate row id {id} in initial entry set"),
                 ));
             }
         }
-        let checkpoint = Checkpoint { epoch: 0, entries: to_checkpoint_entries(&entries) };
+        let checkpoint = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            epoch: 0,
+            entries: to_checkpoint_entries(&entries),
+        };
         store.write_checkpoint(&checkpoint)?;
         store.rewrite_wal(&[])?;
         let wal = WalWriter::open(&store.wal_path())?;
-        let index = I::build(rccs);
+        let projected: Vec<LogicalRcc> = entries.values().map(|s| s.logical).collect();
+        let index = I::build(&projected);
         Ok(DurableIndex {
             store,
             wal,
@@ -146,13 +260,14 @@ impl<I: MaintainableIndex> DurableIndex<I> {
         }
         let wal_bytes = store.read_wal()?;
         let replayed = domd_storage::replay(&wal_bytes, recovered.checkpoint.epoch);
-        let projected: Vec<LogicalRcc> = entries.values().copied().collect();
+        let projected: Vec<LogicalRcc> = entries.values().map(|s| s.logical).collect();
         let mut index = I::build(&projected);
         let mut epoch = recovered.checkpoint.epoch;
         let mut applied = 0usize;
+        let (mut replayed_v1, mut replayed_v2) = (0usize, 0usize);
         let mut tail_fault = replayed.tail_fault.clone();
         let mut valid_len = replayed.valid_len;
-        for rec in &replayed.records {
+        for (i, rec) in replayed.records.iter().enumerate() {
             // A CRC-valid, epoch-contiguous record that does not apply
             // (e.g. remove of an absent id) means the log and checkpoint
             // describe different histories; stop there, as after a torn
@@ -164,8 +279,16 @@ impl<I: MaintainableIndex> DurableIndex<I> {
                     rec.op.name(),
                     rec.id
                 ));
-                valid_len -= (replayed.records.len() - applied) * domd_storage::RECORD_LEN;
+                // Records come in two sizes now, so the inapplicable
+                // suffix's byte length is summed per record, not counted.
+                valid_len -=
+                    replayed.records[i..].iter().map(|r| r.encoded_len()).sum::<usize>();
                 break;
+            }
+            if rec.full.is_some() {
+                replayed_v2 += 1;
+            } else {
+                replayed_v1 += 1;
             }
             epoch = rec.epoch;
             applied += 1;
@@ -191,6 +314,10 @@ impl<I: MaintainableIndex> DurableIndex<I> {
             tail_fault,
             epoch,
             rows: entries.len(),
+            checkpoint_version: recovered.checkpoint.version,
+            replayed_v1,
+            replayed_v2,
+            full_rows: entries.values().filter(|s| s.rcc.is_some()).count(),
         };
         Ok((
             DurableIndex {
@@ -219,23 +346,41 @@ impl<I: MaintainableIndex> DurableIndex<I> {
     // `entries` once — the measured WAL overhead budget (<10% per
     // mutation, `bench_wal`) leaves no room for double map lookups.
 
-    /// Inserts one projected RCC. `Ok(false)` when the id is already live
-    /// (nothing is logged for no-ops).
+    /// Inserts one projected RCC as a version-1 (projection-only) record.
+    /// `Ok(false)` when the id is already live (nothing is logged for
+    /// no-ops). Rows inserted this way cannot feed a log-only snapshot
+    /// rebuild — prefer [`DurableIndex::insert_full`] on serving paths.
     pub fn insert(&mut self, rcc: &LogicalRcc) -> Result<bool, StorageError> {
-        match self.entries.entry(rcc.id) {
+        self.insert_row(StoredRow { logical: *rcc, rcc: None })
+    }
+
+    /// Inserts one RCC with its full payload as a version-2 record, so
+    /// recovery can rebuild the serving row without consulting extracts.
+    /// Fails with [`StorageError::Malformed`] when the projection and the
+    /// RCC disagree on the owning avail (nothing is logged).
+    pub fn insert_full(&mut self, logical: &LogicalRcc, rcc: &Rcc) -> Result<bool, StorageError> {
+        let row = StoredRow { logical: *logical, rcc: Some(rcc.clone()) };
+        check_avail_agreement(self.store.dir(), &row)?;
+        self.insert_row(row)
+    }
+
+    fn insert_row(&mut self, row: StoredRow) -> Result<bool, StorageError> {
+        match self.entries.entry(row.logical.id) {
             Entry::Occupied(_) => Ok(false),
             Entry::Vacant(slot) => {
+                let logical = row.logical;
                 let rec = WalRecord {
                     epoch: self.epoch + 1,
                     op: WalOp::Insert,
-                    id: rcc.id,
-                    avail: rcc.avail.0,
-                    start: rcc.start,
-                    end: rcc.end,
+                    id: logical.id,
+                    avail: logical.avail.0,
+                    start: logical.start,
+                    end: logical.end,
+                    full: row.rcc.as_ref().map(full_of),
                 };
                 self.wal.append(&rec)?;
-                self.index.insert_logical(rcc);
-                slot.insert(*rcc);
+                self.index.insert_logical(&logical);
+                slot.insert(row);
                 self.bump_epoch()
             }
         }
@@ -246,7 +391,7 @@ impl<I: MaintainableIndex> DurableIndex<I> {
         match self.entries.entry(id) {
             Entry::Vacant(_) => Ok(false),
             Entry::Occupied(slot) => {
-                let old = *slot.get();
+                let old = slot.get().logical;
                 let rec = WalRecord {
                     epoch: self.epoch + 1,
                     op: WalOp::Remove,
@@ -254,6 +399,7 @@ impl<I: MaintainableIndex> DurableIndex<I> {
                     avail: old.avail.0,
                     start: old.start,
                     end: old.end,
+                    full: None,
                 };
                 self.wal.append(&rec)?;
                 self.index.remove_logical(&old);
@@ -265,31 +411,74 @@ impl<I: MaintainableIndex> DurableIndex<I> {
 
     /// Settles a live RCC: moves its logical end to `new_end` (the dynamic
     /// maintenance of Section 4.1 when an open RCC closes). `Ok(false)`
-    /// when absent.
+    /// when absent. Logs a version-1 record: a row whose full payload is
+    /// live gets that payload *dropped* (its settled date would go stale),
+    /// so serving paths should use [`DurableIndex::settle_dated`].
     pub fn settle(&mut self, id: RowId, new_end: f64) -> Result<bool, StorageError> {
-        self.move_end(id, new_end, WalOp::Settle)
+        self.move_end(id, new_end, WalOp::Settle, None)
+    }
+
+    /// Settles a live RCC and updates its full payload's settled date, so
+    /// the row stays rebuildable from the log alone. Falls back to a
+    /// version-1 record when the row never had a full payload.
+    pub fn settle_dated(
+        &mut self,
+        id: RowId,
+        new_end: f64,
+        settled: Date,
+    ) -> Result<bool, StorageError> {
+        self.move_end(id, new_end, WalOp::Settle, Some(settled))
     }
 
     /// Reopens a settled RCC with a new (later) logical end. `Ok(false)`
-    /// when absent.
+    /// when absent. Logs a version-1 record and drops any live full
+    /// payload, exactly like [`DurableIndex::settle`].
     pub fn reopen(&mut self, id: RowId, new_end: f64) -> Result<bool, StorageError> {
-        self.move_end(id, new_end, WalOp::Reopen)
+        self.move_end(id, new_end, WalOp::Reopen, None)
     }
 
-    fn move_end(&mut self, id: RowId, new_end: f64, op: WalOp) -> Result<bool, StorageError> {
+    /// Reopens a settled RCC, keeping its full payload current with the
+    /// new settled date (see [`DurableIndex::settle_dated`]).
+    pub fn reopen_dated(
+        &mut self,
+        id: RowId,
+        new_end: f64,
+        settled: Date,
+    ) -> Result<bool, StorageError> {
+        self.move_end(id, new_end, WalOp::Reopen, Some(settled))
+    }
+
+    fn move_end(
+        &mut self,
+        id: RowId,
+        new_end: f64,
+        op: WalOp,
+        settled: Option<Date>,
+    ) -> Result<bool, StorageError> {
         let Some(old) = self.entries.get_mut(&id) else { return Ok(false) };
+        // The record's version mirrors what the in-memory row will hold
+        // afterwards, so replaying it reproduces this state transition
+        // exactly: a dated move on a full row re-logs the updated payload
+        // (v2); an undated move drops the payload (v1) because its settled
+        // date no longer describes the row.
+        let moved_rcc = match (settled, &old.rcc) {
+            (Some(date), Some(rcc)) => Some(Rcc { settled: date, ..rcc.clone() }),
+            _ => None,
+        };
         let rec = WalRecord {
             epoch: self.epoch + 1,
             op,
             id,
-            avail: old.avail.0,
-            start: old.start,
+            avail: old.logical.avail.0,
+            start: old.logical.start,
             end: new_end,
+            full: moved_rcc.as_ref().map(full_of),
         };
         self.wal.append(&rec)?;
-        self.index.remove_logical(&LogicalRcc { ..*old });
-        old.end = new_end;
-        self.index.insert_logical(&LogicalRcc { ..*old });
+        self.index.remove_logical(&LogicalRcc { ..old.logical });
+        old.logical.end = new_end;
+        old.rcc = moved_rcc;
+        self.index.insert_logical(&LogicalRcc { ..old.logical });
         self.bump_epoch()
     }
 
@@ -309,8 +498,11 @@ impl<I: MaintainableIndex> DurableIndex<I> {
     /// and truncates the WAL. Returns the new generation's path.
     pub fn checkpoint(&mut self) -> Result<PathBuf, StorageError> {
         self.wal.sync()?;
-        let checkpoint =
-            Checkpoint { epoch: self.epoch, entries: to_checkpoint_entries(&self.entries) };
+        let checkpoint = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            epoch: self.epoch,
+            entries: to_checkpoint_entries(&self.entries),
+        };
         let path = self.store.write_checkpoint(&checkpoint)?;
         self.store.rewrite_wal(&[])?;
         self.wal = WalWriter::open(&self.store.wal_path())?;
@@ -340,7 +532,82 @@ impl<I: MaintainableIndex> DurableIndex<I> {
 
     /// Live entries, ascending by id.
     pub fn entries(&self) -> Vec<LogicalRcc> {
-        self.entries.values().copied().collect()
+        self.entries.values().map(|s| s.logical).collect()
+    }
+
+    /// Live entries with their full payloads, ascending by id.
+    pub fn entries_full(&self) -> Vec<StoredRow> {
+        self.entries.values().cloned().collect()
+    }
+
+    /// Number of live entries carrying a full RCC payload. Equal to
+    /// [`DurableIndex::len`] when the store rebuilds from the log alone.
+    pub fn full_rows(&self) -> usize {
+        self.entries.values().filter(|s| s.rcc.is_some()).count()
+    }
+
+    /// Upgrades projection-only rows in place: `resolve` maps each such
+    /// row to its full RCC (from extracts, typically). Returns how many
+    /// rows gained a payload; rows `resolve` declines stay v1. The
+    /// upgrade lives in memory until the next [`DurableIndex::checkpoint`]
+    /// persists it — `domd migrate-store` checkpoints immediately after.
+    pub fn migrate_full(
+        &mut self,
+        resolve: impl Fn(&LogicalRcc) -> Option<Rcc>,
+    ) -> Result<usize, StorageError> {
+        let dir = self.store.dir().to_path_buf();
+        let mut upgraded = 0usize;
+        for row in self.entries.values_mut() {
+            if row.rcc.is_some() {
+                continue;
+            }
+            if let Some(rcc) = resolve(&row.logical) {
+                let candidate = StoredRow { logical: row.logical, rcc: Some(rcc) };
+                check_avail_agreement(&dir, &candidate)?;
+                *row = candidate;
+                upgraded += 1;
+            }
+        }
+        Ok(upgraded)
+    }
+
+    /// Emits the live rows as the PR 8 [`RccDelta`] insert stream, in the
+    /// dataset's canonical `(avail, created, rcc id)` order — applying
+    /// these to an empty engine reproduces, bit for bit, the snapshot a
+    /// from-scratch build over the same rows produces. `resolve_v1`
+    /// supplies full payloads for projection-only rows (pass `|_| None`
+    /// for a strict log-only rebuild); `avail_of` maps each owning avail
+    /// id to the caller's `Avail` row.
+    pub fn rebuild_deltas(
+        &self,
+        resolve_v1: impl Fn(&LogicalRcc) -> Option<Rcc>,
+        avail_of: impl Fn(AvailId) -> Option<Avail>,
+    ) -> Result<Vec<RccDelta>, RebuildError> {
+        let mut rows: Vec<(Rcc, Avail)> = Vec::with_capacity(self.entries.len());
+        for stored in self.entries.values() {
+            let logical = &stored.logical;
+            let rcc = match &stored.rcc {
+                Some(rcc) => rcc.clone(),
+                None => resolve_v1(logical).ok_or(RebuildError::MissingFull {
+                    id: logical.id,
+                    avail: logical.avail,
+                })?,
+            };
+            if rcc.avail != logical.avail {
+                return Err(RebuildError::AvailMismatch {
+                    id: logical.id,
+                    logical: logical.avail,
+                    full: rcc.avail,
+                });
+            }
+            let avail = avail_of(logical.avail).ok_or(RebuildError::UnknownAvail {
+                id: logical.id,
+                avail: logical.avail,
+            })?;
+            rows.push((rcc, avail));
+        }
+        rows.sort_by_key(|(r, _)| (r.avail, r.created, r.id));
+        Ok(rows.into_iter().map(|(rcc, avail)| RccDelta::Insert { rcc, avail }).collect())
     }
 
     /// Number of live entries.
@@ -370,7 +637,7 @@ impl<I: MaintainableIndex> DurableIndex<I> {
 /// does not fit the current state (recovery treats that as a damaged tail).
 fn apply_record<I: MaintainableIndex>(
     index: &mut I,
-    entries: &mut BTreeMap<RowId, LogicalRcc>,
+    entries: &mut BTreeMap<RowId, StoredRow>,
     rec: &WalRecord,
 ) -> bool {
     let incoming = LogicalRcc {
@@ -379,6 +646,18 @@ fn apply_record<I: MaintainableIndex>(
         start: rec.start,
         end: rec.end,
     };
+    // A v2 record re-materializes the full payload the writer logged; a
+    // v1 record carries none, and replay mirrors the writer's own rule —
+    // v1 settle/reopen drop any stale payload the row held.
+    let full = match &rec.full {
+        Some(f) => match rcc_of(f, incoming.avail) {
+            Some(rcc) => Some(rcc),
+            // replay() validated the domain already; an unconvertible
+            // payload means the log disagrees with itself.
+            None => return false,
+        },
+        None => None,
+    };
     match rec.op {
         WalOp::Insert => {
             if entries.contains_key(&rec.id) {
@@ -386,13 +665,13 @@ fn apply_record<I: MaintainableIndex>(
             }
             // domd-lint: allow(wal-order) — replays a record already durable in the WAL
             index.insert_logical(&incoming);
-            entries.insert(rec.id, incoming);
+            entries.insert(rec.id, StoredRow { logical: incoming, rcc: full });
             true
         }
         WalOp::Remove => match entries.remove(&rec.id) {
             Some(old) => {
                 // domd-lint: allow(wal-order) — replays a record already durable in the WAL
-                index.remove_logical(&old);
+                index.remove_logical(&old.logical);
                 true
             }
             None => false,
@@ -400,11 +679,12 @@ fn apply_record<I: MaintainableIndex>(
         WalOp::Settle | WalOp::Reopen => match entries.get_mut(&rec.id) {
             Some(old) => {
                 // domd-lint: allow(wal-order) — replays a record already durable in the WAL
-                index.remove_logical(&LogicalRcc { ..*old });
-                let moved = LogicalRcc { end: rec.end, ..*old };
+                index.remove_logical(&LogicalRcc { ..old.logical });
+                let moved = LogicalRcc { end: rec.end, ..old.logical };
                 // domd-lint: allow(wal-order) — replays a record already durable in the WAL
                 index.insert_logical(&moved);
-                *old = moved;
+                old.logical = moved;
+                old.rcc = full;
                 true
             }
             None => false,
@@ -412,15 +692,66 @@ fn apply_record<I: MaintainableIndex>(
     }
 }
 
-fn to_checkpoint_entries(entries: &BTreeMap<RowId, LogicalRcc>) -> Vec<CheckpointEntry> {
+/// Projects a typed RCC into the storage layer's raw full-row payload.
+fn full_of(rcc: &Rcc) -> FullRcc {
+    FullRcc {
+        rcc_id: rcc.id.0,
+        rcc_type: rcc.rcc_type.index() as u8,
+        swlin: rcc.swlin.packed(),
+        created: rcc.created.days(),
+        settled: rcc.settled.days(),
+        amount: rcc.amount,
+    }
+}
+
+/// Lifts a raw full-row payload back into the typed RCC. `None` only when
+/// the payload is out of domain — decode paths validate the type code and
+/// SWLIN range first, so a `None` here means corrupted state.
+fn rcc_of(full: &FullRcc, avail: AvailId) -> Option<Rcc> {
+    Some(Rcc {
+        id: RccId(full.rcc_id),
+        avail,
+        rcc_type: *RccType::ALL.get(full.rcc_type as usize)?,
+        swlin: Swlin::from_packed(full.swlin).ok()?,
+        created: Date::from_days(full.created),
+        settled: Date::from_days(full.settled),
+        amount: full.amount,
+    })
+}
+
+/// Refuses a row whose projection and full payload name different avails.
+fn check_avail_agreement(dir: &Path, row: &StoredRow) -> Result<(), StorageError> {
+    if let Some(rcc) = &row.rcc {
+        if rcc.avail != row.logical.avail {
+            return Err(StorageError::malformed(
+                dir.display().to_string(),
+                0,
+                format!(
+                    "row {}: projection names avail {} but the full RCC names avail {}",
+                    row.logical.id, row.logical.avail.0, rcc.avail.0
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn to_checkpoint_entries(entries: &BTreeMap<RowId, StoredRow>) -> Vec<CheckpointEntry> {
     entries
         .values()
-        .map(|r| CheckpointEntry { id: r.id, avail: r.avail.0, start: r.start, end: r.end })
+        .map(|s| CheckpointEntry {
+            id: s.logical.id,
+            avail: s.logical.avail.0,
+            start: s.logical.start,
+            end: s.logical.end,
+            full: s.rcc.as_ref().map(full_of),
+        })
         .collect()
 }
 
-fn from_checkpoint_entry(e: &CheckpointEntry) -> LogicalRcc {
-    LogicalRcc { id: e.id, avail: AvailId(e.avail), start: e.start, end: e.end }
+fn from_checkpoint_entry(e: &CheckpointEntry) -> StoredRow {
+    let logical = LogicalRcc { id: e.id, avail: AvailId(e.avail), start: e.start, end: e.end };
+    StoredRow { logical, rcc: e.full.as_ref().and_then(|f| rcc_of(f, logical.avail)) }
 }
 
 #[cfg(test)]
@@ -571,6 +902,7 @@ mod tests {
             avail: 0,
             start: 0.0,
             end: 0.0,
+            full: None,
         };
         let mut bytes = std::fs::read(&wal_path).unwrap();
         bytes.extend_from_slice(&forged.encode());
@@ -647,5 +979,150 @@ mod tests {
         assert!(e.is_corruption());
         assert!(e.to_string().contains("duplicate row id 1"), "{e}");
         let _ = std::fs::remove_dir_all(&d);
+    }
+
+    fn full_rcc(id: u32, created: i32, settled: i32) -> Rcc {
+        Rcc {
+            id: RccId(id),
+            avail: AvailId(id % 5),
+            rcc_type: RccType::ALL[(id % 3) as usize],
+            swlin: Swlin::from_packed(40_000_000 + id).unwrap(),
+            created: Date::from_days(created),
+            settled: Date::from_days(settled),
+            amount: f64::from(id) * 101.5,
+        }
+    }
+
+    fn full_pair(id: u32, start: f64, end: f64) -> (LogicalRcc, Rcc) {
+        (rcc(id, start, end), full_rcc(id, start as i32, end as i32))
+    }
+
+    #[test]
+    fn full_rows_survive_wal_replay_and_checkpoint() {
+        let d = dir("full-roundtrip");
+        let seed: Vec<(LogicalRcc, Rcc)> =
+            (0..6).map(|i| full_pair(i, f64::from(i), f64::from(i) + 20.0)).collect();
+        let mut di: DurableIndex<FlatAvlIndex> =
+            DurableIndex::create_full(&d, seed.clone()).unwrap();
+        di.set_checkpoint_every(None);
+        assert_eq!(di.full_rows(), 6);
+        // One full insert via the WAL, one dated settle, one undated
+        // settle (drops the payload), one remove.
+        let (l, r) = full_pair(10, 1.0, 80.0);
+        assert!(di.insert_full(&l, &r).unwrap());
+        assert!(di.settle_dated(2, 9.0, Date::from_days(9)).unwrap());
+        assert!(di.settle(3, 11.0).unwrap());
+        assert!(di.remove(4).unwrap());
+        di.sync().unwrap();
+        let baseline = di.entries_full();
+        assert_eq!(di.full_rows(), 5, "undated settle dropped row 3's payload");
+        drop(di);
+        // Crash-recover: everything rebuilt from checkpoint + WAL.
+        let (rec, report) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(report.replayed, 4);
+        assert_eq!(report.replayed_v2, 2, "full insert + dated settle");
+        assert_eq!(report.replayed_v1, 2, "undated settle + remove");
+        assert_eq!(report.full_rows, 5);
+        assert_eq!(report.checkpoint_version, domd_storage::CHECKPOINT_VERSION);
+        assert_eq!(rec.entries_full(), baseline);
+        let settled_row =
+            rec.entries_full().into_iter().find(|s| s.logical.id == 2).unwrap();
+        assert_eq!(settled_row.rcc.unwrap().settled, Date::from_days(9));
+        // Checkpoint, then recover with an empty WAL: payloads persist in
+        // the v2 checkpoint entries too.
+        let (mut rec, _) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        rec.checkpoint().unwrap();
+        drop(rec);
+        let (rec, report) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(rec.entries_full(), baseline);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn avail_disagreement_is_refused_before_logging() {
+        let d = dir("avail-mismatch");
+        let mut di: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d, &seed_rccs(3)).unwrap();
+        let epoch = di.epoch();
+        let logical = rcc(9, 0.0, 10.0); // avail 9 % 5 = 4
+        let mut full = full_rcc(9, 0, 10);
+        full.avail = AvailId(1);
+        let e = di.insert_full(&logical, &full).unwrap_err();
+        assert!(e.to_string().contains("avail"), "{e}");
+        assert_eq!(di.epoch(), epoch, "refused insert must not log or apply");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn migrate_full_upgrades_v1_rows_in_place() {
+        let d = dir("migrate");
+        let mut di: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d, &seed_rccs(8)).unwrap();
+        di.set_checkpoint_every(None);
+        assert_eq!(di.full_rows(), 0);
+        let upgraded = di
+            .migrate_full(|l| Some(full_rcc(l.id, l.start as i32, l.end as i32)))
+            .unwrap();
+        assert_eq!(upgraded, 8);
+        assert_eq!(di.full_rows(), 8);
+        // Persist through a checkpoint and recover from the store alone.
+        di.checkpoint().unwrap();
+        drop(di);
+        let (rec, report) = DurableIndex::<FlatAvlIndex>::recover(&d).unwrap();
+        assert_eq!(report.full_rows, 8);
+        // A second migrate is a no-op; a declining resolver changes nothing.
+        let mut rec = rec;
+        assert_eq!(rec.migrate_full(|_| None).unwrap(), 0);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn rebuild_deltas_orders_by_avail_created_id() {
+        let d = dir("deltas");
+        let seed: Vec<(LogicalRcc, Rcc)> =
+            (0..10).map(|i| full_pair(i, f64::from(10 - i), f64::from(10 - i) + 5.0)).collect();
+        let di: DurableIndex<FlatAvlIndex> = DurableIndex::create_full(&d, seed).unwrap();
+        let avail_row = |id: AvailId| {
+            Some(Avail {
+                id,
+                ship: domd_data::avail::ShipId(id.0),
+                plan_start: Date::from_days(0),
+                plan_end: Date::from_days(100),
+                actual_start: Date::from_days(0),
+                actual_end: Some(Date::from_days(100)),
+                statics: domd_data::avail::StaticAttrs {
+                    ship_class: 1,
+                    rmc_id: 1,
+                    ship_age_years: 10.0,
+                    prior_avail_count: 2,
+                    prior_avg_delay: 5.0,
+                },
+            })
+        };
+        let deltas = di.rebuild_deltas(|_| None, avail_row).unwrap();
+        assert_eq!(deltas.len(), 10);
+        let keys: Vec<(AvailId, Date, RccId)> = deltas
+            .iter()
+            .map(|dlt| match dlt {
+                RccDelta::Insert { rcc, .. } => (rcc.avail, rcc.created, rcc.id),
+                other => panic!("rebuild emits inserts only, got {other:?}"),
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "deltas must arrive in dataset canonical order");
+        // A projection-only row without a resolver is a typed error...
+        let d2 = dir("deltas-v1");
+        let mut v1: DurableIndex<FlatAvlIndex> = DurableIndex::create(&d2, &seed_rccs(2)).unwrap();
+        let e = v1.rebuild_deltas(|_| None, avail_row).unwrap_err();
+        assert!(matches!(e, RebuildError::MissingFull { .. }), "{e}");
+        assert!(e.to_string().contains("migrate-store"), "{e}");
+        // ...and an unknown avail is diagnosed as such.
+        let e = v1
+            .rebuild_deltas(|l| Some(full_rcc(l.id, 0, 5)), |_| None)
+            .unwrap_err();
+        assert!(matches!(e, RebuildError::UnknownAvail { .. }), "{e}");
+        let _ = v1.sync();
+        std::fs::remove_dir_all(&d).unwrap();
+        std::fs::remove_dir_all(&d2).unwrap();
     }
 }

@@ -66,7 +66,9 @@ pub use cache::{
     DEFAULT_CACHE_CAPACITY,
 };
 pub use delta::RccDelta;
-pub use durable::{DurableIndex, RecoveryReport, DEFAULT_CHECKPOINT_EVERY};
+pub use durable::{
+    DurableIndex, RebuildError, RecoveryReport, StoredRow, DEFAULT_CHECKPOINT_EVERY,
+};
 pub use eytzinger::EytzingerIndex;
 pub use flat_avl::{FlatAvlIndex, FlatAvlTree};
 pub use group_tree::{RccTypeTree, SwlinTree};

@@ -37,6 +37,7 @@ pub mod breaker;
 pub mod clock;
 pub mod loadgen;
 pub mod protocol;
+pub mod rebuild;
 pub mod request;
 pub mod server;
 pub mod state;
@@ -47,6 +48,7 @@ pub use loadgen::{
     classify_retry, generate_schedule, LoadGenConfig, RetryDecision, RetryPolicy, TrafficMix,
 };
 pub use protocol::{parse_line, render_response, run_session, SessionStats};
+pub use rebuild::{rebuild_tenant, resolve_v1_row, RebuildSummary};
 pub use request::{Alert, IngestRow, Op, Reply, Request, Response};
 pub use server::{
     announce_recovery, MetricsReport, ServeConfig, ServeCore, SharedModel, Stage, StageHook,

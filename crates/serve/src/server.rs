@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use domd_core::{DomdError, DomdQueryEngine, TrainedPipeline};
+use domd_data::rcc::{Rcc, RccId};
 use domd_features::{FeatureCache, FeatureEngine};
 use domd_index::{DurableIndex, EpochStore, FlatAvlIndex, Pinned, RecoveryReport, RowId};
 use domd_runtime::{BoundedQueue, Cancelled};
@@ -64,6 +65,14 @@ pub struct ServeConfig {
     pub alert_chunk: usize,
     /// Per-tenant feature-cache capacity (0 disables).
     pub cache_capacity: usize,
+    /// Fsync the durable WAL inside every ingest, before the row is
+    /// published or acked. This is the durability stance for deployments
+    /// that can be killed at any instant (`kill -9`, power loss): an ack
+    /// then *guarantees* the row survives restart. Off, acks are durable
+    /// only at sync points (clean shutdown, checkpoints, explicit
+    /// [`ServeCore::sync_durable`]) — the group-commit batching the WAL
+    /// bench measures. The CLI turns this on whenever `--store` is given.
+    pub sync_each_ingest: bool,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +84,7 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             alert_chunk: 8,
             cache_capacity: 256,
+            sync_each_ingest: false,
         }
     }
 }
@@ -750,7 +760,7 @@ impl ServeCore {
             if let Some(durable) = &tenant.durable {
                 // domd-lint: allow(no-panic) — a poisoned durable lock means a worker already panicked; propagating is the only sound exit
                 let mut d = durable.lock().expect("durable store lock");
-                for r in rows {
+                for (k, r) in rows.iter().enumerate() {
                     let projected = snap
                         .project_next(d.next_id, r.avail, r.created, r.settled)
                         .ok_or_else(|| {
@@ -764,6 +774,21 @@ impl ServeCore {
                     let bumped = d.next_id.checked_add(1).ok_or_else(|| {
                         DomdError::config("durable row id space exhausted".to_string())
                     })?;
+                    // The full physical row the snapshot's ingest_batch will
+                    // materialize for this position: `snap.next_rcc() + k`
+                    // is exactly the RccId the k-th batch row receives, so
+                    // the v2 WAL record carries the same bytes the published
+                    // dataset will hold — recovery can rebuild the snapshot
+                    // from the store alone, bit-identically.
+                    let rcc = Rcc {
+                        id: RccId(snap.next_rcc() + k as u32),
+                        avail: r.avail,
+                        rcc_type: r.rcc_type,
+                        swlin: r.swlin,
+                        created: r.created,
+                        settled: r.settled,
+                        amount: r.amount,
+                    };
                     // A no-op insert means the store already holds this id:
                     // the allocator and the store disagree, and acking the
                     // request would break WAL-before-apply (the row would
@@ -771,7 +796,7 @@ impl ServeCore {
                     // rows already logged for this batch stay in the WAL
                     // unserved (WAL ⊇ served is preserved; nothing is
                     // acked).
-                    if !d.index.insert(&projected)? {
+                    if !d.index.insert_full(&projected, &rcc)? {
                         return Err(DomdError::Corrupt {
                             context: d.index.store_dir().display().to_string(),
                             offset: None,
@@ -783,6 +808,13 @@ impl ServeCore {
                         });
                     }
                     d.next_id = bumped;
+                }
+                // Fsync-on-ack: with the knob on, the WAL bytes for this
+                // batch are on disk before the epoch publishes and the ack
+                // is written — a `kill -9` one instruction after the ack
+                // cannot lose the rows.
+                if self.config.sync_each_ingest {
+                    d.index.sync()?;
                 }
             }
             snap.ingest_batch(rows)
@@ -915,6 +947,11 @@ pub fn announce_recovery(err: &mut dyn std::io::Write, report: &RecoveryReport) 
         err,
         "serve: recovered store at checkpoint epoch {} ({} rows, {} WAL records replayed)",
         report.checkpoint_epoch, report.rows, report.replayed
+    );
+    let _ = writeln!(
+        err,
+        "serve: record versions: checkpoint v{}, {} v1 + {} v2 WAL records, {} full-payload row(s)",
+        report.checkpoint_version, report.replayed_v1, report.replayed_v2, report.full_rows
     );
     if !report.damaged_generations.is_empty() {
         let _ = writeln!(

@@ -23,34 +23,50 @@
 //! silently evict the good older generation — nor be re-parsed first by
 //! every future recovery.
 //!
-//! Checkpoint payload layout (inside the frame, little-endian):
+//! Checkpoint payload layout (inside the frame, little-endian). The
+//! version field selects the entry layout: version 1 (24-byte entries,
+//! logical projection only) is still decoded so pre-v2 stores recover
+//! unchanged; the encoder always writes version 2, whose 50-byte entries
+//! append a full-RCC presence byte plus the [`FullRcc`] fields (zeroed
+//! when absent, so equal states still produce identical bytes):
 //!
 //! ```text
 //! offset  size  field
 //! 0       16    tag b"domd-checkpoint\0"
-//! 16      4     checkpoint payload version (1)
+//! 16      4     checkpoint payload version (1 or 2)
 //! 20      8     epoch
 //! 28      8     entry count n
-//! 36      24n   entries: id u32, avail u32, start f64 bits, end f64 bits
+//! 36      Ln    entries (L = 24 at version 1, 50 at version 2):
+//!               id u32, avail u32, start f64 bits, end f64 bits
+//!               [v2] has_full u8 (0 or 1), FullRcc 25 bytes (zeroed
+//!               when has_full = 0)
 //! ```
 
 use crate::atomic::{read_framed, write_framed_atomic};
 use crate::error::StorageError;
+use crate::wal::{FullRcc, FULL_RCC_LEN};
 use std::path::{Path, PathBuf};
 
 /// Tag opening every checkpoint payload.
 pub const CHECKPOINT_TAG: [u8; 16] = *b"domd-checkpoint\0";
 
-/// Checkpoint payload layout version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Checkpoint payload layout version the encoder writes.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
-/// Bytes per serialized entry.
+/// The pre-full-row layout version the decoder still accepts.
+pub const CHECKPOINT_VERSION_V1: u32 = 1;
+
+/// Bytes per serialized version-1 entry.
 const ENTRY_LEN: usize = 24;
+
+/// Bytes per serialized version-2 entry.
+const ENTRY_LEN_V2: usize = ENTRY_LEN + 1 + FULL_RCC_LEN;
 
 /// Checkpoint generations kept on disk (newest N).
 pub const KEPT_GENERATIONS: usize = 2;
 
-/// One index entry as persisted: the logical projection of an RCC.
+/// One index entry as persisted: the logical projection of an RCC, plus
+/// (at checkpoint version 2) the optional full RCC fields.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CheckpointEntry {
     /// Dense row id.
@@ -61,11 +77,17 @@ pub struct CheckpointEntry {
     pub start: f64,
     /// Logical end position.
     pub end: f64,
+    /// Full RCC fields, when the row was written by a full-row (v2)
+    /// mutation. Absent for rows that only ever saw v1 records.
+    pub full: Option<FullRcc>,
 }
 
 /// A full checkpoint: every live entry at `epoch`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
+    /// Payload layout version the bytes carried (decode) or will carry
+    /// (encode always writes [`CHECKPOINT_VERSION`]).
+    pub version: u32,
     /// Index epoch the entries reflect.
     pub epoch: u64,
     /// Live entries, sorted ascending by id (the encoder enforces this).
@@ -73,12 +95,13 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Serializes to the payload layout (entries sorted by id so equal
-    /// states produce identical bytes).
+    /// Serializes to the version-2 payload layout (entries sorted by id
+    /// and absent full fields zero-filled, so equal states produce
+    /// identical bytes).
     pub fn encode(&self) -> Vec<u8> {
         let mut entries = self.entries.clone();
         entries.sort_unstable_by_key(|e| e.id);
-        let mut out = Vec::with_capacity(36 + entries.len() * ENTRY_LEN);
+        let mut out = Vec::with_capacity(36 + entries.len() * ENTRY_LEN_V2);
         out.extend_from_slice(&CHECKPOINT_TAG);
         out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
         out.extend_from_slice(&self.epoch.to_le_bytes());
@@ -88,6 +111,16 @@ impl Checkpoint {
             out.extend_from_slice(&e.avail.to_le_bytes());
             out.extend_from_slice(&e.start.to_bits().to_le_bytes());
             out.extend_from_slice(&e.end.to_bits().to_le_bytes());
+            match &e.full {
+                Some(full) => {
+                    out.push(1);
+                    full.write_to(&mut out);
+                }
+                None => {
+                    out.push(0);
+                    out.extend_from_slice(&[0u8; FULL_RCC_LEN]);
+                }
+            }
         }
         out
     }
@@ -117,20 +150,27 @@ impl Checkpoint {
             ));
         }
         let version = crate::bytes::le_u32(payload, 16);
-        if version != CHECKPOINT_VERSION {
-            return Err(StorageError::malformed(
-                path,
-                16,
-                format!("expected checkpoint version {CHECKPOINT_VERSION}, found {version}"),
-            ));
-        }
+        let entry_len = match version {
+            CHECKPOINT_VERSION_V1 => ENTRY_LEN,
+            CHECKPOINT_VERSION => ENTRY_LEN_V2,
+            _ => {
+                return Err(StorageError::malformed(
+                    path,
+                    16,
+                    format!(
+                        "expected checkpoint version {CHECKPOINT_VERSION_V1} or \
+                         {CHECKPOINT_VERSION}, found {version}"
+                    ),
+                ))
+            }
+        };
         let epoch = crate::bytes::le_u64(payload, 20);
         let n = crate::bytes::le_u64(payload, 28);
         let n_usize = usize::try_from(n).map_err(|_| {
             StorageError::malformed(path, 28, format!("impossible entry count {n}"))
         })?;
         let declared = n_usize
-            .checked_mul(ENTRY_LEN)
+            .checked_mul(entry_len)
             .ok_or_else(|| StorageError::malformed(path, 28, format!("impossible entry count {n}")))?;
         if payload.len() - 36 != declared {
             return Err(StorageError::malformed(
@@ -142,11 +182,35 @@ impl Checkpoint {
         let mut entries = Vec::with_capacity(n_usize);
         let mut prev_id: Option<u32> = None;
         for i in 0..n_usize {
-            let at = 36 + i * ENTRY_LEN;
+            let at = 36 + i * entry_len;
             let id = crate::bytes::le_u32(payload, at);
             let avail = crate::bytes::le_u32(payload, at + 4);
             let start = f64::from_bits(crate::bytes::le_u64(payload, at + 8));
             let end = f64::from_bits(crate::bytes::le_u64(payload, at + 16));
+            let full = if version == CHECKPOINT_VERSION_V1 {
+                None
+            } else {
+                match payload[at + ENTRY_LEN] {
+                    0 => None,
+                    1 => Some(FullRcc::read_from(payload, at + ENTRY_LEN + 1).ok_or_else(
+                        || {
+                            StorageError::malformed(
+                                path,
+                                (at + ENTRY_LEN + 1) as u64,
+                                "full-RCC fields out of domain (type code or SWLIN)"
+                                    .to_string(),
+                            )
+                        },
+                    )?),
+                    b => {
+                        return Err(StorageError::malformed(
+                            path,
+                            (at + ENTRY_LEN) as u64,
+                            format!("expected full-RCC presence byte 0 or 1, found {b}"),
+                        ))
+                    }
+                }
+            };
             if let Some(p) = prev_id {
                 if id <= p {
                     return Err(StorageError::malformed(
@@ -157,9 +221,9 @@ impl Checkpoint {
                 }
             }
             prev_id = Some(id);
-            entries.push(CheckpointEntry { id, avail, start, end });
+            entries.push(CheckpointEntry { id, avail, start, end, full });
         }
-        Ok(Checkpoint { epoch, entries })
+        Ok(Checkpoint { version, epoch, entries })
     }
 }
 
@@ -333,21 +397,80 @@ mod tests {
                 avail: i % 5,
                 start: f64::from(i) * 0.5,
                 end: f64::from(i) * 0.5 + 3.0,
+                full: (i % 2 == 0).then_some(FullRcc {
+                    rcc_id: i,
+                    rcc_type: (i % 3) as u8,
+                    swlin: 10_000_000 + i,
+                    created: i as i32 - 4,
+                    settled: i as i32 + 90,
+                    amount: f64::from(i) * 12.75,
+                }),
             })
             .collect()
     }
 
+    fn ckpt(epoch: u64, entries: Vec<CheckpointEntry>) -> Checkpoint {
+        Checkpoint { version: CHECKPOINT_VERSION, epoch, entries }
+    }
+
     #[test]
     fn payload_roundtrip() {
-        let c = Checkpoint { epoch: 17, entries: entries(40) };
+        let c = ckpt(17, entries(40));
         let payload = c.encode();
         let back = Checkpoint::decode(&payload, "test").unwrap();
         assert_eq!(back, c);
+        let full = back.entries[0].full.expect("even rows carry full fields");
+        assert_eq!(full.amount.to_bits(), 0.0f64.to_bits());
+        assert!(back.entries[1].full.is_none(), "odd rows stay projection-only");
+    }
+
+    #[test]
+    fn version_1_payloads_still_decode() {
+        // Hand-build a v1 payload exactly as the pre-v2 encoder wrote it.
+        let rows = entries(6);
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&CHECKPOINT_TAG);
+        payload.extend_from_slice(&CHECKPOINT_VERSION_V1.to_le_bytes());
+        payload.extend_from_slice(&11u64.to_le_bytes());
+        payload.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        for e in &rows {
+            payload.extend_from_slice(&e.id.to_le_bytes());
+            payload.extend_from_slice(&e.avail.to_le_bytes());
+            payload.extend_from_slice(&e.start.to_bits().to_le_bytes());
+            payload.extend_from_slice(&e.end.to_bits().to_le_bytes());
+        }
+        let back = Checkpoint::decode(&payload, "v1").unwrap();
+        assert_eq!(back.version, CHECKPOINT_VERSION_V1);
+        assert_eq!(back.epoch, 11);
+        assert_eq!(back.entries.len(), rows.len());
+        for (got, want) in back.entries.iter().zip(&rows) {
+            assert_eq!((got.id, got.avail), (want.id, want.avail));
+            assert_eq!(got.start.to_bits(), want.start.to_bits());
+            assert_eq!(got.end.to_bits(), want.end.to_bits());
+            assert!(got.full.is_none(), "v1 entries carry no full fields");
+        }
+    }
+
+    #[test]
+    fn bad_presence_byte_and_out_of_domain_full_fields_are_typed_errors() {
+        let payload = ckpt(5, entries(3)).encode();
+        let mut bad = payload.clone();
+        bad[36 + ENTRY_LEN] = 9; // first entry's presence byte
+        match Checkpoint::decode(&bad, "t") {
+            Err(StorageError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let mut bad = payload.clone();
+        bad[36 + ENTRY_LEN + 1 + 4] = 9; // first entry's RCC type code
+        match Checkpoint::decode(&bad, "t") {
+            Err(StorageError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 
     #[test]
     fn truncated_or_flipped_payloads_are_typed_errors() {
-        let payload = Checkpoint { epoch: 3, entries: entries(10) }.encode();
+        let payload = ckpt(3, entries(10)).encode();
         for cut in 0..payload.len() {
             match Checkpoint::decode(&payload[..cut], "t") {
                 Err(StorageError::Malformed { .. }) => {}
@@ -367,7 +490,7 @@ mod tests {
         let store = Store::open(&dir).unwrap();
         assert!(!store.is_initialized().unwrap());
         for epoch in [1u64, 5, 9] {
-            store.write_checkpoint(&Checkpoint { epoch, entries: entries(4) }).unwrap();
+            store.write_checkpoint(&ckpt(epoch, entries(4))).unwrap();
         }
         assert!(store.is_initialized().unwrap());
         assert!(!store.checkpoint_path(1).exists(), "oldest generation must be pruned");
@@ -383,8 +506,8 @@ mod tests {
     fn recovery_falls_back_to_previous_generation() {
         let dir = test_dir("store-fallback");
         let store = Store::open(&dir).unwrap();
-        store.write_checkpoint(&Checkpoint { epoch: 2, entries: entries(6) }).unwrap();
-        store.write_checkpoint(&Checkpoint { epoch: 8, entries: entries(9) }).unwrap();
+        store.write_checkpoint(&ckpt(2, entries(6))).unwrap();
+        store.write_checkpoint(&ckpt(8, entries(9))).unwrap();
         // Tear the newest generation mid-file.
         let newest = store.checkpoint_path(8);
         let bytes = std::fs::read(&newest).unwrap();
@@ -415,8 +538,8 @@ mod tests {
     fn quarantined_generation_does_not_consume_a_kept_slot() {
         let dir = test_dir("store-quarantine-slot");
         let store = Store::open(&dir).unwrap();
-        store.write_checkpoint(&Checkpoint { epoch: 3, entries: entries(5) }).unwrap();
-        store.write_checkpoint(&Checkpoint { epoch: 7, entries: entries(8) }).unwrap();
+        store.write_checkpoint(&ckpt(3, entries(5))).unwrap();
+        store.write_checkpoint(&ckpt(7, entries(8))).unwrap();
         // Damage the newest generation and recover: it gets quarantined.
         let newest = store.checkpoint_path(7);
         let bytes = std::fs::read(&newest).unwrap();
@@ -425,7 +548,7 @@ mod tests {
         // The next checkpoint write must keep the good epoch-3 generation
         // (before quarantine, the damaged epoch-7 file counted toward
         // KEPT_GENERATIONS and the good generation was pruned instead).
-        store.write_checkpoint(&Checkpoint { epoch: 12, entries: entries(9) }).unwrap();
+        store.write_checkpoint(&ckpt(12, entries(9))).unwrap();
         assert!(store.checkpoint_path(3).exists(), "good generation was pruned");
         assert!(store.checkpoint_path(12).exists());
         let r = store.newest_intact_checkpoint().unwrap();

@@ -32,12 +32,16 @@ pub mod wal;
 
 pub use atomic::{read_framed, write_atomic, write_framed_atomic};
 pub use checkpoint::{
-    Checkpoint, CheckpointEntry, RecoveredCheckpoint, Store, CHECKPOINT_VERSION, KEPT_GENERATIONS,
+    Checkpoint, CheckpointEntry, RecoveredCheckpoint, Store, CHECKPOINT_VERSION,
+    CHECKPOINT_VERSION_V1, KEPT_GENERATIONS,
 };
 pub use crc::crc32;
 pub use error::StorageError;
 pub use frame::{FrameError, FRAME_VERSION, HEADER_LEN, MAGIC};
-pub use wal::{replay, WalOp, WalRecord, WalReplay, WalWriter, RECORD_LEN};
+pub use wal::{
+    replay, FullRcc, WalOp, WalRecord, WalReplay, WalWriter, FULL_RCC_LEN, PAYLOAD_LEN,
+    PAYLOAD_LEN_V2, RECORD_LEN, RECORD_LEN_V2,
+};
 
 /// Unique scratch directory for this crate's tests (std-only stand-in for
 /// a tempdir crate; callers remove it when done).

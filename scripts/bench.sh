@@ -22,6 +22,14 @@
 #   SUITE=serve LOADS=1,10 scripts/bench.sh       # serving suite only
 #   SUITE=gbt TREES=600 scripts/bench.sh          # flat-kernel suite only
 #   SUITE=ingest BATCHES=6 scripts/bench.sh       # delta-ingest suite only
+#   SUITE=restart INGESTS=512 scripts/bench.sh    # restart-recovery suite only
+#
+# The restart suite measures recovery-to-first-answer for a restarted
+# durable server vs store size into BENCH_restart.json: the store-rebuild
+# path (recover + log-only snapshot rebuild, serves every acked ingest)
+# against the old extract-reload path it replaced (faster, but blind to
+# every acked row the extracts lack — the JSON counts them). The rebuild
+# arm is bit-identity-gated against a from-scratch snapshot first.
 #
 # The ingest suite benches the delta-maintained ingest path (typed RccDelta
 # stream + sorted dataset merge + per-avail tensor patch) against the full
@@ -34,7 +42,7 @@ cd "$(dirname "$0")/.."
 
 THREADS="${THREADS:-0}"        # 0 = auto-detect
 RUNS="${RUNS:-3}"
-SUITE="${SUITE:-all}"          # all | parallel | layout | wal | serve | gbt | ingest
+SUITE="${SUITE:-all}"          # all | parallel | layout | wal | serve | gbt | ingest | restart
 
 if [ "$SUITE" = "all" ] || [ "$SUITE" = "parallel" ]; then
   SCALES_PAR="${SCALES:-1,4}"
@@ -109,4 +117,14 @@ if [ "$SUITE" = "all" ] || [ "$SUITE" = "ingest" ]; then
   fi
   target/release/bench_ingest "${ARGS[@]}"
   echo "delta-ingest bench results written to $OUT_INGEST"
+fi
+
+if [ "$SUITE" = "all" ] || [ "$SUITE" = "restart" ]; then
+  SCALES_RESTART="${SCALES:-1,4}"
+  INGESTS="${INGESTS:-512}"
+  OUT_RESTART="${OUT_RESTART:-BENCH_restart.json}"
+  cargo build --release -p domd-bench --bin bench_restart
+  target/release/bench_restart --scales "$SCALES_RESTART" --ingests "$INGESTS" \
+    --runs "$RUNS" --out "$OUT_RESTART"
+  echo "restart-recovery bench results written to $OUT_RESTART"
 fi

@@ -26,6 +26,11 @@
 # session), clean `quit` shutdown, and a second session whose driving
 # process is SIGTERM-killed mid-stream — the server must see EOF, drain,
 # and still exit 0.
+# The restart gate then proves the store is the system of record: the
+# kill–restart chaos suite (every WAL byte offset), the v1→v2 migration
+# suite, and an end-to-end smoke that `kill -9`s a durable server right
+# after an ack and requires the restarted server to rebuild the acked
+# row from the store alone (plus a `domd migrate-store` run-through).
 # Run before sending a change; CI treats any output as a failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -105,3 +110,53 @@ fi
 grep -q 'op=predict' "$SERVE_DIR/signal.out" || {
   echo "serve smoke: no response before driver kill" >&2; exit 1; }
 echo "serve smoke: OK"
+
+# Restart gate: acked ingests survive kill -9; the store alone rebuilds
+# the serving snapshot bit-identically (chaos suite), and v1 stores
+# migrate in place (property + literal-fixture suite).
+DOMD_THREADS=2 cargo test -q -p domd-serve --test serve_restart
+cargo test -q -p domd --test migration
+
+STORE_DIR="$SERVE_DIR/store"
+RESTART_FIFO="$SERVE_DIR/restart.fifo"
+mkfifo "$RESTART_FIFO"
+( printf 'ingest avail=1 type=NW swlin=123-45-679 created=4/1/2015 settled=5/1/2015 amount=900\n'
+  exec sleep 30 ) > "$RESTART_FIFO" &
+RESTART_WRITER_PID=$!
+target/release/domd serve --data-dir "$SERVE_DIR" --model "$SERVE_DIR/model.domd" \
+  --store "$STORE_DIR" < "$RESTART_FIFO" \
+  > "$SERVE_DIR/restart.out" 2> "$SERVE_DIR/restart.err" &
+RESTART_SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q 'op=ingest' "$SERVE_DIR/restart.out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q 'op=ingest' "$SERVE_DIR/restart.out" || {
+  echo "restart gate: durable ingest was never acked" >&2
+  cat "$SERVE_DIR/restart.err" >&2; exit 1; }
+# The kill: no clean shutdown, no final sync — the ack alone must hold.
+kill -KILL "$RESTART_SERVE_PID" 2>/dev/null || true
+wait "$RESTART_SERVE_PID" 2>/dev/null || true
+kill -TERM "$RESTART_WRITER_PID" 2>/dev/null || true
+wait "$RESTART_WRITER_PID" 2>/dev/null || true
+BASE_ROWS="$(sed -n 's/.*extracts (\([0-9][0-9]*\) row(s) at epoch 0.*/\1/p' \
+  "$SERVE_DIR/restart.err")"
+[ -n "$BASE_ROWS" ] || {
+  echo "restart gate: could not read the initialized row count" >&2
+  cat "$SERVE_DIR/restart.err" >&2; exit 1; }
+printf 'quit\n' | target/release/domd serve --data-dir "$SERVE_DIR" \
+  --model "$SERVE_DIR/model.domd" --store "$STORE_DIR" \
+  > /dev/null 2> "$SERVE_DIR/restart2.err"
+grep -q "rebuilt $((BASE_ROWS + 1)) row(s) from the store" "$SERVE_DIR/restart2.err" || {
+  echo "restart gate: acked row lost after kill -9 (expected $((BASE_ROWS + 1)) rows)" >&2
+  cat "$SERVE_DIR/restart2.err" >&2; exit 1; }
+# Migration run-through: idempotent on an already-v2 store, and the
+# recover report must show the versioned record counts.
+target/release/domd migrate-store --store "$STORE_DIR" --data-dir "$SERVE_DIR" \
+  > "$SERVE_DIR/migrate.out"
+grep -q 'compacted into' "$SERVE_DIR/migrate.out" || {
+  echo "restart gate: migrate-store did not checkpoint" >&2
+  cat "$SERVE_DIR/migrate.out" >&2; exit 1; }
+target/release/domd recover --store "$STORE_DIR" | grep -q 'record versions: checkpoint v2' || {
+  echo "restart gate: recover report is missing record versions" >&2; exit 1; }
+echo "restart gate: OK"

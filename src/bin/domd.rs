@@ -14,8 +14,10 @@
 //! domd optimize  --data-dir data/ [--out pipeline.domd] [--quick true]
 //! domd checkpoint --store store/ [--data-dir data/]
 //! domd recover    --store store/
+//! domd migrate-store --store store/ --data-dir data/
 //! domd serve      --data-dir data/ --model pipeline.domd [--store store/]
 //!                 [--tenants N] [--workers N] [--queue-capacity N] [--deadline-ms N]
+//!                 [--ack-sync B] [--verify-extracts B]
 //! ```
 //!
 //! `generate` writes `avails.csv` and `rccs.csv`; the other commands read
@@ -309,6 +311,11 @@ fn print_recovery_report(report: &domd::index::RecoveryReport) {
         "  replayed {} WAL record(s) ({} already checkpointed)",
         report.replayed, report.skipped
     );
+    println!(
+        "  record versions: checkpoint v{}, {} v1 + {} v2 WAL record(s), \
+         {} row(s) carrying full payloads",
+        report.checkpoint_version, report.replayed_v1, report.replayed_v2, report.full_rows
+    );
     match &report.tail_fault {
         Some(fault) => println!(
             "  removed {} damaged tail byte(s) from the live WAL: {fault}",
@@ -322,14 +329,98 @@ fn print_recovery_report(report: &domd::index::RecoveryReport) {
     println!("  live state: {} RCC(s) at epoch {}", report.rows, report.epoch);
 }
 
+/// The store directories a `--store` argument addresses: the directory
+/// itself when it is an initialized single store (the `domd checkpoint`
+/// layout), otherwise its `tenant-N` sub-stores (the `domd serve`
+/// layout), sorted by tenant number. A directory with neither is a
+/// configuration error, not an empty success.
+fn store_targets(base: &Path) -> Result<Vec<PathBuf>, DomdError> {
+    let store = domd::storage::Store::open(base).map_err(DomdError::from)?;
+    if store.is_initialized().map_err(DomdError::from)? {
+        return Ok(vec![base.to_path_buf()]);
+    }
+    let entries = std::fs::read_dir(base)
+        .map_err(|e| DomdError::io(format!("reading {}", base.display()), e))?;
+    let mut tenants: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| DomdError::io(format!("reading {}", base.display()), e))?;
+        let name = entry.file_name();
+        let Some(n) = name.to_str().and_then(|s| s.strip_prefix("tenant-")) else {
+            continue;
+        };
+        if n.parse::<u64>().is_ok() && entry.path().is_dir() {
+            // domd-lint: allow(no-panic) — the parse just succeeded on this same string
+            tenants.push((n.parse().expect("checked tenant number"), entry.path()));
+        }
+    }
+    if tenants.is_empty() {
+        return Err(DomdError::config(format!(
+            "store {} has no checkpoint and no tenant-N sub-stores; nothing to open",
+            base.display()
+        )));
+    }
+    tenants.sort();
+    Ok(tenants.into_iter().map(|(_, p)| p).collect())
+}
+
 /// `domd recover --store DIR`: rebuild from the newest intact checkpoint
 /// plus the longest valid WAL prefix, compact the damaged tail away, and
-/// report what happened. Exits 9 when no generation verifies.
+/// report what happened — per tenant sub-store when DIR is a `domd
+/// serve` store. Exits 9 when no generation verifies.
 fn cmd_recover(args: &Args) -> Result<(), DomdError> {
     let store = PathBuf::from(args.require("store")?);
-    let (_index, report) =
-        domd::index::DurableIndex::<domd::index::FlatAvlIndex>::recover(&store)?;
-    print_recovery_report(&report);
+    let targets = store_targets(&store)?;
+    let many = targets.len() > 1;
+    for dir in targets {
+        if many {
+            println!("{}:", dir.display());
+        }
+        let (_index, report) =
+            domd::index::DurableIndex::<domd::index::FlatAvlIndex>::recover(&dir)?;
+        print_recovery_report(&report);
+    }
+    Ok(())
+}
+
+/// `domd migrate-store --store DIR --data-dir DIR`: upgrade a pre-v2
+/// store in place. Recovery loads each (sub-)store, projection-only rows
+/// are resolved to their full RCCs against the extracts (only when the
+/// stored projection matches the extract's bit-for-bit), and an
+/// immediate checkpoint persists the upgraded rows as v2 entries and
+/// truncates the WAL. After migration the store rebuilds serving state
+/// by itself — the extracts are no longer load-bearing at startup.
+fn cmd_migrate_store(args: &Args) -> Result<(), DomdError> {
+    use domd::index::{DurableIndex, FlatAvlIndex};
+    use domd::serve::resolve_v1_row;
+    let store = PathBuf::from(args.require("store")?);
+    let ds = load_dataset(args)?;
+    let projected = domd::index::project_dataset(&ds);
+    for dir in store_targets(&store)? {
+        let (mut index, report) = DurableIndex::<FlatAvlIndex>::recover(&dir)?;
+        print_recovery_report(&report);
+        let upgraded = index
+            .migrate_full(|logical| resolve_v1_row(&ds, &projected, logical))
+            .map_err(DomdError::from)?;
+        let unresolved = index.len() - index.full_rows();
+        let path = index.checkpoint()?;
+        println!(
+            "migrated {}: {} row(s) upgraded; {} of {} now carry full payloads; \
+             compacted into {} (WAL truncated)",
+            dir.display(),
+            upgraded,
+            index.full_rows(),
+            index.len(),
+            path.display()
+        );
+        if unresolved > 0 {
+            eprintln!(
+                "warning: {unresolved} row(s) in {} did not match the extracts and stay \
+                 projection-only; re-export extracts covering them and re-run",
+                dir.display()
+            );
+        }
+    }
     Ok(())
 }
 
@@ -350,9 +441,15 @@ fn cmd_checkpoint(args: &Args) -> Result<(), DomdError> {
         }
         let ds = load_dataset(args)?;
         let projected = domd::index::project_dataset(&ds);
-        let index: DurableIndex<FlatAvlIndex> = DurableIndex::create(&store_dir, &projected)?;
+        // Full-row (v2) initialization: the epoch-0 checkpoint carries
+        // each row's RCC fields, so the store can rebuild serving state
+        // without the extracts from its very first generation.
+        let index: DurableIndex<FlatAvlIndex> = DurableIndex::create_full(
+            &store_dir,
+            projected.iter().copied().zip(ds.rccs().iter().cloned()),
+        )?;
         println!(
-            "initialized store {} with {} RCC(s) at epoch 0",
+            "initialized store {} with {} RCC(s) at epoch 0 (full v2 payloads)",
             store_dir.display(),
             index.len()
         );
@@ -368,25 +465,28 @@ fn cmd_checkpoint(args: &Args) -> Result<(), DomdError> {
 /// `domd serve`: the long-running request loop. Loads the extracts and
 /// the pipeline artifact, optionally opens the durable store — one
 /// sub-store per tenant under `--store DIR` (`DIR/tenant-0`, …),
-/// initialized from the extracts' projection on first start, recovered
+/// initialized with full v2 payloads on first start, recovered
 /// (announcing any damage on stderr *before* accepting traffic) on every
 /// later one — then serves the newline protocol from stdin (or
 /// `--script FILE`) until EOF or a `quit` line — the clean-shutdown path.
 ///
-/// A recovered sub-store must match the extracts' projection exactly:
-/// the store logs only each row's logical projection (not its RCC
-/// type/SWLIN/amount), so rows the extracts do not contain cannot be
-/// rebuilt into serving state. Startup refuses such a store with a clear
-/// error rather than silently serving reads that cannot see durably
-/// acknowledged rows.
+/// A recovered sub-store is the system of record: its rows are replayed
+/// into the serving snapshot as a delta stream (bit-identical to a
+/// from-scratch build), so rows the extracts have never seen — every
+/// previously acked ingest — are served again after a restart.
+/// Projection-only rows from a pre-v2 store are resolved against the
+/// extracts when they provably match; anything else is a typed refusal
+/// naming `domd migrate-store` as the repair. With `--store`, ingests
+/// fsync before acking by default (`--ack-sync false` restores
+/// group-commit batching at the cost of the ack guarantee).
 ///
 /// Responses stream to stdout as they complete; refusals are typed
 /// (`kind=overloaded` / `kind=deadline`, both `retryable=true`) so
 /// clients can back off, and a session summary lands on stderr.
 fn cmd_serve(args: &Args) -> Result<(), DomdError> {
     use domd::serve::{
-        announce_recovery, run_session, ServeConfig, ServeCore, SharedModel, TenantSnapshot,
-        WallClock,
+        announce_recovery, rebuild_tenant, run_session, ServeConfig, ServeCore, SharedModel,
+        TenantSnapshot, WallClock,
     };
     let ds = load_dataset(args)?;
     let pipeline = std::sync::Arc::new(load_pipeline_file(args.require("model")?)?);
@@ -399,16 +499,24 @@ fn cmd_serve(args: &Args) -> Result<(), DomdError> {
         queue_capacity: args.parse_opt("queue-capacity", 64usize)?,
         default_budget: args.parse_opt("deadline-ms", 200u64)?,
         cache_capacity: args.parse_opt("cache-capacity", 256usize)?,
+        // Durable serving defaults to fsync-on-ack: an acked ingest
+        // survives `kill -9` at any later instant. SIGTERM-initiated
+        // shutdowns need no special handling — durability never waits
+        // for the clean-exit sync.
+        sync_each_ingest: args.parse_opt("ack-sync", args.get("store").is_some())?,
         ..ServeConfig::default()
     };
-    // Each tenant serves its own epoch-versioned copy of the extracts; a
-    // deployment would load per-tenant data here instead.
-    let snapshots = (0..tenants).map(|_| TenantSnapshot::from_dataset(ds.clone())).collect();
     let model = SharedModel { pipeline, features: domd::features::FeatureEngine::default() };
-    let mut core = ServeCore::new(config, WallClock::new(), model, snapshots);
 
+    // Per-tenant serving state. Without a store each tenant serves its
+    // own epoch-versioned copy of the extracts; with one, the store is
+    // the system of record and the snapshot is rebuilt from it.
+    let mut snapshots: Vec<TenantSnapshot> = Vec::with_capacity(tenants);
+    let mut durables: Vec<Option<domd::index::DurableIndex<domd::index::FlatAvlIndex>>> =
+        Vec::with_capacity(tenants);
     if let Some(store) = args.get("store") {
         use domd::index::{DurableIndex, FlatAvlIndex};
+        let verify_extracts: bool = args.parse_opt("verify-extracts", false)?;
         let base = Path::new(store);
         // Serve keeps one durable sub-store per tenant: per-store row ids
         // can never collide across tenants. A store initialized at the
@@ -429,18 +537,22 @@ fn cmd_serve(args: &Args) -> Result<(), DomdError> {
         for t in 0..tenants {
             let dir = base.join(format!("tenant-{t}"));
             let sub = domd::storage::Store::open(&dir).map_err(DomdError::from)?;
-            let index = if !sub.is_initialized().map_err(DomdError::from)? {
-                // First start: the epoch-0 checkpoint is the extracts'
-                // own projection, so serving state and store agree from
-                // the first ingest on.
-                let index: DurableIndex<FlatAvlIndex> = DurableIndex::create(&dir, &projected)?;
+            if !sub.is_initialized().map_err(DomdError::from)? {
+                // First start: the epoch-0 checkpoint carries the full
+                // extract rows (v2), so every later start can rebuild
+                // serving state from the store alone.
+                let index: DurableIndex<FlatAvlIndex> = DurableIndex::create_full(
+                    &dir,
+                    projected.iter().copied().zip(ds.rccs().iter().cloned()),
+                )?;
                 eprintln!(
                     "serve: tenant {t}: initialized durable store {} from the extracts \
-                     ({} row(s) at epoch 0)",
+                     ({} row(s) at epoch 0, full v2 payloads)",
                     dir.display(),
                     index.len()
                 );
-                index
+                snapshots.push(TenantSnapshot::from_dataset(ds.clone()));
+                durables.push(Some(index));
             } else {
                 // Startup recovery: any WAL damage is surfaced to the
                 // operator before the first request is admitted. An
@@ -449,25 +561,46 @@ fn cmd_serve(args: &Args) -> Result<(), DomdError> {
                 let (index, report) = DurableIndex::<FlatAvlIndex>::recover(&dir)?;
                 eprintln!("serve: tenant {t}: durable store {}", dir.display());
                 announce_recovery(&mut std::io::stderr().lock(), &report);
-                // The serving snapshot is rebuilt from the extracts only,
-                // and the store logs logical projections only — so a
-                // store holding rows the extracts lack cannot be rebuilt
-                // into serving state. Refuse loudly: silently starting
-                // would hide durably acknowledged rows from every read.
-                if index.entries() != projected {
+                // The store is the system of record: rebuild this
+                // tenant's snapshot from its recovered rows, so every
+                // durably acked ingest is served again — bit-identically
+                // to the epoch that first served it.
+                let (snap, summary) = rebuild_tenant(&ds, &index)?;
+                eprintln!(
+                    "serve: tenant {t}: rebuilt {} row(s) from the store ({} full-payload, \
+                     {} resolved against the extracts)",
+                    summary.rows, summary.from_store, summary.from_extracts
+                );
+                if summary.matches_extracts {
+                    eprintln!(
+                        "serve: tenant {t}: cross-check: store matches the extracts' projection"
+                    );
+                } else if verify_extracts {
                     return Err(DomdError::config(format!(
-                        "store {} diverges from the extracts: {} live row(s) in the store vs \
-                         {} projected from the extracts. The store logs only each row's \
-                         logical projection, so rows missing from the extracts cannot be \
-                         rebuilt into serving state. Re-export extracts that include every \
-                         previously ingested RCC, or point --store at a fresh directory.",
-                        dir.display(),
-                        index.len(),
-                        projected.len()
+                        "store {} diverges from the extracts' projection and \
+                         --verify-extracts true was given; re-export extracts covering \
+                         every ingested row or drop the flag to serve from the store alone",
+                        dir.display()
                     )));
+                } else {
+                    eprintln!(
+                        "serve: tenant {t}: cross-check: store has diverged from the \
+                         extracts (expected after ingests); serving the store's rows"
+                    );
                 }
-                index
-            };
+                snapshots.push(snap);
+                durables.push(Some(index));
+            }
+        }
+    } else {
+        for _ in 0..tenants {
+            snapshots.push(TenantSnapshot::from_dataset(ds.clone()));
+            durables.push(None);
+        }
+    }
+    let mut core = ServeCore::new(config, WallClock::new(), model, snapshots);
+    for (t, durable) in durables.into_iter().enumerate() {
+        if let Some(index) = durable {
             core = core.with_durable(t, index)?;
         }
     }
@@ -521,7 +654,7 @@ fn cmd_serve(args: &Args) -> Result<(), DomdError> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n                [--cache-capacity N]  feature-snapshot LRU entries (0 disables; default 1024)\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n  domd checkpoint --store DIR [--data-dir DIR]   compact WAL into a new checkpoint\n                                                 (--data-dir initializes an empty store)\n  domd recover    --store DIR                    replay WAL onto newest intact checkpoint\n  domd serve      --data-dir DIR --model FILE [--store DIR] [--tenants N] [--workers N]\n                  [--queue-capacity N] [--deadline-ms N] [--cache-capacity N] [--script FILE]\n                  long-running request loop over stdin (status|predict|alert|ingest lines;\n                  quit or EOF shuts down cleanly); refusals are typed and retryable;\n                  --store keeps one durable sub-store per tenant (DIR/tenant-0, ...),\n                  initialized from the extracts on first start, recovered afterwards\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
+    "usage:\n  domd generate --out-dir DIR [--seed N] [--avails N] [--rccs N] [--scale N]\n  domd train    --data-dir DIR --out FILE [--grid-step X] [--split-seed N]\n  domd evaluate --data-dir DIR --model FILE [--split-seed N]\n  domd query    --data-dir DIR --model FILE --avail N [--t-star P | --date M/D/YYYY]\n                [--cache-capacity N]  feature-snapshot LRU entries (0 disables; default 1024)\n  domd validate  --data-dir DIR\n  domd obfuscate --data-dir DIR --out-dir DIR [--key N]\n  domd optimize  --data-dir DIR [--out FILE] [--quick true|false]\n  domd checkpoint --store DIR [--data-dir DIR]   compact WAL into a new checkpoint\n                                                 (--data-dir initializes an empty store)\n  domd recover    --store DIR                    replay WAL onto newest intact checkpoint\n                                                 (per tenant sub-store for a serve store)\n  domd migrate-store --store DIR --data-dir DIR  upgrade a pre-v2 store in place: resolve\n                                                 projection-only rows against the extracts\n                                                 and checkpoint them as full v2 payloads\n  domd serve      --data-dir DIR --model FILE [--store DIR] [--tenants N] [--workers N]\n                  [--queue-capacity N] [--deadline-ms N] [--cache-capacity N] [--script FILE]\n                  [--ack-sync true|false] [--verify-extracts true|false]\n                  long-running request loop over stdin (status|predict|alert|ingest lines;\n                  quit or EOF shuts down cleanly); refusals are typed and retryable;\n                  --store keeps one durable sub-store per tenant (DIR/tenant-0, ...),\n                  initialized on first start, then rebuilt from the store alone on every\n                  restart; with --store, ingests fsync before acking (--ack-sync false\n                  restores group-commit batching)\n\nevery command reading --data-dir also accepts --lenient true (quarantine\nbad extract rows instead of failing), and --threads N to cap the worker\npool (0 = auto; results are identical for every value)"
 }
 
 fn main() -> ExitCode {
@@ -545,6 +678,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(&args),
         "checkpoint" => cmd_checkpoint(&args),
         "recover" => cmd_recover(&args),
+        "migrate-store" => cmd_migrate_store(&args),
         "serve" => cmd_serve(&args),
         other => Err(DomdError::config(format!("unknown command {other:?}\n{}", usage()))),
         }
