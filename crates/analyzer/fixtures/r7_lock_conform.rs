@@ -1,0 +1,40 @@
+// lint-fixture: path=crates/serve/src/server.rs
+// R7 lock-order conforming patterns: ascending-rank nesting, guards
+// scoped to an inner block before calling down the hierarchy, and
+// chained statement temporaries (transient guards).
+
+pub struct Server;
+
+impl Server {
+    /// Ascending rank is the sanctioned nesting order.
+    fn swap_then_wal(&self) -> Result<(), ()> {
+        let current = self.current.lock().map_err(drop)?;
+        let wal = self.wal.lock().map_err(drop)?;
+        wal.append(current.epoch());
+        Ok(())
+    }
+
+    /// Ending the guard's block before calling down the hierarchy is
+    /// the sanctioned fix for a held-across-call finding.
+    fn scoped_then_call(&self) -> Result<u32, ()> {
+        let epoch = {
+            let wal = self.wal.lock().map_err(drop)?;
+            wal.epoch()
+        };
+        self.reindex(epoch)
+    }
+
+    fn reindex(&self, epoch: u32) -> Result<u32, ()> {
+        let durable = self.durable.lock().map_err(drop)?;
+        Ok(durable.insert(epoch))
+    }
+
+    /// A chained guard is a statement temporary: it participates as the
+    /// inner lock of an ordering check but is never modeled as held, so
+    /// the later durable-index acquisition is clean.
+    fn chained_probe(&self) -> Result<usize, ()> {
+        let pending = self.wal.lock().map_err(drop)?.len();
+        let durable = self.durable.lock().map_err(drop)?;
+        Ok(durable.len() + pending)
+    }
+}

@@ -1,0 +1,61 @@
+// lint-fixture: path=crates/serve/src/server.rs
+// R7 lock-order: acquisitions must follow the declared hierarchy
+// (epoch-swap 0 < tenant 1 < durable-index 2 < wal-file 3). Same-class
+// re-acquisition while a guard is live is a self-deadlock; holding a
+// guard across a call chain that can (transitively) acquire the same
+// class or a lower rank is flagged at the *acquisition* line, so a
+// waiver on the call site cannot suppress it.
+
+pub struct Server;
+
+impl Server {
+    /// Same-body inversion: wal-file (rank 3) held, then durable-index
+    /// (rank 2) acquired underneath it.
+    fn flush_then_index(&self) -> Result<(), ()> {
+        let wal = self.wal.lock().map_err(drop)?;
+        let durable = self.durable.lock().map_err(drop)?; //~ lock-order
+        durable.apply(&wal);
+        Ok(())
+    }
+
+    /// Same-class re-acquisition while the first guard is still live.
+    fn double_wal(&self) -> Result<(), ()> {
+        let first = self.wal.lock().map_err(drop)?;
+        let second = self.wal.lock().map_err(drop)?; //~ lock-order
+        first.merge(second);
+        Ok(())
+    }
+
+    /// The interprocedural inversion: the wal-file guard is held across
+    /// a call chain (`relay` → `reindex`) whose last frame acquires
+    /// durable-index (rank 2) — invisible to any same-body scan. The
+    /// finding anchors here, at the acquisition.
+    fn hold_across_chain(&self) -> Result<(), ()> {
+        let wal = self.wal.lock().map_err(drop)?; //~ lock-order
+        self.relay(&wal);
+        Ok(())
+    }
+
+    fn relay(&self, wal: &WalGuard) {
+        self.reindex(wal.rows());
+    }
+
+    fn reindex(&self, rows: u32) -> Result<(), ()> {
+        let durable = self.durable.lock().map_err(drop)?;
+        durable.insert(rows);
+        Ok(())
+    }
+
+    /// Held across a call that can re-acquire the *same* class: a
+    /// self-deadlock through the call graph.
+    fn requeue(&self) -> Result<(), ()> {
+        let wal = self.wal.lock().map_err(drop)?; //~ lock-order
+        self.append_tail();
+        Ok(())
+    }
+
+    fn append_tail(&self) {
+        let wal = self.wal.lock().map_err(drop);
+        drop(wal);
+    }
+}

@@ -1,0 +1,20 @@
+// lint-fixture: path=crates/serve/src/server.rs
+// R8 ack-order, conforming: the fsync runs inside the update closure —
+// arguments take effect before the call they feed — so it dominates the
+// publish inside `update` and the ack that follows.
+
+pub struct Server;
+
+impl Server {
+    pub fn handle_ingest(&mut self, rows: &[Row]) -> Reply {
+        let applied = self.update(|snap| {
+            snap.ingest(rows);
+            self.index.sync()
+        });
+        Reply::Ingested { applied }
+    }
+
+    fn update(&self, next: Epoch) -> usize {
+        self.store.install(next)
+    }
+}

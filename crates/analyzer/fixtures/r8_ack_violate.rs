@@ -1,0 +1,23 @@
+// lint-fixture: path=crates/serve/src/server.rs
+// R8 ack-order: on the serve ingest path, every epoch publish and every
+// protocol ack must be dominated by an fsync ("acked ⇒ durable"). This
+// entry publishes through a helper and acks with nothing synced — both
+// are flagged, the publish at its own line inside the helper.
+
+pub struct Server;
+
+impl Server {
+    pub fn handle_ingest(&mut self, rows: &[Row]) -> Reply {
+        let applied = self.apply_rows(rows);
+        self.publish_epoch();
+        Reply::Ingested { applied } //~ ack-order
+    }
+
+    fn apply_rows(&mut self, rows: &[Row]) -> usize {
+        rows.len()
+    }
+
+    fn publish_epoch(&mut self) {
+        self.store.install(self.pending.take()); //~ ack-order
+    }
+}

@@ -1,0 +1,19 @@
+// lint-fixture: path=src/bin/domd.rs
+// R9 exit-code-map, conforming: every variant has exactly one literal
+// code, no wildcard, and the doc table lists exactly the mapped codes.
+
+pub enum DomdError {
+    Config { message: String },
+    Io { context: String },
+}
+
+/// | code | failure class |
+/// |------|---------------|
+/// | 2    | configuration |
+/// | 3    | storage I/O   |
+fn exit_code(e: &DomdError) -> u8 {
+    match e {
+        DomdError::Config { .. } => 2,
+        DomdError::Io { .. } => 3,
+    }
+}

@@ -1,0 +1,29 @@
+// lint-fixture: path=src/bin/domd.rs
+// R9 exit-code-map: every DomdError variant maps to exactly one literal
+// exit code, no wildcard arm may hide new variants, and the doc-comment
+// table must list exactly the mapped codes. This fixture drifts in every
+// direction at once: an unmapped variant, a stale arm sharing a code, a
+// wildcard, a documented code nothing maps to, and a mapped code the
+// table omits (anchored at the table's first row).
+
+pub enum DomdError {
+    Config { message: String },
+    Io { context: String },
+    Parse { line: usize }, //~ exit-code-map
+    Overload { shed: usize },
+}
+
+/// | code | failure class |
+/// |------|---------------|
+/// | 2    | configuration | //~ exit-code-map
+/// | 3    | storage I/O   |
+/// | 9    | never mapped  | //~ exit-code-map
+fn exit_code(e: &DomdError) -> u8 {
+    match e {
+        DomdError::Config { .. } => 2,
+        DomdError::Io { .. } => 3,
+        DomdError::Gone { .. } => 3, //~ exit-code-map
+        DomdError::Overload { .. } => 10,
+        _ => 1, //~ exit-code-map
+    }
+}

@@ -2,13 +2,21 @@
 //!
 //! ```text
 //! domd-lint [--root DIR] [--format human|json]   scan the workspace
+//!           [--no-cache | --cache FILE]          incremental cache control
 //! domd-lint --self-check [--fixtures DIR]        verify rules vs. corpus
+//! domd-lint --explain RULE                       print what a rule enforces
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations (or self-check failure),
 //! `2` usage / I/O error. CI runs both modes (`scripts/lint.sh`) before
 //! clippy, so a rule regression and a workspace regression both fail the
 //! gate.
+//!
+//! Workspace sweeps keep per-file summaries in `<root>/.domd-lint-cache`
+//! keyed by content hash; the interprocedural rules and waiver
+//! accounting always run fresh, so cached and cold sweeps report
+//! identically. `--no-cache` forces a cold sweep; `--cache FILE` moves
+//! the cache (the bench harness points it into a temp dir).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,6 +26,9 @@ struct Args {
     format: Format,
     self_check: bool,
     fixtures: Option<PathBuf>,
+    explain: Option<String>,
+    no_cache: bool,
+    cache: Option<PathBuf>,
 }
 
 #[derive(PartialEq)]
@@ -27,8 +38,15 @@ enum Format {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { root: None, format: Format::Human, self_check: false, fixtures: None };
+    let mut args = Args {
+        root: None,
+        format: Format::Human,
+        self_check: false,
+        fixtures: None,
+        explain: None,
+        no_cache: false,
+        cache: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -39,6 +57,15 @@ fn parse_args() -> Result<Args, String> {
             "--fixtures" => match it.next() {
                 Some(v) => args.fixtures = Some(PathBuf::from(v)),
                 None => return Err("--fixtures takes a directory".into()),
+            },
+            "--cache" => match it.next() {
+                Some(v) => args.cache = Some(PathBuf::from(v)),
+                None => return Err("--cache takes a file path".into()),
+            },
+            "--no-cache" => args.no_cache = true,
+            "--explain" => match it.next() {
+                Some(v) => args.explain = Some(v),
+                None => return Err("--explain takes a rule id (e.g. lock-order)".into()),
             },
             "--format" => match it.next().as_deref() {
                 Some("human") => args.format = Format::Human,
@@ -54,7 +81,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: domd-lint [--root DIR] [--format human|json] \
-                     [--self-check [--fixtures DIR]]"
+                     [--no-cache | --cache FILE] [--self-check [--fixtures DIR]] \
+                     [--explain RULE]"
                         .into(),
                 )
             }
@@ -73,6 +101,24 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(id) = &args.explain {
+        return match domd_analyzer::Rule::from_id(id) {
+            Some(rule) => {
+                print!("{}", rule.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                let known: Vec<&str> = domd_analyzer::Rule::ALL
+                    .iter()
+                    .map(|r| r.id())
+                    .chain(["waiver-policy"])
+                    .collect();
+                eprintln!("domd-lint: unknown rule `{id}` — one of: {}", known.join(", "));
+                ExitCode::from(2)
+            }
+        };
+    }
+
     if args.self_check {
         let fixtures = args
             .fixtures
@@ -89,8 +135,13 @@ fn main() -> ExitCode {
             domd_analyzer::find_root(&cwd).unwrap_or(cwd)
         }
     };
-    match domd_analyzer::scan_workspace(&root) {
-        Ok(report) => {
+    let cache_path = if args.no_cache {
+        None
+    } else {
+        Some(args.cache.unwrap_or_else(|| root.join(".domd-lint-cache")))
+    };
+    match domd_analyzer::scan_workspace_cached(&root, cache_path.as_deref()) {
+        Ok((report, _stats)) => {
             match args.format {
                 Format::Human => print!("{}", report.render_human()),
                 Format::Json => print!("{}", report.render_json()),

@@ -1,0 +1,429 @@
+//! Content-hash incremental caching of per-file summaries.
+//!
+//! The expensive half of a sweep — lex, parse, per-file rules — is a
+//! pure function of `(rel_path, file contents)`, captured as a
+//! [`FileSummary`]. The cache persists one summary per file keyed by an
+//! FNV-1a 64 hash of the contents; a warm sweep re-reads and re-hashes
+//! every file (cheap) and re-runs analysis only where the hash moved.
+//! The cross-file work — call-graph construction, R7/R8/R9, waiver
+//! accounting — always runs fresh over the summaries, so cached and
+//! cold sweeps produce *identical* reports by construction; the
+//! `bench.sh SUITE=lint` identity gate pins that equivalence.
+//!
+//! The format is a versioned, line-oriented text file. Any parse
+//! trouble — truncation, a stale version, a hand-edit — discards the
+//! whole cache and falls back to a cold sweep: the cache can make a
+//! sweep faster, never wrong. [`VERSION`] must be bumped whenever rule
+//! semantics or the summary shape change, so a stale cache from an older
+//! binary can never satisfy a newer policy.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::parser::{EvKind, Event, ExitMap, FnDef};
+use crate::report::{Finding, Rule, Waiver};
+use crate::rules::FileSummary;
+
+/// Cache format + rule-semantics version. Bump on any change to the
+/// summary shape *or* to what `analyze_file` computes.
+pub const VERSION: u32 = 3;
+
+/// The header line a valid cache file starts with.
+fn header() -> String {
+    format!("domd-lint-cache v{VERSION}")
+}
+
+/// FNV-1a 64 over the file contents — std-only, stable across runs and
+/// platforms (unlike `DefaultHasher`, which is seeded per process).
+pub fn content_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An in-memory cache: rel path → (content hash, summary).
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (u64, FileSummary)>,
+}
+
+impl Cache {
+    /// Looks up a summary by path + current content hash.
+    pub fn get(&self, rel: &str, hash: u64) -> Option<&FileSummary> {
+        self.entries.get(rel).filter(|(h, _)| *h == hash).map(|(_, s)| s)
+    }
+
+    /// Removes and returns a summary by path + current content hash —
+    /// the sweep's move-not-clone hit path. A hash mismatch leaves the
+    /// stale entry in place (the sweep re-analyzes, counts a miss, and
+    /// rewrites the cache anyway); entries still present after a sweep
+    /// belong to deleted files and force a rewrite too.
+    pub fn take(&mut self, rel: &str, hash: u64) -> Option<FileSummary> {
+        match self.entries.get(rel) {
+            Some((h, _)) if *h == hash => self.entries.remove(rel).map(|(_, s)| s),
+            _ => None,
+        }
+    }
+
+    /// Records a freshly computed summary.
+    pub fn put(&mut self, hash: u64, summary: FileSummary) {
+        self.entries.insert(summary.rel.clone(), (hash, summary));
+    }
+
+    /// Entry count (for stats).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses a cache file's contents. `None` on any version mismatch or
+    /// malformation — the caller falls back to a cold sweep.
+    pub fn parse(text: &str) -> Option<Cache> {
+        let mut lines = text.lines();
+        if lines.next()? != header() {
+            return None;
+        }
+        let mut cache = Cache::default();
+        let mut cur: Option<(u64, FileSummary)> = None;
+        for line in lines {
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match tag {
+                "file" => {
+                    let (hash, rel) = rest.split_once(' ')?;
+                    cur = Some((
+                        hash.parse().ok()?,
+                        FileSummary { rel: unesc(rel), ..FileSummary::default() },
+                    ));
+                }
+                "end" => {
+                    let (hash, summary) = cur.take()?;
+                    cache.put(hash, summary);
+                }
+                _ => {
+                    let (_, s) = cur.as_mut()?;
+                    parse_line(tag, rest, s)?;
+                }
+            }
+        }
+        if cur.is_some() {
+            return None; // truncated mid-entry
+        }
+        Some(cache)
+    }
+
+    /// Serializes the cache for persistence.
+    pub fn render(&self) -> String {
+        render_entries(self.entries.iter().map(|(rel, (h, s))| (rel.as_str(), *h, s)))
+    }
+}
+
+/// Serializes freshly swept summaries without building an intermediate
+/// `Cache` — the sweep hands `(rel, hash, summary)` borrows in path
+/// order, so the summaries stay movable into `finish` afterwards.
+pub fn render_entries<'a>(
+    entries: impl Iterator<Item = (&'a str, u64, &'a FileSummary)>,
+) -> String {
+    let mut out = header();
+    out.push('\n');
+    for (rel, hash, s) in entries {
+        let _ = writeln!(out, "file {hash} {}", esc(rel));
+        for f in &s.raw {
+            let _ = writeln!(out, "F {} {} {}", f.line, f.rule.id(), esc(&f.message));
+        }
+        for f in &s.meta {
+            let _ = writeln!(out, "M {} {} {}", f.line, f.rule.id(), esc(&f.message));
+        }
+        for w in &s.waivers {
+            let _ = writeln!(out, "W {} {} {}", w.line, w.rule.id(), esc(&w.justification));
+        }
+        for (a, b) in &s.test_ranges {
+            let _ = writeln!(out, "T {a} {b}");
+        }
+        for (v, line) in &s.error_variants {
+            let _ = writeln!(out, "V {line} {v}");
+        }
+        if let Some(m) = &s.exit_map {
+            let wc = m.wildcard.map_or(-1i64, |l| l as i64);
+            let _ = writeln!(out, "X {} {wc}", m.fn_line);
+            for (v, code, line) in &m.arms {
+                let _ = writeln!(out, "XA {line} {} {v}", esc_cell(code));
+            }
+            for (code, line) in &m.doc_codes {
+                let _ = writeln!(out, "XD {line} {code}");
+            }
+        }
+        for f in &s.fns {
+            let _ = writeln!(
+                out,
+                "fn {} {} {} {}",
+                f.line,
+                u8::from(f.is_test),
+                esc_cell(&f.name),
+                esc_cell(&f.qual)
+            );
+            let blocks: Vec<String> = f.blocks.iter().map(u32::to_string).collect();
+            let _ = writeln!(out, "B {}", blocks.join(" "));
+            for e in &f.events {
+                // Pruned files carry only zero-positioned call edges
+                // (see `parser::prune_to_call_edges`); a short form
+                // keeps the dominant line type cheap to write and
+                // re-parse on warm sweeps.
+                if e.kind == EvKind::Call
+                    && e.line == 0
+                    && e.seq == 0
+                    && e.block == 0
+                    && !e.chained
+                {
+                    let _ = match &e.recv {
+                        Some(r) => writeln!(out, "e {} {}", esc_cell(&e.name), esc_cell(r)),
+                        None => writeln!(out, "e {} -", esc_cell(&e.name)),
+                    };
+                    continue;
+                }
+                let kind = match e.kind {
+                    EvKind::Call => 'C',
+                    EvKind::Marker => 'K',
+                };
+                let _ = writeln!(
+                    out,
+                    "E {kind} {} {} {} {} {} {}",
+                    e.line,
+                    e.seq,
+                    e.block,
+                    u8::from(e.chained),
+                    esc_cell(&e.name),
+                    e.recv.as_deref().map_or_else(|| "-".to_string(), esc_cell),
+                );
+            }
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parses one body line into the current summary. `None` aborts the
+/// whole cache load.
+fn parse_line(tag: &str, rest: &str, s: &mut FileSummary) -> Option<()> {
+    match tag {
+        "F" | "M" => {
+            let (line, rest) = rest.split_once(' ')?;
+            let (rule, msg) = rest.split_once(' ')?;
+            let f = Finding {
+                file: s.rel.clone(),
+                line: line.parse().ok()?,
+                rule: Rule::from_id(rule)?,
+                message: unesc(msg),
+            };
+            if tag == "F" { s.raw.push(f) } else { s.meta.push(f) }
+        }
+        "W" => {
+            let (line, rest) = rest.split_once(' ')?;
+            let (rule, just) = rest.split_once(' ')?;
+            s.waivers.push(Waiver {
+                file: s.rel.clone(),
+                line: line.parse().ok()?,
+                rule: Rule::from_id(rule)?,
+                justification: unesc(just),
+            });
+        }
+        "T" => {
+            let (a, b) = rest.split_once(' ')?;
+            s.test_ranges.push((a.parse().ok()?, b.parse().ok()?));
+        }
+        "V" => {
+            let (line, v) = rest.split_once(' ')?;
+            s.error_variants.push((v.to_string(), line.parse().ok()?));
+        }
+        "X" => {
+            let (fn_line, wc) = rest.split_once(' ')?;
+            let wc: i64 = wc.parse().ok()?;
+            s.exit_map = Some(ExitMap {
+                fn_line: fn_line.parse().ok()?,
+                wildcard: usize::try_from(wc).ok(),
+                ..ExitMap::default()
+            });
+        }
+        "XA" => {
+            let (line, rest) = rest.split_once(' ')?;
+            let (code, v) = rest.split_once(' ')?;
+            s.exit_map.as_mut()?.arms.push((
+                v.to_string(),
+                unesc_cell(code),
+                line.parse().ok()?,
+            ));
+        }
+        "XD" => {
+            let (line, code) = rest.split_once(' ')?;
+            s.exit_map.as_mut()?.doc_codes.push((code.parse().ok()?, line.parse().ok()?));
+        }
+        "fn" => {
+            let mut it = rest.splitn(4, ' ');
+            let (line, is_test, name, qual) = (it.next()?, it.next()?, it.next()?, it.next()?);
+            s.fns.push(FnDef {
+                name: unesc_cell(name),
+                qual: unesc_cell(qual),
+                line: line.parse().ok()?,
+                is_test: is_test == "1",
+                blocks: Vec::new(),
+                events: Vec::new(),
+            });
+        }
+        "B" => {
+            let f = s.fns.last_mut()?;
+            for p in rest.split(' ').filter(|p| !p.is_empty()) {
+                f.blocks.push(p.parse().ok()?);
+            }
+        }
+        "e" => {
+            let (name, recv) = rest.split_once(' ')?;
+            s.fns.last_mut()?.events.push(Event {
+                kind: EvKind::Call,
+                name: unesc_cell(name),
+                recv: (recv != "-").then(|| unesc_cell(recv)),
+                line: 0,
+                seq: 0,
+                block: 0,
+                chained: false,
+            });
+        }
+        "E" => {
+            let mut it = rest.splitn(7, ' ');
+            let (kind, line, seq, block, chained, name, recv) = (
+                it.next()?,
+                it.next()?,
+                it.next()?,
+                it.next()?,
+                it.next()?,
+                it.next()?,
+                it.next()?,
+            );
+            s.fns.last_mut()?.events.push(Event {
+                kind: if kind == "C" { EvKind::Call } else { EvKind::Marker },
+                name: unesc_cell(name),
+                recv: (recv != "-").then(|| unesc_cell(recv)),
+                line: line.parse().ok()?,
+                seq: seq.parse().ok()?,
+                block: block.parse().ok()?,
+                chained: chained == "1",
+            });
+        }
+        _ => return None,
+    }
+    Some(())
+}
+
+/// Escapes a free-text field (last on its line): newlines and
+/// backslashes, so `lines()` round-trips.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n").replace('\r', "\\r")
+}
+
+fn unesc(s: &str) -> String {
+    // Fast path — almost every cached cell and message is escape-free.
+    if !s.contains('\\') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Escapes an interior cell (identifiers, literal text): like [`esc`]
+/// plus spaces, since later cells follow on the same line.
+fn esc_cell(s: &str) -> String {
+    if s.is_empty() {
+        return "\\0".to_string();
+    }
+    esc(s).replace(' ', "\\s")
+}
+
+fn unesc_cell(s: &str) -> String {
+    if s == "\\0" {
+        return String::new();
+    }
+    if !s.contains('\\') {
+        return s.to_string();
+    }
+    unesc(&s.replace("\\s", " "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::analyze_file;
+
+    #[test]
+    fn content_hash_is_fnv1a() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(content_hash("fn a() {}"), content_hash("fn b() {}"));
+    }
+
+    #[test]
+    fn summaries_round_trip_through_the_text_format() {
+        let src = "\
+//! | 2 | config |
+fn handle_ingest(&self) {
+    let g = self.durable.lock();
+    self.store.update(|s| { d.sync(); });
+    let n = self.cache.try_lock().expect(\"c\").len();
+    Ok(Reply::Ingested { row })
+}
+pub enum DomdError { Config { m: String }, Io }
+fn exit_code(e: &DomdError) -> u8 {
+    match e { DomdError::Config { .. } => 2, _ => 1 }
+}
+#[cfg(test)]
+mod tests { fn t() { x.unwrap(); } }
+";
+        let s = analyze_file("crates/serve/src/server.rs", src);
+        assert!(!s.fns.is_empty());
+        assert!(s.exit_map.is_some());
+        let mut cache = Cache::default();
+        cache.put(content_hash(src), s.clone());
+        let reparsed = Cache::parse(&cache.render()).expect("round-trip parse");
+        assert_eq!(reparsed.get("crates/serve/src/server.rs", content_hash(src)), Some(&s));
+        // A different hash must miss.
+        assert_eq!(reparsed.get("crates/serve/src/server.rs", 1), None);
+    }
+
+    #[test]
+    fn version_and_corruption_discard_the_cache() {
+        assert!(Cache::parse("domd-lint-cache v1\n").is_none());
+        assert!(Cache::parse("").is_none());
+        let mut cache = Cache::default();
+        cache.put(7, analyze_file("a.rs", "fn f() {}"));
+        let text = cache.render();
+        // Truncate mid-entry: the `end` line is lost.
+        let cut = text.rfind("end").expect("end tag");
+        assert!(Cache::parse(&text[..cut]).is_none());
+    }
+
+    #[test]
+    fn escaping_handles_spaces_newlines_and_empty_cells() {
+        assert_eq!(unesc_cell(&esc_cell("a b\nc\\d")), "a b\nc\\d");
+        assert_eq!(unesc_cell(&esc_cell("")), "");
+        assert_eq!(unesc(&esc("line1\nline2\r")), "line1\nline2\r");
+    }
+}

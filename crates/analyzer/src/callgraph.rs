@@ -1,0 +1,603 @@
+//! The intra-workspace call graph and the interprocedural rules.
+//!
+//! # Name resolution and the over-approximation policy
+//!
+//! Edges are resolved by *identifier*: a call event `foo(…)` / `x.foo(…)`
+//! links to every non-test workspace `fn foo`, regardless of receiver
+//! type — the analyzer has no type information. This over-approximates
+//! in both directions we accept:
+//!
+//! * **Too many callees** — `Foo::new()` links to every `fn new`. Harmless
+//!   unless some same-named fn acquires a governed lock, in which case a
+//!   spurious finding takes a justified waiver (none needed today).
+//! * **Trait/closure indirection is invisible** — a call through a
+//!   `dyn Fn` resolves to nothing and the path is not followed. The
+//!   governed paths (ingest, publish, durable sync) are direct calls by
+//!   construction, and the `workspace_clean` test keeps them that way.
+//!
+//! Lock guards are modeled as held from acquisition to the end of the
+//! enclosing block — longer than true NLL drop points, never shorter —
+//! except *chained* guards (`x.lock().expect("…").field.len()`), which
+//! are statement temporaries: they participate as the inner acquisition
+//! of an ordering check but are not held afterwards.
+//!
+//! The "can acquire" set of each fn is a fixpoint over the graph: direct
+//! classified acquisitions plus everything reachable through calls, so a
+//! violation is caught through any number of intervening frames.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::config;
+use crate::parser::{block_contains, EvKind, ExitMap};
+use crate::report::{Finding, Rule};
+use crate::rules::FileSummary;
+
+/// FNV-1a 64 hasher for the graph's hot maps — std-only and
+/// deterministic. The maps are only ever probed by key (never iterated
+/// into output), so hash order cannot leak into findings; the worklist
+/// seed below iterates one, but a fixpoint is order-independent.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv>>;
+
+/// One documented exit-code table found outside the workspace's Rust
+/// sources (e.g. the README), as `(code, 1-based line)` rows.
+#[derive(Debug, Clone, Default)]
+pub struct DocTable {
+    /// Path of the document, workspace-relative.
+    pub file: String,
+    /// Line of the table header (anchor for "missing row" findings).
+    pub header_line: usize,
+    /// Parsed `| N | … |` rows.
+    pub rows: Vec<(u32, usize)>,
+}
+
+/// Runs R7, R8, and R9 over the summarized workspace (or a single
+/// summarized fixture) and returns the raw, pre-waiver findings.
+pub fn interprocedural(files: &[FileSummary], doc_tables: &[DocTable]) -> Vec<Finding> {
+    let g = Graph::build(files);
+    let mut out = Vec::new();
+    lock_order(&g, &mut out);
+    ack_order(&g, &mut out);
+    exit_code_map(files, doc_tables, &mut out);
+    out
+}
+
+/// A fn reference: (file index, fn index).
+type FnRef = (usize, usize);
+
+struct Graph<'a> {
+    files: &'a [FileSummary],
+    /// Bare fn name → every non-test definition.
+    by_name: FnvMap<&'a str, Vec<FnRef>>,
+    /// Transitively acquirable lock classes per fn (indices into
+    /// [`config::LOCK_HIERARCHY`]).
+    can_acquire: FnvMap<FnRef, BTreeSet<usize>>,
+}
+
+impl<'a> Graph<'a> {
+    fn build(files: &'a [FileSummary]) -> Graph<'a> {
+        let mut by_name: FnvMap<&str, Vec<FnRef>> = FnvMap::default();
+        for (fi, f) in files.iter().enumerate() {
+            for (ni, def) in f.fns.iter().enumerate() {
+                if !def.is_test {
+                    by_name.entry(&def.name).or_default().push((fi, ni));
+                }
+            }
+        }
+
+        // Direct acquisitions, plus call edges resolved by name exactly
+        // once and kept as a *reverse* adjacency (callee → callers).
+        let mut can_acquire: FnvMap<FnRef, BTreeSet<usize>> = FnvMap::default();
+        let mut callers: FnvMap<FnRef, Vec<FnRef>> = FnvMap::default();
+        for (fi, f) in files.iter().enumerate() {
+            for (ni, def) in f.fns.iter().enumerate() {
+                let caller = (fi, ni);
+                let mut direct = BTreeSet::new();
+                for ev in &def.events {
+                    if ev.kind != EvKind::Call {
+                        continue;
+                    }
+                    if let Some(ci) = acquisition_class(&ev.name, ev.recv.as_deref()) {
+                        direct.insert(ci);
+                    }
+                    // A caller may land in a callee's list more than
+                    // once (two call names resolving to one fn); the
+                    // worklist extend is idempotent, so deduping here
+                    // would cost more than the duplicate visit.
+                    for callee in by_name.get(ev.name.as_str()).into_iter().flatten() {
+                        callers.entry(*callee).or_default().push(caller);
+                    }
+                }
+                can_acquire.insert(caller, direct);
+            }
+        }
+
+        // Worklist fixpoint: when a fn's acquirable set grows, only its
+        // callers can change, so only they are revisited. Converges
+        // because sets only grow and are bounded by the hierarchy size;
+        // cycles just stop re-enqueueing once saturated.
+        let mut work: Vec<FnRef> =
+            can_acquire.iter().filter(|(_, s)| !s.is_empty()).map(|(f, _)| *f).collect();
+        while let Some(f) = work.pop() {
+            let classes = can_acquire.get(&f).cloned().unwrap_or_default();
+            for caller in callers.get(&f).into_iter().flatten() {
+                let set = can_acquire.entry(*caller).or_default();
+                let before = set.len();
+                set.extend(classes.iter().copied());
+                if set.len() != before {
+                    work.push(*caller);
+                }
+            }
+        }
+        Graph { files, by_name, can_acquire }
+    }
+
+    fn callees(&self, name: &str) -> &[FnRef] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// The hierarchy index acquired by a call event, if any: a lock method
+/// on a classified receiver, or a guard-returning helper fn.
+fn acquisition_class(name: &str, recv: Option<&str>) -> Option<usize> {
+    if config::LOCK_METHODS.contains(&name) {
+        let recv = recv?;
+        return config::LOCK_HIERARCHY.iter().position(|(r, _, _)| *r == recv);
+    }
+    let class = config::GUARD_FNS.iter().find(|(f, _)| *f == name).map(|(_, c)| *c)?;
+    config::LOCK_HIERARCHY.iter().position(|(_, c, _)| *c == class)
+}
+
+fn class_name(ci: usize) -> &'static str {
+    config::LOCK_HIERARCHY[ci].1
+}
+
+fn class_rank(ci: usize) -> u8 {
+    config::LOCK_HIERARCHY[ci].2
+}
+
+/// R7 — lock-order.
+fn lock_order(g: &Graph<'_>, out: &mut Vec<Finding>) {
+    for file in g.files {
+        if !config::LOCK_ORDER_FILES.contains(&file.rel.as_str()) {
+            continue;
+        }
+        for def in &file.fns {
+            if def.is_test {
+                continue;
+            }
+            struct Acq {
+                class: usize,
+                line: usize,
+                seq: u32,
+                block: u32,
+                transient: bool,
+            }
+            let acqs: Vec<Acq> = def
+                .events
+                .iter()
+                .filter(|e| e.kind == EvKind::Call)
+                .filter_map(|e| {
+                    acquisition_class(&e.name, e.recv.as_deref()).map(|class| Acq {
+                        class,
+                        line: e.line,
+                        seq: e.seq,
+                        block: e.block,
+                        transient: e.chained,
+                    })
+                })
+                .collect();
+
+            // Nested-acquisition checks: same class is a self-deadlock,
+            // a descending rank is a hierarchy inversion. Distinct
+            // classes of equal rank are unordered and allowed.
+            for a in &acqs {
+                for h in &acqs {
+                    let held = h.seq < a.seq
+                        && !h.transient
+                        && block_contains(&def.blocks, h.block, a.block);
+                    if !held {
+                        continue;
+                    }
+                    if h.class == a.class {
+                        out.push(Finding {
+                            file: file.rel.clone(),
+                            line: a.line,
+                            rule: Rule::LockOrder,
+                            message: format!(
+                                "re-acquires `{}` while the guard taken at line {} is \
+                                 still held — self-deadlock (drop the first guard, end \
+                                 its block, before acquiring again)",
+                                class_name(a.class),
+                                h.line
+                            ),
+                        });
+                    } else if class_rank(a.class) < class_rank(h.class) {
+                        out.push(Finding {
+                            file: file.rel.clone(),
+                            line: a.line,
+                            rule: Rule::LockOrder,
+                            message: format!(
+                                "acquires `{}` (rank {}) while `{}` (rank {}, line {}) \
+                                 is held — inverts the declared lock hierarchy \
+                                 (DESIGN.md §14); acquire in ascending rank order",
+                                class_name(a.class),
+                                class_rank(a.class),
+                                class_name(h.class),
+                                class_rank(h.class),
+                                h.line
+                            ),
+                        });
+                    }
+                }
+            }
+
+            // Held-across-call checks: a guard held while calling into
+            // code that can (transitively) re-acquire its class, or
+            // acquire down the hierarchy. Findings anchor at the
+            // *acquisition* — a waiver on the call site must not
+            // suppress them. Acquisition events themselves were checked
+            // above and are skipped here.
+            let mut seen: BTreeSet<(u32, usize, bool)> = BTreeSet::new();
+            for ev in &def.events {
+                if ev.kind != EvKind::Call
+                    || acquisition_class(&ev.name, ev.recv.as_deref()).is_some()
+                {
+                    continue;
+                }
+                let callees = g.callees(&ev.name);
+                if callees.is_empty() {
+                    continue;
+                }
+                let mut classes: BTreeSet<usize> = BTreeSet::new();
+                for c in callees {
+                    if let Some(s) = g.can_acquire.get(c) {
+                        classes.extend(s.iter().copied());
+                    }
+                }
+                if classes.is_empty() {
+                    continue;
+                }
+                for h in &acqs {
+                    let held = h.seq < ev.seq
+                        && !h.transient
+                        && block_contains(&def.blocks, h.block, ev.block);
+                    if !held {
+                        continue;
+                    }
+                    if classes.contains(&h.class) && seen.insert((h.seq, h.class, true)) {
+                        out.push(Finding {
+                            file: file.rel.clone(),
+                            line: h.line,
+                            rule: Rule::LockOrder,
+                            message: format!(
+                                "`{}` guard held across the call to `{}` (line {}), \
+                                 which can re-acquire `{}` through the call graph — \
+                                 drop the guard before the call",
+                                class_name(h.class),
+                                ev.name,
+                                ev.line,
+                                class_name(h.class)
+                            ),
+                        });
+                    } else if let Some(&low) = classes
+                        .iter()
+                        .find(|ci| class_rank(**ci) < class_rank(h.class))
+                    {
+                        if seen.insert((h.seq, low, false)) {
+                            out.push(Finding {
+                                file: file.rel.clone(),
+                                line: h.line,
+                                rule: Rule::LockOrder,
+                                message: format!(
+                                    "`{}` (rank {}) held across the call to `{}` \
+                                     (line {}), which can acquire `{}` (rank {}) — \
+                                     hierarchy inversion through the call graph",
+                                    class_name(h.class),
+                                    class_rank(h.class),
+                                    ev.name,
+                                    ev.line,
+                                    class_name(low),
+                                    class_rank(low)
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A flattened R8 event.
+enum FlatEv {
+    Sync,
+    Publish { file: String, line: usize, name: String },
+    Ack { file: String, line: usize, name: String },
+}
+
+/// R8 — ack-order: from each ingest entry point, flatten the call graph
+/// (calls take effect after their arguments) and require a sync before
+/// every publish and every ack marker.
+fn ack_order(g: &Graph<'_>, out: &mut Vec<Finding>) {
+    for (fi, file) in g.files.iter().enumerate() {
+        if !config::ACK_ORDER_FILES.contains(&file.rel.as_str()) {
+            continue;
+        }
+        for (ni, def) in file.fns.iter().enumerate() {
+            if def.is_test || !config::ACK_ENTRIES.contains(&def.name.as_str()) {
+                continue;
+            }
+            let mut flat = Vec::new();
+            let mut path = vec![(fi, ni)];
+            flatten(g, (fi, ni), &mut path, &mut flat, 0);
+            let mut synced = false;
+            for ev in &flat {
+                match ev {
+                    FlatEv::Sync => synced = true,
+                    FlatEv::Publish { file, line, name } if !synced => {
+                        out.push(Finding {
+                            file: file.clone(),
+                            line: *line,
+                            rule: Rule::AckOrder,
+                            message: format!(
+                                "`{}` publishes an epoch on the `{}` ingest path with \
+                                 no dominating fsync (`{}`) — readers could see rows a \
+                                 crash then loses; sync before publishing",
+                                name,
+                                def.name,
+                                config::ACK_SYNC_FNS.join("`/`")
+                            ),
+                        });
+                    }
+                    FlatEv::Ack { file, line, name } if !synced => {
+                        out.push(Finding {
+                            file: file.clone(),
+                            line: *line,
+                            rule: Rule::AckOrder,
+                            message: format!(
+                                "`{}` acknowledges ingest with no dominating fsync on \
+                                 the `{}` path — \"acked ⇒ durable\" (DESIGN.md §13) \
+                                 requires the sync to precede the ack",
+                                name, def.name
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Appends `fun`'s R8-relevant events to `flat` in effect order,
+/// inlining same-named callees defined in [`config::ACK_ORDER_FILES`].
+/// `path` guards cycles; depth is capped defensively.
+fn flatten(
+    g: &Graph<'_>,
+    fun: FnRef,
+    path: &mut Vec<FnRef>,
+    flat: &mut Vec<FlatEv>,
+    depth: usize,
+) {
+    if depth > 16 {
+        return;
+    }
+    let def = &g.files[fun.0].fns[fun.1];
+    for ev in &def.events {
+        match ev.kind {
+            EvKind::Call if config::ACK_SYNC_FNS.contains(&ev.name.as_str()) => {
+                flat.push(FlatEv::Sync);
+            }
+            EvKind::Call if config::ACK_PUBLISH_FNS.contains(&ev.name.as_str()) => {
+                flat.push(FlatEv::Publish {
+                    file: g.files[fun.0].rel.clone(),
+                    line: ev.line,
+                    name: ev.name.clone(),
+                });
+            }
+            EvKind::Call => {
+                for callee in g.callees(&ev.name) {
+                    let in_scope =
+                        config::ACK_ORDER_FILES.contains(&g.files[callee.0].rel.as_str());
+                    if in_scope && !path.contains(callee) {
+                        path.push(*callee);
+                        flatten(g, *callee, path, flat, depth + 1);
+                        path.pop();
+                    }
+                }
+            }
+            EvKind::Marker if config::ACK_MARKERS.contains(&ev.name.as_str()) => {
+                flat.push(FlatEv::Ack {
+                    file: g.files[fun.0].rel.clone(),
+                    line: ev.line,
+                    name: ev.name.clone(),
+                });
+            }
+            EvKind::Marker => {}
+        }
+    }
+}
+
+/// R9 — exit-code-map: every error variant maps to exactly one code, no
+/// wildcard hides new variants, and every documented table agrees.
+fn exit_code_map(files: &[FileSummary], doc_tables: &[DocTable], out: &mut Vec<Finding>) {
+    let Some(map_file) = files.iter().find(|f| f.rel == config::EXIT_MAP_FILE) else {
+        return;
+    };
+    let Some(map) = &map_file.exit_map else {
+        return;
+    };
+    let variants: Vec<(&str, &str, usize)> = files
+        .iter()
+        .flat_map(|f| {
+            f.error_variants.iter().map(move |(v, l)| (v.as_str(), f.rel.as_str(), *l))
+        })
+        .collect();
+
+    check_map(map, &map_file.rel, &variants, out);
+
+    // Mapped codes drive the doc checks.
+    let mapped: BTreeMap<u32, &str> = map
+        .arms
+        .iter()
+        .filter_map(|(v, code, _)| code.parse::<u32>().ok().map(|c| (c, v.as_str())))
+        .collect();
+
+    // The map file's own doc-comment table (skipped when absent).
+    if !map.doc_codes.is_empty() {
+        check_doc(&map_file.rel, map.doc_codes.first().map_or(1, |(_, l)| *l), &map.doc_codes, &mapped, out);
+    }
+    for t in doc_tables {
+        check_doc(&t.file, t.header_line, &t.rows, &mapped, out);
+    }
+}
+
+/// The intra-map checks: unmapped variants, stale arms, duplicate codes,
+/// non-literal codes, and wildcard arms.
+fn check_map(
+    map: &ExitMap,
+    map_rel: &str,
+    variants: &[(&str, &str, usize)],
+    out: &mut Vec<Finding>,
+) {
+    let mut by_code: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut arm_variants: BTreeSet<&str> = BTreeSet::new();
+    for (v, code, line) in &map.arms {
+        if !arm_variants.insert(v.as_str()) {
+            out.push(Finding {
+                file: map_rel.to_string(),
+                line: *line,
+                rule: Rule::ExitCodeMap,
+                message: format!(
+                    "`{}::{v}` is matched by more than one exit-code arm — exactly \
+                     one code per variant",
+                    config::ERROR_ENUM
+                ),
+            });
+            continue;
+        }
+        if code.is_empty() {
+            out.push(Finding {
+                file: map_rel.to_string(),
+                line: *line,
+                rule: Rule::ExitCodeMap,
+                message: format!(
+                    "the `{}::{v}` arm does not map to a literal exit code — the \
+                     code must be auditable from the match arm",
+                    config::ERROR_ENUM
+                ),
+            });
+            continue;
+        }
+        if let Some(prev) = by_code.insert(code.as_str(), v.as_str()) {
+            out.push(Finding {
+                file: map_rel.to_string(),
+                line: *line,
+                rule: Rule::ExitCodeMap,
+                message: format!(
+                    "exit code {code} is assigned to both `{prev}` and `{v}` — \
+                     callers cannot distinguish the failures"
+                ),
+            });
+        }
+        if !variants.is_empty() && !variants.iter().any(|(name, _, _)| name == v) {
+            out.push(Finding {
+                file: map_rel.to_string(),
+                line: *line,
+                rule: Rule::ExitCodeMap,
+                message: format!(
+                    "exit-code arm names `{}::{v}`, which is not a declared variant — \
+                     stale arm",
+                    config::ERROR_ENUM
+                ),
+            });
+        }
+    }
+    for (v, vfile, vline) in variants {
+        if !arm_variants.contains(v) {
+            out.push(Finding {
+                file: (*vfile).to_string(),
+                line: *vline,
+                rule: Rule::ExitCodeMap,
+                message: format!(
+                    "`{}::{v}` has no exit-code mapping in `{}` `fn {}` — every \
+                     variant maps to exactly one code",
+                    config::ERROR_ENUM,
+                    config::EXIT_MAP_FILE,
+                    config::EXIT_MAP_FN
+                ),
+            });
+        }
+    }
+    if let Some(line) = map.wildcard {
+        out.push(Finding {
+            file: map_rel.to_string(),
+            line,
+            rule: Rule::ExitCodeMap,
+            message: "wildcard `_ =>` arm in the exit-code map — a new error variant \
+                      would silently share a code instead of failing this rule; \
+                      enumerate every variant"
+                .to_string(),
+        });
+    }
+}
+
+/// One documented table vs. the mapped codes.
+fn check_doc(
+    doc_file: &str,
+    anchor_line: usize,
+    rows: &[(u32, usize)],
+    mapped: &BTreeMap<u32, &str>,
+    out: &mut Vec<Finding>,
+) {
+    let documented: BTreeSet<u32> = rows.iter().map(|(c, _)| *c).collect();
+    for (code, variant) in mapped {
+        if !documented.contains(code) {
+            out.push(Finding {
+                file: doc_file.to_string(),
+                line: anchor_line,
+                rule: Rule::ExitCodeMap,
+                message: format!(
+                    "exit-code table omits code {code} (`{}::{variant}`) — the \
+                     documented table must list every mapped code",
+                    config::ERROR_ENUM
+                ),
+            });
+        }
+    }
+    for (code, line) in rows {
+        if !mapped.contains_key(code) && *code > 1 {
+            out.push(Finding {
+                file: doc_file.to_string(),
+                line: *line,
+                rule: Rule::ExitCodeMap,
+                message: format!(
+                    "exit-code table documents code {code}, which no `{}` variant \
+                     maps to — drifted docs",
+                    config::ERROR_ENUM
+                ),
+            });
+        }
+    }
+}

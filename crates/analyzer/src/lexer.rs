@@ -22,9 +22,10 @@ pub enum Tok {
     Ident(String),
     /// A single punctuation character (`.`, `:`, `(`, `!`, …).
     Punct(char),
-    /// Any literal: string, raw string, char, byte, or number. The
-    /// content is irrelevant to every rule, so it is not retained.
-    Literal,
+    /// Any literal: string, raw string, char, byte, or number. Only
+    /// numeric text is retained (R9 reads exit codes out of match arms);
+    /// string/char content is irrelevant to every rule and stays empty.
+    Literal(String),
 }
 
 /// A token plus the 1-based source line it starts on.
@@ -104,7 +105,7 @@ pub fn lex(source: &str) -> Lexed {
             '"' => {
                 let tok_line = line;
                 i = consume_string(&b, i, &mut line);
-                out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                out.tokens.push(Token { tok: Tok::Literal(String::new()), line: tok_line });
             }
             '\'' => {
                 // Char literal vs. lifetime: `'\…'` and `'x'` are chars;
@@ -112,9 +113,9 @@ pub fn lex(source: &str) -> Lexed {
                 if i + 1 < n && b[i + 1] == '\\' {
                     let tok_line = line;
                     i = consume_char_literal(&b, i, &mut line);
-                    out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                    out.tokens.push(Token { tok: Tok::Literal(String::new()), line: tok_line });
                 } else if i + 2 < n && b[i + 2] == '\'' {
-                    out.tokens.push(Token { tok: Tok::Literal, line });
+                    out.tokens.push(Token { tok: Tok::Literal(String::new()), line });
                     if b[i + 1] == '\n' {
                         line += 1;
                     }
@@ -136,15 +137,15 @@ pub fn lex(source: &str) -> Lexed {
                 match (ident.as_str(), next) {
                     ("r" | "br" | "rb", Some('"' | '#')) if raw_string_follows(&b, i) => {
                         i = consume_raw_string(&b, i, &mut line);
-                        out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                        out.tokens.push(Token { tok: Tok::Literal(String::new()), line: tok_line });
                     }
                     ("b", Some('"')) => {
                         i = consume_string(&b, i, &mut line);
-                        out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                        out.tokens.push(Token { tok: Tok::Literal(String::new()), line: tok_line });
                     }
                     ("b", Some('\'')) => {
                         i = consume_char_literal(&b, i, &mut line);
-                        out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                        out.tokens.push(Token { tok: Tok::Literal(String::new()), line: tok_line });
                     }
                     _ => out.tokens.push(Token { tok: Tok::Ident(ident), line: tok_line }),
                 }
@@ -153,6 +154,7 @@ pub fn lex(source: &str) -> Lexed {
                 // Loose number: digits, `_`, alphanumerics (hex, suffixes,
                 // exponents), a `.` only when a digit follows (so `1..n`
                 // and `0.max(x)` keep their punctuation).
+                let start = i;
                 while i < n {
                     let d = b[i];
                     let digit_follows = i + 1 < n && b[i + 1].is_ascii_digit();
@@ -168,7 +170,8 @@ pub fn lex(source: &str) -> Lexed {
                         break;
                     }
                 }
-                out.tokens.push(Token { tok: Tok::Literal, line });
+                out.tokens
+                    .push(Token { tok: Tok::Literal(b[start..i].iter().collect()), line });
             }
             other => {
                 out.tokens.push(Token { tok: Tok::Punct(other), line });

@@ -17,15 +17,30 @@
 //! | `nondeterminism` | no clocks, ambient entropy, or default hashers |
 //! | `wal-order` | WAL append precedes index mutation in `durable.rs` |
 //! | `lint-header` | every crate root carries `#![deny(unsafe_code)]` |
+//! | `bounded-queues` | queues shed under overload, never grow unbounded |
+//! | `lock-order` | acquisitions follow the declared hierarchy, call-graph-wide |
+//! | `ack-order` | fsync dominates epoch publish and ack on the ingest path |
+//! | `exit-code-map` | one exit code per error variant, docs in agreement |
+//!
+//! The first six rules are per-file token matches; the last three are
+//! *interprocedural* — they run over recovered function bodies and an
+//! intra-workspace call graph, so an inverted lock acquisition is caught
+//! through any number of intervening calls.
 //!
 //! * [`lexer`] — a minimal Rust lexer that correctly skips comments,
 //!   strings, raw strings, and char literals, so rules match tokens the
 //!   compiler would see — never text inside literals;
+//! * [`parser`] — structural recovery over the token stream: items,
+//!   bodies as block trees, call/marker events in effect order;
+//! * [`callgraph`] — name-resolved call edges, the per-fn "can acquire"
+//!   fixpoint, and the R7/R8/R9 passes;
 //! * [`rules`] — the per-file rule engine, `#[cfg(test)]`-aware, with
 //!   inline `// domd-lint: allow(<rule>) — <justification>` waivers that
 //!   are inventoried, justified, and must suppress something;
-//! * [`config`] — the path-keyed policy (exempt surfaces, the WAL file,
-//!   the required crate-root header);
+//! * [`config`] — the path-keyed policy (exempt surfaces, the lock
+//!   hierarchy, the ingest-path vocabulary, the exit-code map location);
+//! * [`cache`] — content-hash incremental caching of per-file summaries
+//!   (`.domd-lint-cache`), so warm sweeps skip unchanged files;
 //! * [`workspace`] — deterministic file discovery and the merged scan;
 //! * [`self_check`] — validates the rule set against the fixture corpus
 //!   (`fixtures/`), so a broken lexer fails loudly;
@@ -38,14 +53,19 @@
 //! assert!(report.is_clean(), "{}", report.render_human());
 //! ```
 
+pub mod cache;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod self_check;
 pub mod workspace;
 
 pub use report::{Finding, Report, Rule, Waiver};
-pub use rules::scan_file;
+pub use rules::{analyze_file, scan_file, FileSummary};
 pub use self_check::{self_check, SelfCheckReport};
-pub use workspace::{collect_files, find_root, scan_workspace, AnalyzerError};
+pub use workspace::{
+    collect_files, find_root, scan_workspace, scan_workspace_cached, AnalyzerError, SweepStats,
+};

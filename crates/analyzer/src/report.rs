@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-/// The five project-invariant rules plus the waiver meta-rule.
+/// The nine project-invariant rules plus the waiver meta-rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// R1: no `unwrap`/`expect`/`panic!` family in non-test code.
@@ -18,6 +18,15 @@ pub enum Rule {
     /// R6: no unbounded queues outside `domd-runtime` — `mpsc::channel()`
     /// and capacity-unchecked `push_back` must shed, not grow.
     BoundedQueues,
+    /// R7: lock acquisitions must follow the declared hierarchy, on
+    /// every path reachable through the call graph.
+    LockOrder,
+    /// R8: on the ingest path, fsync must dominate epoch publish and
+    /// the protocol ack ("acked ⇒ durable"), across calls.
+    AckOrder,
+    /// R9: every `DomdError` variant maps to exactly one exit code, and
+    /// the doc tables agree with the code.
+    ExitCodeMap,
     /// Meta: a malformed, unjustified, or unused waiver comment.
     WaiverPolicy,
 }
@@ -32,6 +41,9 @@ impl Rule {
             Rule::WalOrder => "wal-order",
             Rule::LintHeader => "lint-header",
             Rule::BoundedQueues => "bounded-queues",
+            Rule::LockOrder => "lock-order",
+            Rule::AckOrder => "ack-order",
+            Rule::ExitCodeMap => "exit-code-map",
             Rule::WaiverPolicy => "waiver-policy",
         }
     }
@@ -45,6 +57,9 @@ impl Rule {
             "wal-order" => Some(Rule::WalOrder),
             "lint-header" => Some(Rule::LintHeader),
             "bounded-queues" => Some(Rule::BoundedQueues),
+            "lock-order" => Some(Rule::LockOrder),
+            "ack-order" => Some(Rule::AckOrder),
+            "exit-code-map" => Some(Rule::ExitCodeMap),
             "waiver-policy" => Some(Rule::WaiverPolicy),
             _ => None,
         }
@@ -58,7 +73,105 @@ impl Rule {
         Rule::WalOrder,
         Rule::LintHeader,
         Rule::BoundedQueues,
+        Rule::LockOrder,
+        Rule::AckOrder,
+        Rule::ExitCodeMap,
     ];
+
+    /// The `--explain <rule>` text: what the rule enforces, why the
+    /// invariant matters here, and how to conform or waive.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::NoPanic => {
+                "no-panic (R1)\n\
+                 Forbids `.unwrap()`, `.expect(...)`, `panic!`, `unreachable!`,\n\
+                 `todo!`, and `unimplemented!` in non-test code. Result-producing\n\
+                 paths must return typed `DomdError`s so callers choose between\n\
+                 degraded serving and refusal. Test code (`#[test]`, `#[cfg(test)]`)\n\
+                 and `crates/bench/` are exempt by policy.\n\
+                 Conform: propagate with `?` and a typed error.\n"
+            }
+            Rule::ThreadSpawn => {
+                "thread-spawn (R2)\n\
+                 Forbids direct `std::thread` use outside `crates/runtime/`. All\n\
+                 parallelism flows through the bounded `domd-runtime` pool so\n\
+                 results are bit-identical at every thread count.\n\
+                 Conform: use `runtime::pool()` / `par_map`.\n"
+            }
+            Rule::Nondeterminism => {
+                "nondeterminism (R3)\n\
+                 Forbids wall/monotonic clocks, ambient RNG, and default-hasher\n\
+                 maps in result-producing code — iteration order and timing must\n\
+                 not change outputs. `crates/bench/` and the serve clock capability\n\
+                 module are the allowed exceptions.\n\
+                 Conform: seeded RNG, `BTreeMap`, or an explicit `FxBuildHasher`.\n"
+            }
+            Rule::WalOrder => {
+                "wal-order (R4)\n\
+                 In the WAL-governed files, every index mutation\n\
+                 (`insert_logical`/`remove_logical`) must be preceded in the same\n\
+                 fn body by a WAL `append`: log-before-apply is the recovery\n\
+                 contract. Derived mutations carry a waiver naming the provenance.\n"
+            }
+            Rule::LintHeader => {
+                "lint-header (R5)\n\
+                 Every crate root must carry `#![deny(unsafe_code)]`. The analyzer\n\
+                 has no soundness story for unsafe blocks, so the workspace bans\n\
+                 them at the compiler level.\n"
+            }
+            Rule::BoundedQueues => {
+                "bounded-queues (R6)\n\
+                 Forbids `mpsc::channel()` and capacity-unchecked `push_back`\n\
+                 outside `crates/runtime/`. Under overload the system sheds load;\n\
+                 it never grows an unbounded queue. Conform: `sync_channel(cap)`,\n\
+                 or check `len() < cap` in the same fn body before pushing.\n"
+            }
+            Rule::LockOrder => {
+                "lock-order (R7)\n\
+                 Enforces the declared lock hierarchy over every acquisition path\n\
+                 reachable in the intra-workspace call graph:\n\
+                   rank 0  EpochStore swap/build locks (`current`, `build`)\n\
+                   rank 1  tenant state (`breaker`, `cache`)\n\
+                   rank 2  DurableIndex (`durable`)\n\
+                   rank 3  WAL file lock (`wal`)\n\
+                 A guard is modeled as held until the end of its enclosing block.\n\
+                 Findings: acquiring a lower-or-equal rank while a higher one is\n\
+                 held (inversion), re-acquiring the same class (self-deadlock),\n\
+                 and holding a guard across a call whose callee can re-acquire\n\
+                 the same class. Findings anchor at the acquisition that is held\n\
+                 too long — a waiver on the call site does not suppress them.\n\
+                 Conform: drop the guard (end the block) before acquiring down\n\
+                 the hierarchy or calling into code that re-acquires.\n"
+            }
+            Rule::AckOrder => {
+                "ack-order (R8)\n\
+                 On the serve ingest path, the durability fsync must dominate the\n\
+                 epoch publish and the protocol ack: \"acked ⇒ durable\". The rule\n\
+                 flattens each ingest entry point through the call graph (calls\n\
+                 take effect after their arguments, so an fsync inside a closure\n\
+                 argument counts before the enclosing call) and flags any publish\n\
+                 (`install`/`publish`) or ack marker (`Ingested`) not preceded by\n\
+                 a sync (`sync`/`sync_durable`/`flush`) on the flattened path.\n\
+                 Conform: fsync before publishing the epoch that exposes the rows.\n"
+            }
+            Rule::ExitCodeMap => {
+                "exit-code-map (R9)\n\
+                 Every `DomdError` variant must map to exactly one exit code in\n\
+                 `fn exit_code` — no unmapped variants, no duplicate codes, no\n\
+                 wildcard arm hiding new variants — and every documented exit-code\n\
+                 table (the bin's doc comment and the README) must list exactly\n\
+                 the mapped codes. Drifted docs are findings on the doc file.\n"
+            }
+            Rule::WaiverPolicy => {
+                "waiver-policy (meta)\n\
+                 Waivers are `// domd-lint: allow(<rule>) — <justification>` on\n\
+                 the violating line or the line above. A waiver must name a real\n\
+                 rule, justify itself (≥ 10 chars in workspace tests), and\n\
+                 suppress at least one finding — unused waivers are violations.\n\
+                 Doc comments (`///`) never grant waivers.\n"
+            }
+        }
+    }
 }
 
 /// One rule violation at a source location.
@@ -104,13 +217,17 @@ impl Report {
         self.violations.is_empty()
     }
 
-    /// Deterministic ordering for output and tests.
+    /// Deterministic ordering for output and tests: (file, line, rule id)
+    /// with the rule compared by its *stable kebab-case id*, not enum
+    /// declaration order, so adding a variant never reorders CI diffs.
     pub fn sort(&mut self) {
         self.violations.sort_by(|a, b| {
-            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+            (a.file.as_str(), a.line, a.rule.id())
+                .cmp(&(b.file.as_str(), b.line, b.rule.id()))
+                .then_with(|| a.message.cmp(&b.message))
         });
         self.waivers.sort_by(|a, b| {
-            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+            (a.file.as_str(), a.line, a.rule.id()).cmp(&(b.file.as_str(), b.line, b.rule.id()))
         });
     }
 
@@ -225,5 +342,26 @@ mod tests {
         }
         assert_eq!(Rule::from_id("waiver-policy"), Some(Rule::WaiverPolicy));
         assert_eq!(Rule::from_id("nope"), None);
+    }
+
+    #[test]
+    fn every_rule_explains_itself_by_id() {
+        for r in Rule::ALL.iter().chain([&Rule::WaiverPolicy]) {
+            assert!(r.explain().starts_with(r.id()), "{} explain header", r.id());
+        }
+    }
+
+    #[test]
+    fn sort_orders_by_rule_id_string_not_enum_order() {
+        // At one location, "ack-order" < "lock-order" < "no-panic" by id,
+        // even though NoPanic precedes both in the enum declaration.
+        let f = |rule| Finding { file: "x.rs".into(), line: 1, rule, message: "m".into() };
+        let mut r = Report {
+            violations: vec![f(Rule::NoPanic), f(Rule::LockOrder), f(Rule::AckOrder)],
+            ..Report::default()
+        };
+        r.sort();
+        let ids: Vec<&str> = r.violations.iter().map(|v| v.rule.id()).collect();
+        assert_eq!(ids, vec!["ack-order", "lock-order", "no-panic"]);
     }
 }

@@ -17,9 +17,11 @@
 //! and are inventoried into the report so the full exempted surface is
 //! visible to CI and reviewers.
 
+use crate::callgraph::{self, DocTable};
 use crate::config;
 use crate::lexer::{self, Tok, Token};
-use crate::report::{Finding, Rule, Waiver};
+use crate::parser::{self, test_line_ranges, test_mask};
+use crate::report::{Finding, Report, Rule, Waiver};
 
 /// Result of scanning one file: surviving violations plus the waivers
 /// that were applied.
@@ -31,9 +33,43 @@ pub struct FileScan {
     pub waivers: Vec<Waiver>,
 }
 
-/// Scans one file's source. `rel_path` is workspace-relative with `/`
-/// separators; it selects which rules and exemptions apply.
+/// Everything one file contributes to a workspace sweep, *before*
+/// waiver application. This is the unit the incremental cache stores:
+/// it is a pure function of `(rel_path, source)`, so a content-hash hit
+/// can skip the lex/parse/rules work entirely, while the cross-file
+/// passes (R7/R8/R9 and waiver accounting) always run fresh over the
+/// summaries in [`finish`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileSummary {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Local (R1–R6) findings, pre-waiver.
+    pub raw: Vec<Finding>,
+    /// Waiver-policy findings (malformed waivers) — always surface.
+    pub meta: Vec<Finding>,
+    /// Well-formed waiver candidates, not yet matched to findings.
+    pub waivers: Vec<Waiver>,
+    /// Line ranges covered by test code.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Recovered function definitions (call-graph nodes).
+    pub fns: Vec<parser::FnDef>,
+    /// Error-enum variants, when this file declares them (R9).
+    pub error_variants: Vec<(String, usize)>,
+    /// The exit-code map, when this file defines it (R9).
+    pub exit_map: Option<parser::ExitMap>,
+}
+
+/// Scans one file in isolation: per-file rules plus the interprocedural
+/// rules over this file's own call graph. This is what `--self-check`
+/// runs per fixture; workspace sweeps use [`analyze_file`] + [`finish`]
+/// so R7–R9 see cross-file edges.
 pub fn scan_file(rel_path: &str, source: &str) -> FileScan {
+    let report = finish(vec![analyze_file(rel_path, source)], &[]);
+    FileScan { violations: report.violations, waivers: report.waivers }
+}
+
+/// Runs the per-file (cacheable) half of the pipeline.
+pub fn analyze_file(rel_path: &str, source: &str) -> FileSummary {
     let lexed = lexer::lex(source);
     let toks = &lexed.tokens;
     let in_test = test_mask(toks);
@@ -188,7 +224,92 @@ pub fn scan_file(rel_path: &str, source: &str) -> FileScan {
         ));
     }
 
-    apply_waivers(rel_path, &lexed.comments, &test_ranges, findings)
+    let (waivers, meta) = parse_waivers(rel_path, &lexed.comments, &test_ranges);
+    let parsed = parser::parse(&lexed, config::ACK_MARKERS);
+    let mut fns = parsed.fns;
+    // Files outside the R7/R8-governed sets feed the interprocedural
+    // passes only through the call graph: which non-test fns exist and
+    // which distinct (callee, receiver) pairs each can reach. Compress
+    // their summaries to exactly that — R7 reads ordering/blocks and R8
+    // reads markers only for governed files, and test fns never enter
+    // the graph at all — so no finding can change, while warm sweeps
+    // parse far less cache text.
+    if !config::LOCK_ORDER_FILES.contains(&rel_path)
+        && !config::ACK_ORDER_FILES.contains(&rel_path)
+    {
+        fns.retain(|f| !f.is_test);
+        for f in &mut fns {
+            parser::prune_to_call_edges(f);
+        }
+    }
+    FileSummary {
+        rel: rel_path.to_string(),
+        raw: findings,
+        meta,
+        waivers,
+        test_ranges,
+        fns,
+        error_variants: parsed.error_variants,
+        exit_map: parsed.exit_map,
+    }
+}
+
+/// The joint finish pass: interprocedural rules over the summaries'
+/// call graph, then waiver application per file. Waivers are matched
+/// against local *and* graph findings together, so a waiver that only
+/// suppresses an interprocedural finding still counts as used — and a
+/// finding anchored at a lock acquisition is only suppressible *there*,
+/// never at the call site that completes the violation.
+pub fn finish(summaries: Vec<FileSummary>, doc_tables: &[DocTable]) -> Report {
+    let mut graph_findings = callgraph::interprocedural(&summaries, doc_tables);
+    let mut report = Report { files_scanned: summaries.len(), ..Report::default() };
+
+    for s in summaries {
+        let mut findings = s.raw;
+        let mut i = 0;
+        while i < graph_findings.len() {
+            if graph_findings[i].file == s.rel {
+                findings.push(graph_findings.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+
+        let mut waivers: Vec<(Waiver, bool)> =
+            s.waivers.into_iter().map(|w| (w, false)).collect();
+        for f in findings {
+            let covered = waivers.iter_mut().find(|(w, _)| {
+                w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line)
+            });
+            match covered {
+                Some((_, used)) => *used = true,
+                None => report.violations.push(f),
+            }
+        }
+        for (w, used) in waivers {
+            if used {
+                report.waivers.push(w);
+            } else {
+                report.violations.push(Finding {
+                    file: s.rel.clone(),
+                    line: w.line,
+                    rule: Rule::WaiverPolicy,
+                    message: format!(
+                        "waiver for `{}` suppresses nothing — remove it (a stale waiver \
+                         hides the next real violation)",
+                        w.rule.id()
+                    ),
+                });
+            }
+        }
+        report.violations.extend(s.meta);
+    }
+
+    // Findings in files with no summary (doc files like the README)
+    // have no waiver surface: fix the doc.
+    report.violations.append(&mut graph_findings);
+    report.sort();
+    report
 }
 
 /// True when `toks[i]` names a rule-relevant ident (exact match).
@@ -420,98 +541,19 @@ fn has_deny_header(toks: &[Token]) -> bool {
     false
 }
 
-/// Marks every token inside `#[cfg(test)]` / `#[test]` items.
-fn test_mask(toks: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-    let mut depth = 0isize;
-    let mut skip_at: Option<isize> = None;
-    let mut pending = false;
-    let mut i = 0usize;
-    while i < toks.len() {
-        // Outer attribute `#[ … ]`: does it force a test item?
-        if skip_at.is_none()
-            && matches!(toks[i].tok, Tok::Punct('#'))
-            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
-        {
-            let mut bracket = 1isize;
-            let mut j = i + 1;
-            let mut idents: Vec<&str> = Vec::new();
-            while let Some(t) = toks.get(j + 1) {
-                j += 1;
-                match &t.tok {
-                    Tok::Punct('[') => bracket += 1,
-                    Tok::Punct(']') => {
-                        bracket -= 1;
-                        if bracket == 0 {
-                            break;
-                        }
-                    }
-                    Tok::Ident(id) => idents.push(id),
-                    _ => {}
-                }
-            }
-            let is_test_attr = idents.first() == Some(&"test")
-                || (idents.contains(&"cfg") && idents.contains(&"test"));
-            if is_test_attr {
-                pending = true;
-            }
-            i = j + 1;
-            continue;
-        }
-        match toks[i].tok {
-            Tok::Punct('{') => {
-                depth += 1;
-                if pending && skip_at.is_none() {
-                    skip_at = Some(depth);
-                    pending = false;
-                }
-            }
-            Tok::Punct('}') => {
-                if skip_at == Some(depth) {
-                    mask[i] = true; // the closing brace is still test code
-                    skip_at = None;
-                }
-                depth -= 1;
-            }
-            Tok::Punct(';') if pending && skip_at.is_none() => pending = false,
-            _ => {}
-        }
-        if skip_at.is_some() {
-            mask[i] = true;
-        }
-        i += 1;
-    }
-    mask
-}
-
-/// Line ranges covered by test code, for waiver bookkeeping.
-fn test_line_ranges(toks: &[Token], mask: &[bool]) -> Vec<(usize, usize)> {
-    let mut ranges: Vec<(usize, usize)> = Vec::new();
-    for (t, m) in toks.iter().zip(mask) {
-        if !*m {
-            continue;
-        }
-        match ranges.last_mut() {
-            Some((_, end)) if t.line <= *end + 1 => *end = (*end).max(t.line),
-            _ => ranges.push((t.line, t.line)),
-        }
-    }
-    ranges
-}
-
-/// Parses waiver comments, applies them to `findings`, and flags
-/// malformed or unused waivers.
-fn apply_waivers(
+/// Parses waiver comments into well-formed candidates plus the
+/// waiver-policy findings for malformed ones. Matching candidates to
+/// findings happens in [`finish`], after the interprocedural rules run.
+fn parse_waivers(
     rel_path: &str,
     comments: &[lexer::Comment],
     test_ranges: &[(usize, usize)],
-    findings: Vec<Finding>,
-) -> FileScan {
+) -> (Vec<Waiver>, Vec<Finding>) {
     const MARK: &str = "domd-lint: allow(";
     let in_test_line =
         |line: usize| test_ranges.iter().any(|(a, b)| (*a..=*b).contains(&line));
 
-    let mut waivers: Vec<(Waiver, bool)> = Vec::new(); // (waiver, used)
+    let mut waivers: Vec<Waiver> = Vec::new();
     let mut meta: Vec<Finding> = Vec::new();
     for c in comments {
         // Waivers must be plain `//` or `/*` comments: doc comments are
@@ -568,42 +610,9 @@ fn apply_waivers(
             });
             continue;
         }
-        waivers.push((
-            Waiver { file: rel_path.to_string(), line: c.line, rule, justification },
-            false,
-        ));
+        waivers.push(Waiver { file: rel_path.to_string(), line: c.line, rule, justification });
     }
-
-    let mut surviving: Vec<Finding> = Vec::new();
-    for f in findings {
-        let covered = waivers.iter_mut().find(|(w, _)| {
-            w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line)
-        });
-        match covered {
-            Some((_, used)) => *used = true,
-            None => surviving.push(f),
-        }
-    }
-    for (w, used) in &waivers {
-        if !used {
-            surviving.push(Finding {
-                file: rel_path.to_string(),
-                line: w.line,
-                rule: Rule::WaiverPolicy,
-                message: format!(
-                    "waiver for `{}` suppresses nothing — remove it (a stale waiver \
-                     hides the next real violation)",
-                    w.rule.id()
-                ),
-            });
-        }
-    }
-    surviving.extend(meta);
-
-    FileScan {
-        violations: surviving,
-        waivers: waivers.into_iter().filter(|(_, used)| *used).map(|(w, _)| w).collect(),
-    }
+    (waivers, meta)
 }
 
 #[cfg(test)]
@@ -729,6 +738,168 @@ mod tests {
                     \x20 q.push_back(x);\n  q.len()\n}";
         assert_eq!(rules_found(late), vec![(2, Rule::BoundedQueues)]);
         assert_eq!(scan_file("crates/runtime/src/queue.rs", bad).violations, vec![]);
+    }
+
+    const SERVE: &str = "crates/serve/src/server.rs";
+
+    #[test]
+    fn lock_inversion_is_caught_through_intervening_calls() {
+        // wal (rank 3) held → helper → mid → durable (rank 2): the
+        // inversion is two frames away from the acquisition.
+        let src = "\
+fn outer(&self) {
+    let g = self.wal.lock();
+    self.helper();
+}
+fn helper(&self) { self.mid(); }
+fn mid(&self) { let d = self.durable.lock(); }
+";
+        let found = scan_file(SERVE, src).violations;
+        assert_eq!(
+            found.iter().map(|f| (f.line, f.rule)).collect::<Vec<_>>(),
+            vec![(2, Rule::LockOrder)],
+            "{found:?}"
+        );
+        assert!(found[0].message.contains("helper"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn waiver_on_the_call_site_does_not_suppress_the_acquisition_finding() {
+        // The finding anchors at the `wal.lock()` line. A waiver on the
+        // call that completes the violation must not cover it — and
+        // being unused, that waiver is itself a violation.
+        let call_site_waived = "\
+fn outer(&self) {
+    let g = self.wal.lock();
+    // domd-lint: allow(lock-order) — misplaced: the guard is the problem
+    self.helper();
+}
+fn helper(&self) { let d = self.durable.lock(); }
+";
+        let found = scan_file(SERVE, call_site_waived).violations;
+        assert_eq!(
+            found.iter().map(|f| (f.line, f.rule)).collect::<Vec<_>>(),
+            vec![(2, Rule::LockOrder), (3, Rule::WaiverPolicy)],
+            "{found:?}"
+        );
+
+        // On the acquisition line, the same waiver suppresses and counts
+        // as used — interprocedural findings feed waiver accounting.
+        let acq_waived = "\
+fn outer(&self) {
+    // domd-lint: allow(lock-order) — wal guard provably released by helper's bound
+    let g = self.wal.lock();
+    self.helper();
+}
+fn helper(&self) { let d = self.durable.lock(); }
+";
+        let scan = scan_file(SERVE, acq_waived);
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert_eq!(scan.waivers.len(), 1);
+        assert_eq!(scan.waivers[0].rule, Rule::LockOrder);
+    }
+
+    #[test]
+    fn chained_guards_are_transient_but_still_checked_as_inner() {
+        // A chained guard is not held afterwards…
+        let transient = "\
+fn f(&self) -> Result<(), E> {
+    let n = self.durable.lock().map_err(drop)?.len();
+    let b = self.breaker.lock();
+    Ok(())
+}
+";
+        assert!(scan_file(SERVE, transient).violations.is_empty());
+        // …but acquiring it while a higher rank is held still inverts.
+        let inner = "\
+fn f(&self) -> Result<(), E> {
+    let g = self.wal.lock();
+    let n = self.durable.lock().map_err(drop)?.len();
+    Ok(())
+}
+";
+        let found = scan_file(SERVE, inner).violations;
+        assert_eq!(
+            found.iter().map(|f| (f.line, f.rule)).collect::<Vec<_>>(),
+            vec![(3, Rule::LockOrder)]
+        );
+    }
+
+    #[test]
+    fn ack_before_sync_is_flagged_across_the_flattened_path() {
+        // Publish via a callee, sync never happens → both the publish
+        // and the ack are findings.
+        let bad = "\
+fn handle_ingest(&self) -> Reply {
+    self.apply();
+    Reply::Ingested { row }
+}
+fn apply(&self) { self.store.install(next); }
+";
+        let found = scan_file(SERVE, bad).violations;
+        assert_eq!(
+            found.iter().map(|f| (f.line, f.rule)).collect::<Vec<_>>(),
+            vec![(3, Rule::AckOrder), (5, Rule::AckOrder)],
+            "{found:?}"
+        );
+        // The closure-argument fsync orders before the enclosing call's
+        // publish: Rust evaluates arguments first, and so does R8.
+        let good = "\
+fn handle_ingest(&self) -> Reply {
+    self.store.update(|snap| { self.durable_sync(); });
+    Reply::Ingested { row }
+}
+fn durable_sync(&self) { d.index.sync(); }
+fn update(&self, f: F) { self.install(next); }
+";
+        assert!(scan_file(SERVE, good).violations.is_empty());
+    }
+
+    #[test]
+    fn exit_code_map_checks_variants_codes_and_docs() {
+        let bad = "\
+//! | exit code | class |
+//! |-----------|-------|
+//! | 2         | config |
+//! | 9         | gone |
+pub enum DomdError { Config, Io, Parse }
+fn exit_code(e: &DomdError) -> u8 {
+    match e {
+        DomdError::Config => 2,
+        DomdError::Io => 2,
+        _ => 1,
+    }
+}
+";
+        let found = scan_file("src/bin/domd.rs", bad).violations;
+        let lines: Vec<(usize, Rule)> = found.iter().map(|f| (f.line, f.rule)).collect();
+        // 4: doc row 9 maps to nothing; 5: Parse unmapped (and the doc
+        // table omits no mapped code beyond those); 9: Io reuses code 2;
+        // 10: wildcard arm.
+        assert_eq!(
+            lines,
+            vec![
+                (4, Rule::ExitCodeMap),
+                (5, Rule::ExitCodeMap),
+                (9, Rule::ExitCodeMap),
+                (10, Rule::ExitCodeMap),
+            ],
+            "{found:?}"
+        );
+        let good = "\
+//! | exit code | class |
+//! |-----------|-------|
+//! | 2         | config |
+//! | 3         | io |
+pub enum DomdError { Config, Io }
+fn exit_code(e: &DomdError) -> u8 {
+    match e {
+        DomdError::Config => 2,
+        DomdError::Io => 3,
+    }
+}
+";
+        assert!(scan_file("src/bin/domd.rs", good).violations.is_empty());
     }
 
     #[test]

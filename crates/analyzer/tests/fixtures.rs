@@ -80,6 +80,14 @@ fn violating_fixtures_report_exactly_their_markers() {
         ("r4_wal_violate.rs", Rule::WalOrder, 3),
         ("r4_delta_violate.rs", Rule::WalOrder, 2),
         ("r5_header_violate.rs", Rule::LintHeader, 1),
+        // Four lock-order findings: a same-body inversion, a same-body
+        // re-acquire, and two held-across-call cases (one an inversion
+        // through `relay` → `reindex`, one a same-class re-acquire).
+        ("r7_lock_violate.rs", Rule::LockOrder, 4),
+        ("r8_ack_violate.rs", Rule::AckOrder, 2),
+        // Six: unmapped variant, stale arm + duplicate code (same line),
+        // wildcard, a documented code nothing maps to, an omitted code.
+        ("r9_exit_violate.rs", Rule::ExitCodeMap, 6),
     ];
     for (name, rule, expected) in cases {
         let source = read(name);
@@ -111,6 +119,9 @@ fn conforming_fixtures_are_clean_and_waivers_are_inventoried() {
         "r2_thread_conform.rs",
         "r3_nondet_conform.rs",
         "r5_header_conform.rs",
+        "r7_lock_conform.rs",
+        "r8_ack_conform.rs",
+        "r9_exit_conform.rs",
     ] {
         let source = read(name);
         let pretend = source

@@ -1,0 +1,55 @@
+//! Golden-output test for `--format json`: the byte-exact shape and the
+//! stable (file, line, rule-id) ordering CI diffs rely on. A formatting
+//! or ordering change must update this file deliberately.
+
+use domd_analyzer::{Finding, Report, Rule, Waiver};
+
+#[test]
+fn json_report_is_byte_stable_and_sorted() {
+    let f = |file: &str, line: usize, rule, message: &str| Finding {
+        file: file.into(),
+        line,
+        rule,
+        message: message.into(),
+    };
+    let mut r = Report { files_scanned: 2, ..Report::default() };
+    // Deliberately scrambled: sort() must order by (file, line, rule id).
+    r.violations = vec![
+        f("b.rs", 1, Rule::AckOrder, "m3"),
+        f("a.rs", 2, Rule::NoPanic, "m1"),
+        f("a.rs", 2, Rule::LockOrder, "m2"),
+    ];
+    r.waivers = vec![Waiver {
+        file: "a.rs".into(),
+        line: 7,
+        rule: Rule::WalOrder,
+        justification: "derived \"safely\"".into(),
+    }];
+    r.sort();
+
+    let golden = concat!(
+        "{\n",
+        "  \"clean\": false,\n",
+        "  \"files_scanned\": 2,\n",
+        "  \"violations\": [\n",
+        "    {\"file\": \"a.rs\", \"line\": 2, \"rule\": \"lock-order\", \"message\": \"m2\"},\n",
+        "    {\"file\": \"a.rs\", \"line\": 2, \"rule\": \"no-panic\", \"message\": \"m1\"},\n",
+        "    {\"file\": \"b.rs\", \"line\": 1, \"rule\": \"ack-order\", \"message\": \"m3\"}\n",
+        "  ],\n",
+        "  \"waivers\": [\n",
+        "    {\"file\": \"a.rs\", \"line\": 7, \"rule\": \"wal-order\", ",
+        "\"justification\": \"derived \\\"safely\\\"\"}\n",
+        "  ]\n",
+        "}\n",
+    );
+    assert_eq!(r.render_json(), golden);
+}
+
+#[test]
+fn empty_json_report_is_byte_stable() {
+    let r = Report::default();
+    assert_eq!(
+        r.render_json(),
+        "{\n  \"clean\": true,\n  \"files_scanned\": 0,\n  \"violations\": [],\n  \"waivers\": []\n}\n"
+    );
+}

@@ -42,4 +42,29 @@ fn every_waiver_is_justified_and_attributed() {
             w.file
         );
     }
+    // The interprocedural rules are similarly fenced: their waivers may
+    // only appear in the files the rules govern, so an exemption cannot
+    // quietly migrate into ungoverned code.
+    for w in report.waivers.iter().filter(|w| w.rule == Rule::LockOrder) {
+        assert!(
+            domd_analyzer::config::LOCK_ORDER_FILES.contains(&w.file.as_str()),
+            "unexpected lock-order waiver in {}",
+            w.file
+        );
+    }
+    for w in report.waivers.iter().filter(|w| w.rule == Rule::AckOrder) {
+        assert!(
+            domd_analyzer::config::ACK_ORDER_FILES.contains(&w.file.as_str()),
+            "unexpected ack-order waiver in {}",
+            w.file
+        );
+    }
+    for w in report.waivers.iter().filter(|w| w.rule == Rule::ExitCodeMap) {
+        assert!(
+            w.file == domd_analyzer::config::EXIT_MAP_FILE
+                || w.file == domd_analyzer::config::ERROR_ENUM_FILE,
+            "unexpected exit-code-map waiver in {}",
+            w.file
+        );
+    }
 }

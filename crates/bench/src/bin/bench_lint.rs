@@ -1,0 +1,106 @@
+//! `bench_lint` — cold vs warm sweep time of the workspace invariant
+//! analyzer's incremental cache.
+//!
+//! The cold arm deletes the cache file first, so every per-file summary
+//! (lex, parse, per-file rules) is recomputed; the warm arm re-reads the
+//! cache the cold sweep just wrote, so every unchanged file is a
+//! content-hash hit and only the interprocedural passes (R7/R8/R9) and
+//! the waiver accounting run fresh. Before any timing is reported the
+//! two reports are identity-gated byte-for-byte on their JSON rendering,
+//! and the sweep stats must show zero hits cold / zero misses warm —
+//! a cache that changes answers is worse than no cache. Each arm
+//! reports its minimum over `--runs` repetitions. The acceptance target
+//! is a ≥5x warm speedup; the harness warns (does not fail) below it,
+//! since wall-clock ratios are load-dependent on shared containers.
+//!
+//! ```text
+//! bench_lint [--runs 3] [--root DIR] [--out FILE]
+//! ```
+
+use domd_analyzer::{find_root, scan_workspace_cached};
+use domd_bench::util::time_ms;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    let mut runs = 3usize;
+    let mut out = PathBuf::from("BENCH_lint.json");
+    let mut root: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--runs" => runs = it.next().expect("--runs N").parse().expect("numeric --runs"),
+            "--out" => out = PathBuf::from(it.next().expect("--out FILE")),
+            "--root" => root = Some(PathBuf::from(it.next().expect("--root DIR"))),
+            other => panic!("bench_lint: unknown flag {other}"),
+        }
+    }
+    assert!(runs > 0, "--runs must be positive");
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().expect("readable cwd");
+        find_root(&cwd).expect("run from inside the workspace or pass --root")
+    });
+
+    let cache_dir =
+        std::env::temp_dir().join(format!("domd-bench-lint-{}", std::process::id()));
+    std::fs::create_dir_all(&cache_dir).expect("temp cache dir");
+    let cache = cache_dir.join("lint-cache");
+
+    let mut cold_min = f64::INFINITY;
+    let mut warm_min = f64::INFINITY;
+    let mut files = 0usize;
+    let mut violations = 0usize;
+    let mut waivers = 0usize;
+    let mut warm_hits = 0usize;
+
+    for _ in 0..runs {
+        let _ = std::fs::remove_file(&cache);
+        let ((cold_report, cold_stats), cold_ms) =
+            time_ms(|| scan_workspace_cached(&root, Some(&cache)).expect("cold sweep"));
+        assert_eq!(cold_stats.cache_hits, 0, "cold sweep saw a stale cache");
+        cold_min = cold_min.min(cold_ms);
+
+        let ((warm_report, warm_stats), warm_ms) =
+            time_ms(|| scan_workspace_cached(&root, Some(&cache)).expect("warm sweep"));
+        assert_eq!(warm_stats.cache_misses, 0, "warm sweep missed a cached file");
+        warm_min = warm_min.min(warm_ms);
+
+        // Identity gate: the cache must never change the answer.
+        assert_eq!(
+            cold_report.render_json(),
+            warm_report.render_json(),
+            "cold and warm sweeps disagree — the cache is unsound"
+        );
+        files = warm_report.files_scanned;
+        violations = warm_report.violations.len();
+        waivers = warm_report.waivers.len();
+        warm_hits = warm_stats.cache_hits;
+    }
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    let speedup = cold_min / warm_min;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"suite\": \"lint\",");
+    let _ = writeln!(json, "  \"runs\": {runs},");
+    let _ = writeln!(json, "  \"files_scanned\": {files},");
+    let _ = writeln!(json, "  \"violations\": {violations},");
+    let _ = writeln!(json, "  \"waivers\": {waivers},");
+    let _ = writeln!(json, "  \"warm_cache_hits\": {warm_hits},");
+    let _ = writeln!(json, "  \"cold_ms\": {cold_min:.3},");
+    let _ = writeln!(json, "  \"warm_ms\": {warm_min:.3},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.2},");
+    let _ = writeln!(json, "  \"identical_findings\": true");
+    json.push_str("}\n");
+    std::fs::write(&out, &json).expect("write bench output");
+
+    println!(
+        "bench_lint: {files} file(s), cold {cold_min:.1} ms, warm {warm_min:.1} ms \
+         ({speedup:.1}x), reports identical"
+    );
+    if speedup < 5.0 {
+        eprintln!(
+            "bench_lint: WARNING — warm speedup {speedup:.1}x is below the 5x \
+             acceptance target"
+        );
+    }
+}

@@ -23,6 +23,7 @@
 #   SUITE=gbt TREES=600 scripts/bench.sh          # flat-kernel suite only
 #   SUITE=ingest BATCHES=6 scripts/bench.sh       # delta-ingest suite only
 #   SUITE=restart INGESTS=512 scripts/bench.sh    # restart-recovery suite only
+#   SUITE=lint RUNS=5 scripts/bench.sh            # analyzer-cache suite only
 #
 # The restart suite measures recovery-to-first-answer for a restarted
 # durable server vs store size into BENCH_restart.json: the store-rebuild
@@ -37,12 +38,18 @@
 # into BENCH_ingest.json, bit-identity-gated on both the Status Query
 # aggregates and the patched tensor, warning if the delta path misses its
 # 10x ingest-to-queryable acceptance target at the largest scale.
+#
+# The lint suite times the workspace invariant analyzer's incremental
+# cache into BENCH_lint.json: a cold sweep (cache deleted first) vs a
+# warm sweep over the unchanged workspace, identity-gated byte-for-byte
+# on the JSON report — the harness asserts zero hits cold and zero
+# misses warm, and warns if the warm speedup misses its 5x target.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREADS="${THREADS:-0}"        # 0 = auto-detect
 RUNS="${RUNS:-3}"
-SUITE="${SUITE:-all}"          # all | parallel | layout | wal | serve | gbt | ingest | restart
+SUITE="${SUITE:-all}"   # all | parallel | layout | wal | serve | gbt | ingest | restart | lint
 
 if [ "$SUITE" = "all" ] || [ "$SUITE" = "parallel" ]; then
   SCALES_PAR="${SCALES:-1,4}"
@@ -127,4 +134,11 @@ if [ "$SUITE" = "all" ] || [ "$SUITE" = "restart" ]; then
   target/release/bench_restart --scales "$SCALES_RESTART" --ingests "$INGESTS" \
     --runs "$RUNS" --out "$OUT_RESTART"
   echo "restart-recovery bench results written to $OUT_RESTART"
+fi
+
+if [ "$SUITE" = "all" ] || [ "$SUITE" = "lint" ]; then
+  OUT_LINT="${OUT_LINT:-BENCH_lint.json}"
+  cargo build --release -p domd-bench --bin bench_lint
+  target/release/bench_lint --runs "$RUNS" --out "$OUT_LINT"
+  echo "analyzer cold-vs-warm sweep results written to $OUT_LINT"
 fi
